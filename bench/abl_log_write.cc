@@ -1,0 +1,118 @@
+// Ablation A1 — the lock-free log (§II-B/§II-C design choice).
+//
+// The paper argues the append-only log with an atomic fetch-and-add tail
+// keeps write overhead minimal. This microbenchmark compares the shipped
+// lock-free append against a mutex-guarded variant (what the design
+// rejected), single-threaded and contended, plus the full instrumentation
+// hook cost (scope enter+exit).
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <vector>
+
+#include "core/profiler.h"
+
+namespace {
+
+using namespace teeperf;
+
+// The rejected alternative: same layout, tail guarded by a mutex.
+class MutexLog {
+ public:
+  explicit MutexLog(u64 capacity) : buf_(ProfileLog::bytes_for(capacity)) {
+    log_.init(buf_.data(), buf_.size(), 1, log_flags::kActive);
+  }
+
+  bool append(EventKind kind, u64 addr, u64 tid, u64 counter) {
+    std::lock_guard<std::mutex> lock(mu_);
+    LogHeader* h = log_.header();
+    u64 slot = h->tail.load(std::memory_order_relaxed);
+    if (slot >= h->max_entries) return false;
+    h->tail.store(slot + 1, std::memory_order_relaxed);
+    LogEntry& e = log_.entries()[slot];
+    e.kind_and_counter = LogEntry::pack(kind, counter);
+    e.addr = addr;
+    e.tid = tid;
+    return true;
+  }
+
+  void reset() { log_.header()->tail.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::vector<u8> buf_;
+  ProfileLog log_;
+  std::mutex mu_;
+};
+
+constexpr u64 kCapacity = 1u << 22;
+
+void BM_LockFreeAppend(benchmark::State& state) {
+  static std::vector<u8>* buf = new std::vector<u8>(ProfileLog::bytes_for(kCapacity));
+  static ProfileLog* log = [] {
+    auto* l = new ProfileLog();
+    l->init(buf->data(), buf->size(), 1, log_flags::kActive);
+    return l;
+  }();
+  if (state.thread_index() == 0) log->header()->tail.store(0);
+  u64 i = 0;
+  for (auto _ : state) {
+    if (!log->append(EventKind::kCall, 0x1000 + i, 0, i)) {
+      log->header()->tail.store(0, std::memory_order_relaxed);
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockFreeAppend);
+BENCHMARK(BM_LockFreeAppend)->Threads(4)->UseRealTime();
+
+void BM_MutexAppend(benchmark::State& state) {
+  static MutexLog* log = new MutexLog(kCapacity);
+  if (state.thread_index() == 0) log->reset();
+  u64 i = 0;
+  for (auto _ : state) {
+    if (!log->append(EventKind::kCall, 0x1000 + i, 0, i)) log->reset();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutexAppend);
+BENCHMARK(BM_MutexAppend)->Threads(4)->UseRealTime();
+
+// The full per-event cost an instrumented application pays: scope
+// constructor + destructor with an attached, active session.
+void BM_ScopeEnterExit(benchmark::State& state) {
+  RecorderOptions opts;
+  opts.max_entries = kCapacity;
+  opts.counter_mode = CounterMode::kTsc;
+  static auto* recorder = Recorder::create(opts).release();
+  static bool attached = recorder->attach();
+  (void)attached;
+  static const u64 id = SymbolRegistry::instance().intern("bench::scope");
+  for (auto _ : state) {
+    if (recorder->log().size() + 2 >= kCapacity) {
+      recorder->log().header()->tail.store(0, std::memory_order_relaxed);
+    }
+    Scope s(id);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopeEnterExit);
+
+// The same scope when no session is attached: the cost left in a binary
+// shipped with instrumentation compiled in but profiling off.
+void BM_ScopeDetached(benchmark::State& state) {
+  if (teeperf::runtime::attached()) teeperf::runtime::detach();
+  static const u64 id = SymbolRegistry::instance().intern("bench::scope_off");
+  for (auto _ : state) {
+    Scope s(id);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopeDetached);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Ablation A8 — the Speicher extension: secure WAL in the enclave.
+//
+// The paper grew out of Speicher (§V), whose core problem is exactly the
+// kind TEE-Perf exists to expose: SGX trusted monotonic counters cost
+// ~O(100 ms) per increment, so a rollback-protected WAL that stabilizes the
+// counter per record is catastrophically slow — and the profile says so.
+// Three configurations of WAL appends inside the enclave simulator:
+//
+//   plain          — no integrity (the baseline kvstore WAL)
+//   secure+sync    — MAC per record + synchronous counter stabilization
+//   secure+async   — MAC per record + Speicher's asynchronous counter
+//                    (one stabilization per flush epoch)
+//
+// TEE-Perf's recorded profile of the sync run pins the time on
+// secure::TrustedCounter::increment, and the async run shows the fix.
+#include <cstdio>
+
+#include "analyzer/profile.h"
+#include "bench/bench_util.h"
+#include "common/fileutil.h"
+#include "common/spin.h"
+#include "common/stringutil.h"
+#include "core/profiler.h"
+#include "flamegraph/flamegraph.h"
+#include "kvstore/secure.h"
+#include "tee/enclave.h"
+
+using namespace teeperf;
+using namespace teeperf::benchharness;
+using namespace teeperf::kvs;
+using namespace teeperf::kvs::secure;
+
+namespace {
+
+constexpr u64 kCounterCostNs = 60'000'000;  // SGX platform-service counter
+
+MacKey bench_key() {
+  MacKey k{};
+  for (usize i = 0; i < k.size(); ++i) k[i] = static_cast<u8>(0xa0 + i);
+  return k;
+}
+
+struct Row {
+  const char* label;
+  usize records = 0;
+  double seconds = 0;
+  double per_record_us = 0;
+  u64 hw_increments = 0;
+  double counter_frac = 0;  // profile share of TrustedCounter::increment
+};
+
+Row run_case(const std::string& dir, const char* label, bool secure_mode,
+             TrustedCounter::Mode counter_mode, usize records) {
+  Row row;
+  row.label = label;
+  row.records = records;
+
+  RecorderOptions opts;
+  opts.max_entries = 1 << 20;
+  auto recorder = Recorder::create(opts);
+  if (!recorder || !recorder->attach()) return row;
+
+  tee::Enclave enclave(tee::CostModel::sgx_like());
+  TrustedCounter counter(dir + "/ctr_" + label, counter_mode, kCounterCostNs);
+  std::string payload(100, 'p');
+
+  u64 t0 = monotonic_ns();
+  enclave.ecall([&] {
+    if (secure_mode) {
+      SecureWalWriter w(bench_key(), &counter);
+      if (!w.open(dir + "/wal_" + label, true).is_ok()) return;
+      for (usize i = 0; i < records; ++i) w.append(payload);
+      w.flush();
+    } else {
+      WalWriter w;
+      if (!w.open(dir + "/wal_" + label, true).is_ok()) return;
+      for (usize i = 0; i < records; ++i) w.append(payload);
+      w.flush();
+    }
+  });
+  row.seconds = static_cast<double>(monotonic_ns() - t0) / 1e9;
+  recorder->detach();
+
+  row.per_record_us = row.seconds * 1e6 / static_cast<double>(records);
+  row.hw_increments = counter.hardware_increments();
+
+  auto profile = analyzer::Profile::from_log(
+      recorder->log(), SymbolRegistry::parse(SymbolRegistry::instance().serialize()));
+  auto tree = flamegraph::build_frame_tree(profile.folded_stacks());
+  row.counter_frac =
+      flamegraph::frame_fraction(tree, "secure::TrustedCounter::increment");
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::string dir = make_temp_dir("teeperf_swal_bench_");
+  std::printf("Ablation A8: rollback-protected WAL in the enclave "
+              "(Speicher extension; trusted-counter write = %llu ms)\n",
+              static_cast<unsigned long long>(kCounterCostNs / 1'000'000));
+  print_rule('=');
+  std::printf("%-16s %8s %10s %14s %10s %18s\n", "mode", "records", "time(s)",
+              "us/record", "hw writes", "counter frame");
+  print_rule();
+
+  Row rows[3];
+  rows[0] = run_case(dir, "plain", false, TrustedCounter::Mode::kAsync, 4000);
+  // Sync stabilization: 20 records already cost >1 s.
+  rows[1] = run_case(dir, "secure_sync", true, TrustedCounter::Mode::kSync, 20);
+  rows[2] = run_case(dir, "secure_async", true, TrustedCounter::Mode::kAsync, 4000);
+
+  for (const Row& r : rows) {
+    std::printf("%-16s %8zu %10.3f %14.1f %10llu %16.1f%%\n", r.label, r.records,
+                r.seconds, r.per_record_us,
+                static_cast<unsigned long long>(r.hw_increments),
+                r.counter_frac * 100);
+  }
+  print_rule('=');
+  double slowdown = rows[0].per_record_us > 0
+                        ? rows[1].per_record_us / rows[0].per_record_us
+                        : 0;
+  double recovered = rows[2].per_record_us > 0
+                         ? rows[1].per_record_us / rows[2].per_record_us
+                         : 0;
+  std::printf("sync counter costs %.0fx over plain; the async counter claws "
+              "back %.0fx of it — and the profile names the culprit "
+              "(TrustedCounter::increment at %.0f%% in the sync run, ~0%% "
+              "async).\n",
+              slowdown, recovered, rows[1].counter_frac * 100);
+  remove_tree(dir);
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation A4 — selective code profiling (§II-C).
+//
+// The paper offers selective instrumentation as "a systematic knob to
+// reduce the log size". On the call-densest Phoenix kernel (string_match)
+// this harness compares:
+//   off        — recorder detached (the floor),
+//   selective  — allowlist of coarse frames only (workers + kernel entry),
+//   full       — every scope recorded.
+// Reported: runtime, log entries, log bytes.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/spin.h"
+#include "common/stringutil.h"
+#include "core/profiler.h"
+#include "phoenix/phoenix.h"
+
+using namespace teeperf;
+using namespace teeperf::benchharness;
+
+namespace {
+
+struct Row {
+  const char* label;
+  double ms = 0;
+  u64 entries = 0;
+};
+
+double time_run(phoenix::PhoenixBenchmark& bench) {
+  u64 t0 = monotonic_ns();
+  bench.run(4);
+  return static_cast<double>(monotonic_ns() - t0) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  usize n = repeats(3);
+  auto bench = phoenix::make_benchmark("string_match");
+  phoenix::SuiteParams params;
+  params.scale = scale(1);
+  bench->prepare(params);
+  bench->run(4);  // warm-up
+
+  std::printf("Ablation A4: selective profiling on string_match "
+              "(min of %zu runs)\n", n);
+  print_rule('=');
+  std::printf("%-12s %10s %14s %14s %10s\n", "mode", "time(ms)", "log entries",
+              "log bytes", "overhead");
+  print_rule();
+
+  // Floor: no session.
+  Row off{"off"};
+  {
+    std::vector<double> times;
+    for (usize i = 0; i < n; ++i) times.push_back(time_run(*bench));
+    off.ms = min_of(times);
+  }
+
+  // Selective: record only the coarse frames.
+  Row selective{"selective"};
+  {
+    Filter filter(Filter::Mode::kAllowlist);
+    filter.add_name("phoenix::string_match");
+    filter.add_name("phoenix::string_match::map_worker");
+    std::vector<double> times;
+    for (usize i = 0; i < n; ++i) {
+      RecorderOptions opts;
+      opts.max_entries = 1ull << 23;
+      opts.filter = &filter;
+      auto rec = Recorder::create(opts);
+      rec->attach();
+      times.push_back(time_run(*bench));
+      rec->detach();
+      selective.entries = rec->stats().entries;
+    }
+    selective.ms = min_of(times);
+  }
+
+  // Full tracing.
+  Row full{"full"};
+  {
+    std::vector<double> times;
+    for (usize i = 0; i < n; ++i) {
+      RecorderOptions opts;
+      opts.max_entries = 1ull << 23;
+      auto rec = Recorder::create(opts);
+      rec->attach();
+      times.push_back(time_run(*bench));
+      rec->detach();
+      full.entries = rec->stats().entries;
+    }
+    full.ms = min_of(times);
+  }
+
+  for (const Row& row : {off, selective, full}) {
+    std::printf("%-12s %10.1f %14s %14s %9.2fx\n", row.label, row.ms,
+                with_commas(row.entries).c_str(),
+                human_bytes(static_cast<double>(row.entries) * sizeof(LogEntry))
+                    .c_str(),
+                off.ms > 0 ? row.ms / off.ms : 0.0);
+  }
+  print_rule('=');
+  std::printf("Expected shape: selective ≈ off in time with a tiny log; full "
+              "pays the per-call cost and a %sx larger log.\n",
+              full.entries && selective.entries
+                  ? str_format("%.0f", static_cast<double>(full.entries) /
+                                           static_cast<double>(selective.entries))
+                        .c_str()
+                  : "many");
+  return 0;
+}

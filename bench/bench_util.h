@@ -1,0 +1,60 @@
+// Shared plumbing for the per-figure bench harnesses: result directory,
+// repeat counts, geometric mean, simple table printing.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/fileutil.h"
+#include "common/types.h"
+
+namespace teeperf::benchharness {
+
+// Where harnesses drop flame graphs / folded stacks. Override with
+// TEEPERF_RESULTS=<dir>.
+inline std::string results_dir() {
+  const char* env = std::getenv("TEEPERF_RESULTS");
+  std::string dir = env ? env : "bench_results";
+  make_dirs(dir);
+  return dir;
+}
+
+// Repeats per measurement; the paper uses 10 (Fex methodology), the default
+// here is chosen for CI runtime. Override with TEEPERF_REPEATS=<n>.
+inline usize repeats(usize fallback = 3) {
+  const char* env = std::getenv("TEEPERF_REPEATS");
+  if (!env) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<usize>(v) : fallback;
+}
+
+// Workload scale factor. Override with TEEPERF_SCALE=<n>.
+inline usize scale(usize fallback = 1) {
+  const char* env = std::getenv("TEEPERF_SCALE");
+  if (!env) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<usize>(v) : fallback;
+}
+
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0;
+  for (double x : xs) log_sum += std::log(x > 0 ? x : 1e-12);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+inline double min_of(const std::vector<double>& xs) {
+  double m = xs.empty() ? 0.0 : xs[0];
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+inline void print_rule(char c = '-', int n = 78) {
+  for (int i = 0; i < n; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace teeperf::benchharness

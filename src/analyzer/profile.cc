@@ -1,0 +1,342 @@
+#include "analyzer/profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/fileutil.h"
+#include "common/stringutil.h"
+#include "core/symbol_registry.h"
+
+namespace teeperf::analyzer {
+
+std::optional<Profile> Profile::load(const std::string& prefix) {
+  auto raw = read_file(prefix + ".log");
+  if (!raw || raw->size() < sizeof(LogHeader)) return std::nullopt;
+  const auto* header = reinterpret_cast<const LogHeader*>(raw->data());
+  if (header->magic != kLogMagic || header->version != kLogVersion) return std::nullopt;
+
+  // Only complete entries present in the file are consumed; a log truncated
+  // mid-write simply yields fewer entries (§II-B: the analyzer dismisses
+  // records "which might be wrong at the end of the log").
+  u64 available = (raw->size() - sizeof(LogHeader)) / sizeof(LogEntry);
+  u64 tail = header->tail.load(std::memory_order_relaxed);
+  u64 n = std::min({available, tail, header->max_entries});
+  const auto* entries =
+      reinterpret_cast<const LogEntry*>(raw->data() + sizeof(LogHeader));
+
+  std::unordered_map<u64, std::string> symbols;
+  if (auto sym = read_file(prefix + ".sym")) symbols = SymbolRegistry::parse(*sym);
+
+  return build(entries, n, std::move(symbols), header->ns_per_tick);
+}
+
+Profile Profile::from_log(const ProfileLog& log,
+                          std::unordered_map<u64, std::string> symbols,
+                          double ns_per_tick) {
+  if (!log.valid()) return Profile{};
+  if (ns_per_tick == 0.0) ns_per_tick = log.header()->ns_per_tick;
+  u64 tail = log.header()->tail.load(std::memory_order_acquire);
+  if ((log.flags() & log_flags::kRingBuffer) && tail > log.capacity()) {
+    // Wrapped ring: rebuild oldest→newest order first.
+    std::vector<LogEntry> ordered;
+    log.snapshot_ordered(&ordered);
+    return build(ordered.data(), ordered.size(), std::move(symbols), ns_per_tick);
+  }
+  return build(&log.entry(0), log.size(), std::move(symbols), ns_per_tick);
+}
+
+Profile Profile::build(const LogEntry* entries, u64 n,
+                       std::unordered_map<u64, std::string> symbols,
+                       double ns_per_tick) {
+  Profile p;
+  p.symbols_ = std::move(symbols);
+  p.ns_per_tick_ = ns_per_tick;
+  p.recon_.entries = n;
+
+  // Per-thread reconstruction state. Only per-thread order is guaranteed by
+  // the lock-free log, and only per-thread order is used (§II-C).
+  struct ThreadRecon {
+    std::vector<usize> open;  // indices into p.invocations_
+    u64 last_counter = 0;
+  };
+  std::map<u64, ThreadRecon> threads;  // ordered so output is deterministic
+
+  for (u64 i = 0; i < n; ++i) {
+    const LogEntry& e = entries[i];
+    ThreadRecon& t = threads[e.tid];
+    t.last_counter = e.counter();
+
+    if (e.kind() == EventKind::kCall) {
+      Invocation inv;
+      inv.method = e.addr;
+      inv.tid = e.tid;
+      inv.start = e.counter();
+      inv.depth = static_cast<u32>(t.open.size());
+      inv.parent = t.open.empty() ? -1 : static_cast<i64>(t.open.back());
+      usize index = p.invocations_.size();
+      if (!t.open.empty()) ++p.invocations_[t.open.back()].calls_made;
+      p.invocations_.push_back(inv);
+      t.open.push_back(index);
+      continue;
+    }
+
+    // Return: close the matching frame. The common case is the top of
+    // stack; a mismatch means enters were dropped (filtering, log overflow)
+    // and is repaired by unwinding to the nearest matching frame.
+    if (t.open.empty()) {
+      ++p.recon_.stray_returns;
+      continue;
+    }
+    usize match = t.open.size();
+    for (usize k = t.open.size(); k-- > 0;) {
+      if (p.invocations_[t.open[k]].method == e.addr) {
+        match = k;
+        break;
+      }
+    }
+    if (match == t.open.size()) {
+      ++p.recon_.mismatched_returns;
+      continue;
+    }
+    while (t.open.size() > match) {
+      usize idx = t.open.back();
+      t.open.pop_back();
+      Invocation& inv = p.invocations_[idx];
+      // Clamp against a non-monotonic counter (a broken or tampered time
+      // source must yield zero durations, not u64 underflow).
+      inv.end = std::max(e.counter(), inv.start);
+      if (t.open.size() != match) ++p.recon_.unwound_frames;
+      if (inv.parent >= 0) {
+        p.invocations_[static_cast<usize>(inv.parent)].children += inv.inclusive();
+      }
+    }
+  }
+
+  // Close whatever is still open with the thread's last observed counter;
+  // those invocations are flagged incomplete.
+  for (auto& [tid, t] : threads) {
+    (void)tid;
+    while (!t.open.empty()) {
+      usize idx = t.open.back();
+      t.open.pop_back();
+      Invocation& inv = p.invocations_[idx];
+      inv.end = std::max(t.last_counter, inv.start);
+      inv.complete = false;
+      ++p.recon_.incomplete;
+      if (inv.parent >= 0) {
+        p.invocations_[static_cast<usize>(inv.parent)].children += inv.inclusive();
+      }
+    }
+  }
+
+  p.thread_count_ = threads.size();
+  return p;
+}
+
+std::string Profile::name(u64 method) const {
+  auto it = symbols_.find(method);
+  if (it != symbols_.end()) return it->second;
+  // Fall back to the live registry (in-process analysis without a .sym file).
+  std::string live = SymbolRegistry::instance().name_of(method);
+  if (!live.empty()) return live;
+  return str_format("0x%llx", static_cast<unsigned long long>(method));
+}
+
+std::vector<MethodStats> Profile::method_stats() const {
+  std::unordered_map<u64, MethodStats> by_method;
+  for (const Invocation& inv : invocations_) {
+    MethodStats& s = by_method[inv.method];
+    s.method = inv.method;
+    ++s.count;
+    s.inclusive_total += inv.inclusive();
+    s.exclusive_total += inv.exclusive();
+    s.min_inclusive = std::min(s.min_inclusive, inv.inclusive());
+    s.max_inclusive = std::max(s.max_inclusive, inv.inclusive());
+  }
+  std::vector<MethodStats> out;
+  out.reserve(by_method.size());
+  for (auto& [id, s] : by_method) {
+    (void)id;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const MethodStats& a, const MethodStats& b) {
+    return a.exclusive_total > b.exclusive_total;
+  });
+  return out;
+}
+
+std::vector<CallEdge> Profile::call_edges() const {
+  struct Key {
+    u64 caller;
+    u64 callee;
+    bool from_root;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    usize operator()(const Key& k) const {
+      return std::hash<u64>{}(k.caller * 1099511628211ull ^ k.callee ^
+                              (k.from_root ? 0x9e37ull : 0));
+    }
+  };
+  std::unordered_map<Key, CallEdge, KeyHash> edges;
+  for (const Invocation& inv : invocations_) {
+    Key k{};
+    if (inv.parent < 0) {
+      k = Key{0, inv.method, true};
+    } else {
+      k = Key{invocations_[static_cast<usize>(inv.parent)].method, inv.method, false};
+    }
+    CallEdge& e = edges[k];
+    e.caller = k.caller;
+    e.callee = k.callee;
+    e.from_root = k.from_root;
+    ++e.count;
+    e.inclusive_total += inv.inclusive();
+  }
+  std::vector<CallEdge> out;
+  out.reserve(edges.size());
+  for (auto& [k, e] : edges) {
+    (void)k;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CallEdge& a, const CallEdge& b) { return a.count > b.count; });
+  return out;
+}
+
+std::vector<std::pair<std::string, u64>> Profile::folded_stacks() const {
+  // Each invocation contributes its *exclusive* time to the stack path
+  // root→self, so the flame graph's widths add up exactly to total time.
+  std::unordered_map<std::string, u64> folded;
+  std::vector<std::string> path_cache(invocations_.size());
+  for (usize i = 0; i < invocations_.size(); ++i) {
+    const Invocation& inv = invocations_[i];
+    std::string path;
+    if (inv.parent >= 0) {
+      path = path_cache[static_cast<usize>(inv.parent)];
+      path += ';';
+    }
+    path += name(inv.method);
+    path_cache[i] = path;
+    u64 excl = inv.exclusive();
+    if (excl > 0) folded[path] += excl;
+  }
+  std::vector<std::pair<std::string, u64>> out(folded.begin(), folded.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace teeperf::analyzer
+
+namespace teeperf::analyzer {
+
+std::optional<Profile> Profile::load_many(const std::vector<std::string>& prefixes) {
+  Profile merged;
+  // Method ids from different processes can collide with different
+  // meanings (each process has its own registry / address space), so the
+  // merge rekeys every method by its *symbolized name* into a fresh
+  // synthetic id space (bit 61 marks merged ids; bit 62 stays set so they
+  // remain disjoint from raw addresses).
+  std::unordered_map<std::string, u64> ids_by_name;
+  u64 next_id = (1ull << 62) | (1ull << 61);
+  bool any = false;
+  u64 input_index = 0;
+
+  for (const std::string& prefix : prefixes) {
+    auto prof = load(prefix);
+    ++input_index;
+    if (!prof) continue;
+    any = true;
+
+    usize base = merged.invocations_.size();
+    for (const Invocation& inv : prof->invocations_) {
+      Invocation copy = inv;
+      copy.tid = (input_index << 32) | inv.tid;  // namespace threads per input
+      if (copy.parent >= 0) copy.parent += static_cast<i64>(base);
+      std::string name = prof->name(inv.method);
+      auto [it, fresh] = ids_by_name.try_emplace(name, next_id);
+      if (fresh) {
+        merged.symbols_.emplace(next_id, name);
+        ++next_id;
+      }
+      copy.method = it->second;
+      merged.invocations_.push_back(copy);
+    }
+
+    merged.recon_.entries += prof->recon_.entries;
+    merged.recon_.stray_returns += prof->recon_.stray_returns;
+    merged.recon_.mismatched_returns += prof->recon_.mismatched_returns;
+    merged.recon_.unwound_frames += prof->recon_.unwound_frames;
+    merged.recon_.incomplete += prof->recon_.incomplete;
+    merged.thread_count_ += prof->thread_count_;
+    if (merged.ns_per_tick_ == 0.0) merged.ns_per_tick_ = prof->ns_per_tick_;
+  }
+  if (!any) return std::nullopt;
+  return merged;
+}
+
+std::pair<std::string, u64> Profile::hottest_stack() const {
+  std::pair<std::string, u64> best{"", 0};
+  for (const auto& [path, ticks] : folded_stacks()) {
+    if (ticks > best.second) best = {path, ticks};
+  }
+  return best;
+}
+
+std::vector<ValidationIssue> Profile::validate(const ProfileLog& log) {
+  return validate(&log.entry(0), log.size());
+}
+
+std::optional<std::vector<ValidationIssue>> Profile::validate_file(
+    const std::string& prefix) {
+  auto raw = read_file(prefix + ".log");
+  if (!raw || raw->size() < sizeof(LogHeader)) return std::nullopt;
+  const auto* header = reinterpret_cast<const LogHeader*>(raw->data());
+  if (header->magic != kLogMagic || header->version != kLogVersion) {
+    return std::nullopt;
+  }
+  u64 available = (raw->size() - sizeof(LogHeader)) / sizeof(LogEntry);
+  u64 tail = header->tail.load(std::memory_order_relaxed);
+  u64 n = std::min({available, tail, header->max_entries});
+  const auto* entries =
+      reinterpret_cast<const LogEntry*>(raw->data() + sizeof(LogHeader));
+  return validate(entries, n);
+}
+
+std::vector<ValidationIssue> Profile::validate(const LogEntry* log_entries, u64 n) {
+  std::vector<ValidationIssue> issues;
+  struct ThreadCheck {
+    u64 last_counter = 0;
+    bool has_counter = false;
+    i64 depth = 0;
+  };
+  std::map<u64, ThreadCheck> threads;
+
+  for (u64 i = 0; i < n; ++i) {
+    const LogEntry& e = log_entries[i];
+    ThreadCheck& t = threads[e.tid];
+    if (e.addr == 0) {
+      issues.push_back({ValidationIssue::Kind::kZeroAddress, e.tid, i,
+                        "entry has null address"});
+    }
+    if (t.has_counter && e.counter() < t.last_counter) {
+      issues.push_back({ValidationIssue::Kind::kNonMonotonicCounter, e.tid, i,
+                        str_format("counter %llu after %llu",
+                                   static_cast<unsigned long long>(e.counter()),
+                                   static_cast<unsigned long long>(t.last_counter))});
+    }
+    t.last_counter = e.counter();
+    t.has_counter = true;
+    t.depth += e.kind() == EventKind::kCall ? 1 : -1;
+  }
+  for (const auto& [tid, t] : threads) {
+    if (t.depth != 0) {
+      issues.push_back({ValidationIssue::Kind::kUnbalancedThread, tid, n,
+                        str_format("calls minus returns = %lld",
+                                   static_cast<long long>(t.depth))});
+    }
+  }
+  return issues;
+}
+
+}  // namespace teeperf::analyzer

@@ -1,0 +1,187 @@
+#include "analyzer/query.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/stringutil.h"
+
+namespace teeperf::analyzer {
+
+InvocationTable::InvocationTable(const Profile& profile) : profile_(&profile) {
+  rows_.resize(profile.invocations().size());
+  std::iota(rows_.begin(), rows_.end(), usize{0});
+}
+
+InvocationTable::InvocationTable(const Profile& profile, std::vector<usize> rows)
+    : profile_(&profile), rows_(std::move(rows)) {}
+
+const Invocation& InvocationTable::row(usize i) const {
+  return profile_->invocations()[rows_[i]];
+}
+
+InvocationTable InvocationTable::filter(
+    const std::function<bool(const Invocation&)>& pred) const {
+  std::vector<usize> kept;
+  for (usize r : rows_) {
+    if (pred(profile_->invocations()[r])) kept.push_back(r);
+  }
+  return InvocationTable(*profile_, std::move(kept));
+}
+
+InvocationTable InvocationTable::where_method(u64 method) const {
+  return filter([method](const Invocation& i) { return i.method == method; });
+}
+
+InvocationTable InvocationTable::where_name_contains(const std::string& needle) const {
+  return filter([this, &needle](const Invocation& i) {
+    return profile_->name(i.method).find(needle) != std::string::npos;
+  });
+}
+
+InvocationTable InvocationTable::where_tid(u64 tid) const {
+  return filter([tid](const Invocation& i) { return i.tid == tid; });
+}
+
+InvocationTable InvocationTable::where_depth_between(u32 lo, u32 hi) const {
+  return filter([lo, hi](const Invocation& i) { return i.depth >= lo && i.depth <= hi; });
+}
+
+InvocationTable InvocationTable::where_min_inclusive(u64 ticks) const {
+  return filter([ticks](const Invocation& i) { return i.inclusive() >= ticks; });
+}
+
+InvocationTable InvocationTable::complete_only() const {
+  return filter([](const Invocation& i) { return i.complete; });
+}
+
+InvocationTable InvocationTable::where_called_under(u64 ancestor_method) const {
+  const auto& all = profile_->invocations();
+  return filter([&all, ancestor_method](const Invocation& i) {
+    for (i64 p = i.parent; p >= 0; p = all[static_cast<usize>(p)].parent) {
+      if (all[static_cast<usize>(p)].method == ancestor_method) return true;
+    }
+    return false;
+  });
+}
+
+InvocationTable InvocationTable::sort_by(SortKey key, bool descending) const {
+  std::vector<usize> sorted = rows_;
+  const auto& all = profile_->invocations();
+  auto value = [key](const Invocation& i) -> u64 {
+    switch (key) {
+      case SortKey::kInclusive: return i.inclusive();
+      case SortKey::kExclusive: return i.exclusive();
+      case SortKey::kStart: return i.start;
+      case SortKey::kDepth: return i.depth;
+      case SortKey::kCallsMade: return i.calls_made;
+    }
+    return 0;
+  };
+  std::stable_sort(sorted.begin(), sorted.end(), [&](usize a, usize b) {
+    u64 va = value(all[a]), vb = value(all[b]);
+    return descending ? va > vb : va < vb;
+  });
+  return InvocationTable(*profile_, std::move(sorted));
+}
+
+InvocationTable InvocationTable::top(usize n) const {
+  std::vector<usize> head(rows_.begin(),
+                          rows_.begin() + static_cast<isize>(std::min(n, rows_.size())));
+  return InvocationTable(*profile_, std::move(head));
+}
+
+u64 InvocationTable::sum_inclusive() const {
+  u64 s = 0;
+  for (usize r : rows_) s += profile_->invocations()[r].inclusive();
+  return s;
+}
+
+u64 InvocationTable::sum_exclusive() const {
+  u64 s = 0;
+  for (usize r : rows_) s += profile_->invocations()[r].exclusive();
+  return s;
+}
+
+double InvocationTable::mean_inclusive() const {
+  return rows_.empty() ? 0.0
+                       : static_cast<double>(sum_inclusive()) /
+                             static_cast<double>(rows_.size());
+}
+
+u64 InvocationTable::max_inclusive() const {
+  u64 m = 0;
+  for (usize r : rows_) m = std::max(m, profile_->invocations()[r].inclusive());
+  return m;
+}
+
+std::vector<InvocationTable::Group> InvocationTable::group_by(
+    const std::function<std::string(const Invocation&)>& key_fn) const {
+  std::unordered_map<std::string, Group> groups;
+  for (usize r : rows_) {
+    const Invocation& i = profile_->invocations()[r];
+    std::string k = key_fn(i);
+    Group& g = groups[k];
+    g.key = k;
+    ++g.count;
+    g.inclusive_total += i.inclusive();
+    g.exclusive_total += i.exclusive();
+  }
+  std::vector<Group> out;
+  out.reserve(groups.size());
+  for (auto& [k, g] : groups) {
+    (void)k;
+    out.push_back(std::move(g));
+  }
+  std::sort(out.begin(), out.end(), [](const Group& a, const Group& b) {
+    return a.exclusive_total > b.exclusive_total;
+  });
+  return out;
+}
+
+std::vector<InvocationTable::Group> InvocationTable::group_by_method() const {
+  return group_by([this](const Invocation& i) { return profile_->name(i.method); });
+}
+
+std::vector<InvocationTable::Group> InvocationTable::group_by_tid() const {
+  return group_by([](const Invocation& i) {
+    return str_format("tid=%llu", static_cast<unsigned long long>(i.tid));
+  });
+}
+
+std::vector<InvocationTable::Group> InvocationTable::group_by_method_and_tid() const {
+  return group_by([this](const Invocation& i) {
+    return str_format("tid=%llu %s", static_cast<unsigned long long>(i.tid),
+                      profile_->name(i.method).c_str());
+  });
+}
+
+std::vector<InvocationTable::Group> InvocationTable::group_by_caller() const {
+  const auto& all = profile_->invocations();
+  return group_by([this, &all](const Invocation& i) {
+    if (i.parent < 0) return std::string("<root>");
+    return profile_->name(all[static_cast<usize>(i.parent)].method);
+  });
+}
+
+std::string InvocationTable::to_string(usize limit) const {
+  std::string out = str_format("%-48s %6s %5s %14s %14s %9s\n", "method", "tid",
+                               "depth", "inclusive", "exclusive", "complete");
+  usize shown = 0;
+  for (usize r : rows_) {
+    if (shown++ >= limit) {
+      out += str_format("... (%zu more rows)\n", rows_.size() - limit);
+      break;
+    }
+    const Invocation& i = profile_->invocations()[r];
+    out += str_format("%-48s %6llu %5u %14llu %14llu %9s\n",
+                      ellipsize(profile_->name(i.method), 48).c_str(),
+                      static_cast<unsigned long long>(i.tid), i.depth,
+                      static_cast<unsigned long long>(i.inclusive()),
+                      static_cast<unsigned long long>(i.exclusive()),
+                      i.complete ? "yes" : "no");
+  }
+  return out;
+}
+
+}  // namespace teeperf::analyzer

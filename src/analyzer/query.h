@@ -1,0 +1,85 @@
+// The declarative query interface (§II-C "Queries").
+//
+// The paper drops the user into an interactive pandas session over the
+// decoded log. The C++ equivalent here is a small combinator API over the
+// invocation table: filters, sorts, projections and grouped aggregations
+// compose left-to-right and each step returns a new (cheap, index-based)
+// table. Example — "which thread called which method how often":
+//
+//   auto t = InvocationTable(profile)
+//                .group_by([](const Invocation& i) {
+//                  return std::pair{i.tid, i.method};
+//                });
+//
+// Tables reference the Profile; the Profile must outlive them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analyzer/profile.h"
+
+namespace teeperf::analyzer {
+
+enum class SortKey { kInclusive, kExclusive, kStart, kDepth, kCallsMade };
+
+class InvocationTable {
+ public:
+  explicit InvocationTable(const Profile& profile);
+
+  // --- filters ------------------------------------------------------------
+  InvocationTable filter(const std::function<bool(const Invocation&)>& pred) const;
+  InvocationTable where_method(u64 method) const;
+  // Substring match against the symbolized name.
+  InvocationTable where_name_contains(const std::string& needle) const;
+  InvocationTable where_tid(u64 tid) const;
+  InvocationTable where_depth_between(u32 lo, u32 hi) const;
+  InvocationTable where_min_inclusive(u64 ticks) const;
+  InvocationTable complete_only() const;
+  // Invocations whose (transitive) ancestry includes `method` — the
+  // "performance depending on the call history of a method" query (§II-C).
+  InvocationTable where_called_under(u64 ancestor_method) const;
+
+  // --- ordering / slicing --------------------------------------------------
+  InvocationTable sort_by(SortKey key, bool descending = true) const;
+  InvocationTable top(usize n) const;
+
+  // --- scalar aggregates ---------------------------------------------------
+  usize count() const { return rows_.size(); }
+  u64 sum_inclusive() const;
+  u64 sum_exclusive() const;
+  double mean_inclusive() const;
+  u64 max_inclusive() const;
+
+  // --- grouped aggregates --------------------------------------------------
+  struct Group {
+    std::string key;
+    usize count = 0;
+    u64 inclusive_total = 0;
+    u64 exclusive_total = 0;
+  };
+  // Groups rows by an arbitrary string key; groups come back sorted by
+  // exclusive_total descending.
+  std::vector<Group> group_by(
+      const std::function<std::string(const Invocation&)>& key_fn) const;
+  std::vector<Group> group_by_method() const;
+  std::vector<Group> group_by_tid() const;
+  std::vector<Group> group_by_method_and_tid() const;
+  // Groups by the *caller's* name ("who spends time calling X").
+  std::vector<Group> group_by_caller() const;
+
+  // --- access ---------------------------------------------------------------
+  const Invocation& row(usize i) const;
+  const Profile& profile() const { return *profile_; }
+  // Renders the table (up to `limit` rows) for terminal inspection.
+  std::string to_string(usize limit = 20) const;
+
+ private:
+  InvocationTable(const Profile& profile, std::vector<usize> rows);
+
+  const Profile* profile_;
+  std::vector<usize> rows_;  // indices into profile_->invocations()
+};
+
+}  // namespace teeperf::analyzer

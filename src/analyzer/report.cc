@@ -1,0 +1,387 @@
+#include "analyzer/report.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/stringutil.h"
+
+namespace teeperf::analyzer {
+
+std::string method_report(const Profile& profile, usize limit) {
+  auto stats = profile.method_stats();
+  u64 total_excl = 0;
+  for (const auto& s : stats) total_excl += s.exclusive_total;
+
+  std::string out = str_format("%-52s %10s %12s %12s %7s\n", "method", "calls",
+                               "excl(ms)", "incl(ms)", "excl%");
+  usize shown = 0;
+  for (const auto& s : stats) {
+    if (shown++ >= limit) {
+      out += str_format("... (%zu more methods)\n", stats.size() - limit);
+      break;
+    }
+    double pct = total_excl
+                     ? 100.0 * static_cast<double>(s.exclusive_total) /
+                           static_cast<double>(total_excl)
+                     : 0.0;
+    out += str_format("%-52s %10llu %12.3f %12.3f %6.1f%%\n",
+                      ellipsize(profile.name(s.method), 52).c_str(),
+                      static_cast<unsigned long long>(s.count),
+                      profile.ticks_to_ns(s.exclusive_total) / 1e6,
+                      profile.ticks_to_ns(s.inclusive_total) / 1e6, pct);
+  }
+  return out;
+}
+
+std::string call_graph_report(const Profile& profile, usize limit) {
+  auto edges = profile.call_edges();
+  std::string out = str_format("%-40s %-40s %10s %12s\n", "caller", "callee",
+                               "count", "incl(ms)");
+  usize shown = 0;
+  for (const auto& e : edges) {
+    if (shown++ >= limit) {
+      out += str_format("... (%zu more edges)\n", edges.size() - limit);
+      break;
+    }
+    std::string caller = e.from_root ? "<root>" : profile.name(e.caller);
+    out += str_format("%-40s %-40s %10llu %12.3f\n", ellipsize(caller, 40).c_str(),
+                      ellipsize(profile.name(e.callee), 40).c_str(),
+                      static_cast<unsigned long long>(e.count),
+                      profile.ticks_to_ns(e.inclusive_total) / 1e6);
+  }
+  return out;
+}
+
+std::string recon_summary(const Profile& profile) {
+  const auto& r = profile.recon_stats();
+  return str_format(
+      "entries=%llu threads=%llu invocations=%zu stray_returns=%llu "
+      "mismatched=%llu unwound=%llu incomplete=%llu",
+      static_cast<unsigned long long>(r.entries),
+      static_cast<unsigned long long>(profile.thread_count()),
+      profile.invocations().size(),
+      static_cast<unsigned long long>(r.stray_returns),
+      static_cast<unsigned long long>(r.mismatched_returns),
+      static_cast<unsigned long long>(r.unwound_frames),
+      static_cast<unsigned long long>(r.incomplete));
+}
+
+}  // namespace teeperf::analyzer
+
+namespace teeperf::analyzer {
+
+std::string thread_report(const Profile& profile) {
+  struct ThreadAgg {
+    u64 invocations = 0;
+    u64 root_inclusive = 0;
+    std::unordered_map<u64, u64> excl_by_method;
+  };
+  std::map<u64, ThreadAgg> threads;
+  for (const Invocation& inv : profile.invocations()) {
+    ThreadAgg& t = threads[inv.tid];
+    ++t.invocations;
+    if (inv.parent < 0) t.root_inclusive += inv.inclusive();
+    t.excl_by_method[inv.method] += inv.exclusive();
+  }
+
+  std::string out = str_format("%-6s %12s %12s  %-48s\n", "tid", "invocations",
+                               "root(ms)", "busiest method (exclusive)");
+  for (const auto& [tid, t] : threads) {
+    u64 best_method = 0, best_excl = 0;
+    for (const auto& [m, e] : t.excl_by_method) {
+      if (e >= best_excl) {
+        best_excl = e;
+        best_method = m;
+      }
+    }
+    out += str_format("%-6llu %12llu %12.3f  %-48s\n",
+                      static_cast<unsigned long long>(tid),
+                      static_cast<unsigned long long>(t.invocations),
+                      profile.ticks_to_ns(t.root_inclusive) / 1e6,
+                      ellipsize(profile.name(best_method), 48).c_str());
+  }
+  return out;
+}
+
+std::string csv_export(const Profile& profile) {
+  std::string out =
+      "method,tid,depth,start,end,inclusive,exclusive,calls_made,complete\n";
+  for (const Invocation& inv : profile.invocations()) {
+    std::string name = profile.name(inv.method);
+    // Quote the method name; double any embedded quotes per RFC 4180.
+    std::string quoted = "\"";
+    for (char c : name) {
+      quoted += c;
+      if (c == '"') quoted += '"';
+    }
+    quoted += '"';
+    out += str_format(
+        "%s,%llu,%u,%llu,%llu,%llu,%llu,%llu,%d\n", quoted.c_str(),
+        static_cast<unsigned long long>(inv.tid), inv.depth,
+        static_cast<unsigned long long>(inv.start),
+        static_cast<unsigned long long>(inv.end),
+        static_cast<unsigned long long>(inv.inclusive()),
+        static_cast<unsigned long long>(inv.exclusive()),
+        static_cast<unsigned long long>(inv.calls_made), inv.complete ? 1 : 0);
+  }
+  return out;
+}
+
+std::string diff_report(const Profile& before, const Profile& after, usize limit) {
+  // Keyed by symbolized name: the two profiles come from different runs, so
+  // registered ids are only comparable through their names.
+  struct Entry {
+    double before_ms = 0, after_ms = 0;
+    u64 before_calls = 0, after_calls = 0;
+  };
+  std::unordered_map<std::string, Entry> by_name;
+  for (const auto& s : before.method_stats()) {
+    Entry& e = by_name[before.name(s.method)];
+    e.before_ms = before.ticks_to_ns(s.exclusive_total) / 1e6;
+    e.before_calls = s.count;
+  }
+  for (const auto& s : after.method_stats()) {
+    Entry& e = by_name[after.name(s.method)];
+    e.after_ms = after.ticks_to_ns(s.exclusive_total) / 1e6;
+    e.after_calls = s.count;
+  }
+
+  std::vector<std::pair<std::string, Entry>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    double da = a.second.after_ms - a.second.before_ms;
+    double db = b.second.after_ms - b.second.before_ms;
+    return std::abs(da) > std::abs(db);
+  });
+
+  std::string out = str_format("%-44s %12s %12s %12s %9s %9s\n", "method",
+                               "before(ms)", "after(ms)", "delta(ms)", "calls_b",
+                               "calls_a");
+  usize shown = 0;
+  for (const auto& [name, e] : rows) {
+    if (shown++ >= limit) {
+      out += str_format("... (%zu more methods)\n", rows.size() - limit);
+      break;
+    }
+    out += str_format("%-44s %12.3f %12.3f %+12.3f %9llu %9llu\n",
+                      ellipsize(name, 44).c_str(), e.before_ms, e.after_ms,
+                      e.after_ms - e.before_ms,
+                      static_cast<unsigned long long>(e.before_calls),
+                      static_cast<unsigned long long>(e.after_calls));
+  }
+  return out;
+}
+
+}  // namespace teeperf::analyzer
+
+namespace teeperf::analyzer {
+namespace {
+
+struct TreeNode {
+  u64 inclusive = 0;
+  std::map<std::string, TreeNode> children;
+};
+
+void render_tree(const Profile& profile, const TreeNode& node,
+                 const std::string& name, int depth, u64 total,
+                 double min_fraction, std::string* out) {
+  double frac = total ? static_cast<double>(node.inclusive) /
+                            static_cast<double>(total)
+                      : 0.0;
+  *out += str_format("%6.1f%% %10.3f ms  %*s%s\n", frac * 100,
+                     profile.ticks_to_ns(node.inclusive) / 1e6, depth * 2, "",
+                     name.c_str());
+  // Children largest-first; tiny ones folded together.
+  std::vector<std::pair<std::string, const TreeNode*>> kids;
+  for (const auto& [n, c] : node.children) kids.emplace_back(n, &c);
+  std::sort(kids.begin(), kids.end(), [](const auto& a, const auto& b) {
+    return a.second->inclusive > b.second->inclusive;
+  });
+  u64 folded = 0;
+  usize folded_count = 0;
+  for (const auto& [n, c] : kids) {
+    double child_frac = total ? static_cast<double>(c->inclusive) /
+                                    static_cast<double>(total)
+                              : 0.0;
+    if (child_frac < min_fraction) {
+      folded += c->inclusive;
+      ++folded_count;
+      continue;
+    }
+    render_tree(profile, *c, n, depth + 1, total, min_fraction, out);
+  }
+  if (folded_count > 0) {
+    *out += str_format("%6.1f%% %10.3f ms  %*s(other: %zu callees)\n",
+                       total ? 100.0 * static_cast<double>(folded) /
+                                   static_cast<double>(total)
+                             : 0.0,
+                       profile.ticks_to_ns(folded) / 1e6, (depth + 1) * 2, "",
+                       folded_count);
+  }
+}
+
+}  // namespace
+
+std::string call_tree_report(const Profile& profile, double min_fraction) {
+  // Merge invocations into a name-keyed tree (like the flame graph's frame
+  // tree, but rendered as indented text).
+  TreeNode root;
+  const auto& all = profile.invocations();
+  // Cache each invocation's node to attach children in one pass.
+  std::vector<TreeNode*> node_of(all.size(), nullptr);
+  for (usize i = 0; i < all.size(); ++i) {
+    const Invocation& inv = all[i];
+    TreeNode& parent = inv.parent < 0
+                           ? root
+                           : *node_of[static_cast<usize>(inv.parent)];
+    TreeNode& node = parent.children[profile.name(inv.method)];
+    node.inclusive += inv.inclusive();
+    node_of[i] = &node;
+  }
+  for (const auto& [n, c] : root.children) {
+    (void)n;
+    root.inclusive += c.inclusive;
+  }
+
+  std::string out;
+  render_tree(profile, root, "<all threads>", 0, root.inclusive, min_fraction,
+              &out);
+  return out;
+}
+
+std::string timeline_csv(const Profile& profile) {
+  std::vector<usize> order(profile.invocations().size());
+  for (usize i = 0; i < order.size(); ++i) order[i] = i;
+  const auto& all = profile.invocations();
+  std::sort(order.begin(), order.end(), [&](usize a, usize b) {
+    if (all[a].tid != all[b].tid) return all[a].tid < all[b].tid;
+    if (all[a].start != all[b].start) return all[a].start < all[b].start;
+    return all[a].depth < all[b].depth;
+  });
+  std::string out = "tid,method,start,end,depth\n";
+  for (usize i : order) {
+    const Invocation& inv = all[i];
+    out += str_format("%llu,\"%s\",%llu,%llu,%u\n",
+                      static_cast<unsigned long long>(inv.tid),
+                      profile.name(inv.method).c_str(),
+                      static_cast<unsigned long long>(inv.start),
+                      static_cast<unsigned long long>(inv.end), inv.depth);
+  }
+  return out;
+}
+
+}  // namespace teeperf::analyzer
+
+namespace teeperf::analyzer {
+
+std::string chrome_trace_json(const Profile& profile) {
+  std::string out = "[\n";
+  bool first = true;
+  for (const Invocation& inv : profile.invocations()) {
+    if (!first) out += ",\n";
+    first = false;
+    std::string name = profile.name(inv.method);
+    std::string escaped;
+    for (char c : name) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    out += str_format(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,"
+        "\"ts\":%.3f,\"dur\":%.3f}",
+        escaped.c_str(), static_cast<unsigned long long>(inv.tid),
+        profile.ticks_to_ns(inv.start) / 1e3,
+        profile.ticks_to_ns(inv.inclusive()) / 1e3);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::string gprof_flat_report(const Profile& profile, usize limit) {
+  auto stats = profile.method_stats();
+  double total_s = 0;
+  for (const auto& s : stats) total_s += profile.ticks_to_ns(s.exclusive_total) / 1e9;
+
+  std::string out =
+      "Flat profile (gprof format):\n"
+      "  %   cumulative   self              self     total\n"
+      " time   seconds   seconds    calls  ms/call  ms/call  name\n";
+  double cumulative = 0;
+  usize shown = 0;
+  for (const auto& s : stats) {
+    if (shown++ >= limit) break;
+    double self_s = profile.ticks_to_ns(s.exclusive_total) / 1e9;
+    double total_ms = profile.ticks_to_ns(s.inclusive_total) / 1e6;
+    cumulative += self_s;
+    double pct = total_s > 0 ? 100.0 * self_s / total_s : 0;
+    out += str_format(
+        "%6.2f %9.2f %9.2f %8llu %8.4f %8.4f  %s\n", pct, cumulative, self_s,
+        static_cast<unsigned long long>(s.count),
+        s.count ? self_s * 1e3 / static_cast<double>(s.count) : 0.0,
+        s.count ? total_ms / static_cast<double>(s.count) : 0.0,
+        profile.name(s.method).c_str());
+  }
+  return out;
+}
+
+}  // namespace teeperf::analyzer
+
+namespace teeperf::analyzer {
+
+std::string bottom_up_report(const Profile& profile, usize leaf_limit,
+                             usize callers_per_leaf) {
+  const auto& all = profile.invocations();
+
+  // exclusive ticks per (method, direct caller) pair.
+  struct CallerAgg {
+    u64 excl = 0;
+    u64 count = 0;
+  };
+  std::unordered_map<u64, std::unordered_map<std::string, CallerAgg>> by_method;
+  std::unordered_map<u64, u64> excl_total;
+  for (const Invocation& inv : all) {
+    std::string caller =
+        inv.parent < 0
+            ? "<root>"
+            : profile.name(all[static_cast<usize>(inv.parent)].method);
+    CallerAgg& agg = by_method[inv.method][caller];
+    agg.excl += inv.exclusive();
+    ++agg.count;
+    excl_total[inv.method] += inv.exclusive();
+  }
+
+  std::vector<std::pair<u64, u64>> leaves(excl_total.begin(), excl_total.end());
+  std::sort(leaves.begin(), leaves.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  std::string out = "Bottom-up (exclusive time, by direct caller):\n";
+  usize shown = 0;
+  for (const auto& [method, total] : leaves) {
+    if (shown++ >= leaf_limit) break;
+    out += str_format("%-56s %12.3f ms\n",
+                      ellipsize(profile.name(method), 56).c_str(),
+                      profile.ticks_to_ns(total) / 1e6);
+    std::vector<std::pair<std::string, CallerAgg>> callers(
+        by_method[method].begin(), by_method[method].end());
+    std::sort(callers.begin(), callers.end(), [](const auto& a, const auto& b) {
+      return a.second.excl > b.second.excl;
+    });
+    usize cshown = 0;
+    for (const auto& [caller, agg] : callers) {
+      if (cshown++ >= callers_per_leaf) {
+        out += str_format("    ... (%zu more callers)\n",
+                          callers.size() - callers_per_leaf);
+        break;
+      }
+      double pct = total ? 100.0 * static_cast<double>(agg.excl) /
+                               static_cast<double>(total)
+                         : 0;
+      out += str_format("    %5.1f%% %10llu calls  from %s\n", pct,
+                        static_cast<unsigned long long>(agg.count),
+                        ellipsize(caller, 48).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace teeperf::analyzer

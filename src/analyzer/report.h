@@ -1,0 +1,60 @@
+// Text report writers: the sorted per-method summary the paper's analyzer
+// prints, plus a call-graph edge listing.
+#pragma once
+
+#include <string>
+
+#include "analyzer/profile.h"
+
+namespace teeperf::analyzer {
+
+// Sorted method table: exclusive/inclusive time (ticks and, when the tick
+// rate is known, milliseconds), call counts, min/mean/max.
+std::string method_report(const Profile& profile, usize limit = 30);
+
+// Caller→callee edges sorted by call count.
+std::string call_graph_report(const Profile& profile, usize limit = 30);
+
+// One-line health summary of the reconstruction (entry count, threads,
+// defects) — worth printing before trusting any numbers.
+std::string recon_summary(const Profile& profile);
+
+// Per-thread rollup: invocations, inclusive root time, busiest method.
+std::string thread_report(const Profile& profile);
+
+// Machine-readable export of every invocation:
+// method,tid,depth,start,end,inclusive,exclusive,calls_made,complete
+std::string csv_export(const Profile& profile);
+
+// Compares two profiles of the same workload (e.g. before/after an
+// optimization, the §IV-C workflow): per-method exclusive time side by
+// side with the delta, sorted by absolute delta.
+std::string diff_report(const Profile& before, const Profile& after,
+                        usize limit = 30);
+
+// Top-down call tree: the merged dynamic call tree with inclusive time and
+// percentage per node, indented — the textual twin of the flame graph.
+// Nodes below `min_fraction` of the total are folded into "(other)".
+std::string call_tree_report(const Profile& profile, double min_fraction = 0.005);
+
+// Per-thread timeline of invocation intervals as CSV
+// (tid,method,start,end,depth) sorted by start — importable into external
+// trace viewers.
+std::string timeline_csv(const Profile& profile);
+
+// Chrome trace-event JSON ("X" complete events, ts/dur in µs): load in
+// chrome://tracing or Perfetto. Uses the profile's tick→ns conversion.
+std::string chrome_trace_json(const Profile& profile);
+
+// gprof-style flat profile (the related-work §V comparison): %time,
+// cumulative/self seconds, calls, per-call costs, name.
+std::string gprof_flat_report(const Profile& profile, usize limit = 30);
+
+// Bottom-up view: for each of the top `leaf_limit` methods by exclusive
+// time, the callers that reach it with their share — perf report's
+// inverted call graph, for answering "who is responsible for the time in
+// X" when X is called from many places.
+std::string bottom_up_report(const Profile& profile, usize leaf_limit = 10,
+                             usize callers_per_leaf = 5);
+
+}  // namespace teeperf::analyzer

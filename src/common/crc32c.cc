@@ -1,0 +1,30 @@
+#include "common/crc32c.h"
+
+namespace teeperf {
+namespace {
+
+// Table-driven byte-at-a-time CRC-32C; the table is built once at startup.
+struct Crc32cTable {
+  u32 t[256];
+  Crc32cTable() {
+    constexpr u32 kPoly = 0x82f63b78u;  // reversed Castagnoli polynomial
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+  }
+};
+
+const Crc32cTable kTable;
+
+}  // namespace
+
+u32 crc32c_extend(u32 crc, const void* data, usize n) {
+  const u8* p = static_cast<const u8*>(data);
+  u32 c = crc ^ 0xffffffffu;
+  for (usize i = 0; i < n; ++i) c = kTable.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace teeperf

@@ -1,0 +1,70 @@
+#include "common/fileutil.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "common/types.h"
+
+namespace teeperf {
+
+namespace fs = std::filesystem;
+
+bool write_file(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  usize n = contents.empty() ? 0 : std::fwrite(contents.data(), 1, contents.size(), f);
+  bool ok = (n == contents.size()) && std::fclose(f) == 0;
+  return ok;
+}
+
+bool append_file(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) return false;
+  usize n = contents.empty() ? 0 : std::fwrite(contents.data(), 1, contents.size(), f);
+  bool ok = (n == contents.size()) && std::fclose(f) == 0;
+  return ok;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  std::string out;
+  char buf[1 << 16];
+  usize n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+bool remove_file(const std::string& path) {
+  std::error_code ec;
+  return fs::remove(path, ec);
+}
+
+bool make_dirs(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  return !ec || fs::exists(path);
+}
+
+void remove_tree(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+}
+
+std::string make_temp_dir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base ? base : "/tmp") + "/" + prefix + "XXXXXX";
+  std::string buf = tmpl;
+  char* got = mkdtemp(buf.data());
+  return got ? buf : tmpl;
+}
+
+}  // namespace teeperf

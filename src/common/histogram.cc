@@ -1,0 +1,74 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/stringutil.h"
+
+namespace teeperf {
+
+usize LatencyHistogram::bucket_for(u64 v) {
+  if (v == 0) return 0;
+  return static_cast<usize>(64 - std::countl_zero(v));
+}
+
+u64 LatencyHistogram::bucket_low(usize b) { return b == 0 ? 0 : (1ull << (b - 1)); }
+
+u64 LatencyHistogram::bucket_high(usize b) {
+  return b == 0 ? 0 : ((1ull << b) - 1);
+}
+
+void LatencyHistogram::add(u64 value) {
+  usize b = bucket_for(value);
+  if (b >= kBuckets) b = kBuckets - 1;
+  ++buckets_[b];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (usize i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() { *this = LatencyHistogram(); }
+
+double LatencyHistogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double target = p / 100.0 * static_cast<double>(count_);
+  u64 seen = 0;
+  for (usize b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (static_cast<double>(seen + buckets_[b]) >= target) {
+      double within = (target - static_cast<double>(seen)) /
+                      static_cast<double>(buckets_[b]);
+      double lo = static_cast<double>(bucket_low(b));
+      double hi = static_cast<double>(bucket_high(b));
+      double v = lo + within * (hi - lo);
+      return std::clamp(v, static_cast<double>(min()), static_cast<double>(max_));
+    }
+    seen += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string LatencyHistogram::summary(const char* unit) const {
+  return str_format(
+      "count=%llu min=%llu%s mean=%.1f%s p50=%.0f%s p99=%.0f%s max=%llu%s",
+      static_cast<unsigned long long>(count_),
+      static_cast<unsigned long long>(min()), unit, mean(), unit,
+      percentile(50), unit, percentile(99), unit,
+      static_cast<unsigned long long>(max_), unit);
+}
+
+}  // namespace teeperf

@@ -1,0 +1,42 @@
+// Power-of-two bucketed latency histogram, used by the db_bench driver and
+// the SPDK perf tool to report percentiles without storing every sample.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.h"
+
+namespace teeperf {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+
+  void add(u64 value);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  u64 count() const { return count_; }
+  u64 min() const { return count_ ? min_ : 0; }
+  u64 max() const { return max_; }
+  double mean() const;
+  // Linear interpolation within the matched bucket; p in [0, 100].
+  double percentile(double p) const;
+
+  std::string summary(const char* unit = "ns") const;
+
+ private:
+  static constexpr usize kBuckets = 64;
+  static usize bucket_for(u64 v);
+  static u64 bucket_low(usize b);
+  static u64 bucket_high(usize b);
+
+  std::array<u64, kBuckets> buckets_{};
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = ~0ull;
+  u64 max_ = 0;
+};
+
+}  // namespace teeperf

@@ -1,0 +1,29 @@
+// Small string helpers shared by reports, benches and workload drivers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace teeperf {
+
+// "1.5 KiB", "874.0 MiB" — binary units, one decimal.
+std::string human_bytes(double bytes);
+
+// "12,345,678" — thousands separators for table output.
+std::string with_commas(u64 v);
+
+// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Truncates to `max` characters, appending ".." if shortened.
+std::string ellipsize(std::string_view s, usize max);
+
+}  // namespace teeperf

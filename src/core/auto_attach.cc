@@ -1,0 +1,102 @@
+#include "core/auto_attach.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/fileutil.h"
+#include "common/stringutil.h"
+#include "core/counter.h"
+#include "core/filter.h"
+#include "core/runtime.h"
+#include "core/shm.h"
+#include "core/symbol_dump.h"
+
+namespace teeperf {
+namespace {
+
+// Static-storage session state for the env-attached case. Heap-free and
+// constructed before main() via the constructor attribute below.
+SharedMemoryRegion& env_region() {
+  static SharedMemoryRegion region;
+  return region;
+}
+ProfileLog& env_log() {
+  static ProfileLog log;
+  return log;
+}
+bool g_env_attached = false;
+
+CounterMode parse_mode(const char* s) {
+  if (s && std::strcmp(s, "software") == 0) return CounterMode::kSoftware;
+  if (s && std::strcmp(s, "steady_clock") == 0) return CounterMode::kSteadyClock;
+  return CounterMode::kTsc;
+}
+
+// Parses TEEPERF_FILTER ("allow:a,b" / "deny:a,b") into the static filter.
+// Returns null when unset or malformed (= record everything).
+const Filter* parse_env_filter(const char* spec) {
+  if (!spec || !*spec) return nullptr;
+  static Filter filter;  // immortal: must outlive the session
+  std::string_view sv(spec);
+  Filter::Mode mode;
+  if (starts_with(sv, "allow:")) {
+    mode = Filter::Mode::kAllowlist;
+  } else if (starts_with(sv, "deny:")) {
+    mode = Filter::Mode::kDenylist;
+  } else {
+    return nullptr;
+  }
+  filter.set_mode(mode);
+  for (std::string_view name : split(sv.substr(sv.find(':') + 1), ',')) {
+    if (!name.empty()) filter.add_name(name);
+  }
+  return &filter;
+}
+
+}  // namespace
+
+bool try_attach_from_env() {
+  if (g_env_attached) return true;
+  const char* shm_name = std::getenv("TEEPERF_SHM");
+  if (!shm_name || !*shm_name) return false;
+  if (!env_region().open(shm_name)) return false;
+  if (!env_log().adopt(env_region().data(), env_region().size())) {
+    env_region().close();
+    return false;
+  }
+  CounterMode mode = parse_mode(std::getenv("TEEPERF_COUNTER"));
+  const Filter* filter = parse_env_filter(std::getenv("TEEPERF_FILTER"));
+  if (!runtime::attach(&env_log(), mode, filter)) {
+    env_region().close();
+    return false;
+  }
+  g_env_attached = true;
+  std::atexit(detach_env_session);
+  return true;
+}
+
+bool attached_from_env() { return g_env_attached; }
+
+void detach_env_session() {
+  if (!g_env_attached) return;
+  runtime::detach();
+  g_env_attached = false;
+  // Symbolization must happen here, in the profiled address space: the
+  // wrapper process cannot dladdr our function pointers. TEEPERF_SYM names
+  // the sidecar file the wrapper will pair with its ".log".
+  if (const char* sym_path = std::getenv("TEEPERF_SYM"); sym_path && *sym_path) {
+    write_file(sym_path, build_symbol_file(env_log()));
+  }
+  // The region itself stays mapped until process exit: late hooks (global
+  // destructors) must not fault, they just see a detached runtime.
+}
+
+// Runs before main() in any binary linking teeperf_core, making the
+// paper's "recorder wrapper launches the app" flow work with zero
+// application code: the wrapper sets the env vars, the app self-attaches.
+__attribute__((constructor)) static void teeperf_env_autoattach() {
+  try_attach_from_env();
+}
+
+}  // namespace teeperf

@@ -1,0 +1,33 @@
+// Cross-process attachment: the application side of the recorder wrapper.
+//
+// The paper's workflow runs the *recorder* as its own host process: it
+// creates the shared-memory log, launches the (instrumented) application,
+// runs the software counter, and persists the log afterwards. The
+// application's linked-in profiler library "maps the shared memory region
+// into the measured application's address space" (§II-B) at startup.
+//
+// Protocol: the wrapper exports
+//   TEEPERF_SHM=<posix shm name>       the log region to map
+//   TEEPERF_COUNTER=<software|tsc|steady_clock>   time source to read
+//   TEEPERF_SYM=<path>                 where to write symbols at exit
+//   TEEPERF_FILTER=allow:<n1,n2,...> | deny:<n1,n2,...>   selective
+//                                      profiling by registered scope name
+// and the library constructor in auto_attach.cc maps + adopts the log and
+// installs the runtime session before main() runs.
+#pragma once
+
+#include <string>
+
+namespace teeperf {
+
+// Attempts env-driven attachment. Returns true if a session was installed.
+// Idempotent; safe to call when the variables are absent (no-op).
+bool try_attach_from_env();
+
+// True if the current session came from try_attach_from_env().
+bool attached_from_env();
+
+// Detaches an env-driven session (called automatically at exit).
+void detach_env_session();
+
+}  // namespace teeperf

@@ -1,0 +1,94 @@
+#include "core/counter.h"
+
+#include <sched.h>
+
+#include "common/spin.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace teeperf {
+
+const char* counter_mode_name(CounterMode mode) {
+  switch (mode) {
+    case CounterMode::kSoftware: return "software";
+    case CounterMode::kTsc: return "tsc";
+    case CounterMode::kSteadyClock: return "steady_clock";
+  }
+  return "?";
+}
+
+u64 read_counter(CounterMode mode, const LogHeader* header) {
+  switch (mode) {
+    case CounterMode::kSoftware:
+      return header->counter.load(std::memory_order_relaxed);
+    case CounterMode::kTsc:
+#if defined(__x86_64__) || defined(__i386__)
+      return __rdtsc();
+#else
+      return monotonic_ns();
+#endif
+    case CounterMode::kSteadyClock:
+      return monotonic_ns();
+  }
+  return 0;
+}
+
+double counter_ns_per_tick(CounterMode mode, const LogHeader* header) {
+  if (mode == CounterMode::kSteadyClock) return 1.0;
+  // Measure tick rate against the monotonic clock over a short window.
+  u64 c0 = read_counter(mode, header);
+  u64 t0 = monotonic_ns();
+  spin_for_ns(2'000'000);  // 2 ms window
+  u64 c1 = read_counter(mode, header);
+  u64 t1 = monotonic_ns();
+  if (c1 <= c0 || t1 <= t0) return 1.0;
+  return static_cast<double>(t1 - t0) / static_cast<double>(c1 - c0);
+}
+
+SoftwareCounter::SoftwareCounter(LogHeader* header, u64 yield_every)
+    : header_(header), yield_every_(yield_every) {}
+
+SoftwareCounter::~SoftwareCounter() { stop(); }
+
+void SoftwareCounter::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+  running_.store(true, std::memory_order_release);
+}
+
+void SoftwareCounter::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void SoftwareCounter::run() {
+  u64 t0 = monotonic_ns();
+  u64 start_value = header_->counter.load(std::memory_order_relaxed);
+  u64 local = start_value;
+  u64 since_yield = 0;
+  // The paper's tight loop: one relaxed store per increment. The stop flag
+  // is polled on a coarse stride so the loop body stays one store wide.
+  while (true) {
+    for (int i = 0; i < 1024; ++i) {
+      header_->counter.store(++local, std::memory_order_relaxed);
+    }
+    since_yield += 1024;
+    if (stop_.load(std::memory_order_relaxed)) break;
+    if (yield_every_ && since_yield >= yield_every_) {
+      since_yield = 0;
+      sched_yield();
+    }
+  }
+  u64 t1 = monotonic_ns();
+  if (t1 > t0) {
+    ticks_per_second_ = static_cast<double>(local - start_value) * 1e9 /
+                        static_cast<double>(t1 - t0);
+  }
+}
+
+}  // namespace teeperf

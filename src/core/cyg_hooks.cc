@@ -1,0 +1,25 @@
+// The compiler-pass route (§II-B, stage #1; §III "Compiler pass").
+//
+// Link this object into a binary compiled with -finstrument-functions and
+// every function entry/exit lands here with the function's real address —
+// the paper's `gcc -finstrument-functions --include=profiler.h ... -lprofiler`
+// pipeline. The hooks themselves carry no_instrument_function so the
+// profiler never measures itself (§III: that "would result in an infinity
+// loop"); runtime::on_enter/on_exit additionally hold a per-thread
+// reentrancy guard for anything they call.
+#include "core/runtime.h"
+
+extern "C" {
+
+TEEPERF_NO_INSTRUMENT void __cyg_profile_func_enter(void* fn, void* /*call_site*/);
+TEEPERF_NO_INSTRUMENT void __cyg_profile_func_exit(void* fn, void* /*call_site*/);
+
+void __cyg_profile_func_enter(void* fn, void*) {
+  teeperf::runtime::on_enter(reinterpret_cast<teeperf::u64>(fn));
+}
+
+void __cyg_profile_func_exit(void* fn, void*) {
+  teeperf::runtime::on_exit(reinterpret_cast<teeperf::u64>(fn));
+}
+
+}  // extern "C"

@@ -1,0 +1,13 @@
+#include "core/filter.h"
+
+#include "core/symbol_registry.h"
+
+namespace teeperf {
+
+u64 Filter::add_name(std::string_view name) {
+  u64 id = SymbolRegistry::instance().intern(name);
+  ids_.insert(id);
+  return id;
+}
+
+}  // namespace teeperf

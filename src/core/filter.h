@@ -1,0 +1,52 @@
+// Selective code profiling (§II-C): a knob to restrict which functions are
+// recorded, reducing both log size and instrumentation overhead.
+//
+// A Filter is built before the session attaches and must not be mutated
+// afterwards — the hook hot path reads it without synchronisation.
+#pragma once
+
+#include <string_view>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace teeperf {
+
+class Filter {
+ public:
+  enum class Mode {
+    kAll,        // record everything (default)
+    kAllowlist,  // record only listed functions
+    kDenylist,   // record everything except listed functions
+  };
+
+  Filter() = default;
+  explicit Filter(Mode mode) : mode_(mode) {}
+
+  void set_mode(Mode mode) { mode_ = mode; }
+  Mode mode() const { return mode_; }
+
+  // Adds a raw id/address to the list.
+  void add(u64 addr) { ids_.insert(addr); }
+
+  // Interns `name` in the SymbolRegistry and adds its id. Returns the id so
+  // callers can reuse it for scopes.
+  u64 add_name(std::string_view name);
+
+  bool passes(u64 addr) const {
+    switch (mode_) {
+      case Mode::kAll: return true;
+      case Mode::kAllowlist: return ids_.contains(addr);
+      case Mode::kDenylist: return !ids_.contains(addr);
+    }
+    return true;
+  }
+
+  usize size() const { return ids_.size(); }
+
+ private:
+  Mode mode_ = Mode::kAll;
+  std::unordered_set<u64> ids_;
+};
+
+}  // namespace teeperf

@@ -1,0 +1,101 @@
+#include "core/log_format.h"
+
+namespace teeperf {
+
+bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags) {
+  if (!buffer || size < sizeof(LogHeader) + sizeof(LogEntry)) return false;
+  auto* h = new (buffer) LogHeader();
+  h->magic = kLogMagic;
+  h->version = kLogVersion;
+  h->shm_base = reinterpret_cast<u64>(buffer);
+  h->pid = pid;
+  h->max_entries = (size - sizeof(LogHeader)) / sizeof(LogEntry);
+  h->tail.store(0, std::memory_order_relaxed);
+  h->counter.store(0, std::memory_order_relaxed);
+  h->profiler_anchor = reinterpret_cast<u64>(&kLogMagic);
+  h->flags.store(initial_flags, std::memory_order_release);
+  header_ = h;
+  entries_ = reinterpret_cast<LogEntry*>(static_cast<u8*>(buffer) + sizeof(LogHeader));
+  dropped_.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+bool ProfileLog::adopt(void* buffer, usize size) {
+  if (!buffer || size < sizeof(LogHeader)) return false;
+  auto* h = reinterpret_cast<LogHeader*>(buffer);
+  if (h->magic != kLogMagic || h->version != kLogVersion) return false;
+  if (sizeof(LogHeader) + h->max_entries * sizeof(LogEntry) > size) return false;
+  header_ = h;
+  entries_ = reinterpret_cast<LogEntry*>(static_cast<u8*>(buffer) + sizeof(LogHeader));
+  return true;
+}
+
+bool ProfileLog::append(EventKind kind, u64 addr, u64 tid, u64 counter) {
+  // Reserve first, then write: each slot is written exactly once even under
+  // contention. Unfair access to the tail is harmless because only
+  // per-thread ordering matters to the analyzer (§II-B).
+  u64 slot = header_->tail.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= header_->max_entries) {
+    if (header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer) {
+      slot %= header_->max_entries;  // overwrite the oldest window
+    } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  LogEntry& e = entries_[slot];
+  e.kind_and_counter = LogEntry::pack(kind, counter);
+  e.addr = addr;
+  e.tid = tid;
+  e.reserved = 0;
+  return true;
+}
+
+void ProfileLog::snapshot_ordered(std::vector<LogEntry>* out) const {
+  out->clear();
+  if (!header_) return;
+  u64 tail = header_->tail.load(std::memory_order_acquire);
+  u64 cap = header_->max_entries;
+  bool ring = header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer;
+  if (!ring || tail <= cap) {
+    u64 n = tail < cap ? tail : cap;
+    out->assign(entries_, entries_ + n);
+    return;
+  }
+  // Wrapped: the oldest surviving entry sits at tail % cap.
+  u64 start = tail % cap;
+  out->reserve(cap);
+  out->insert(out->end(), entries_ + start, entries_ + cap);
+  out->insert(out->end(), entries_, entries_ + start);
+}
+
+u64 ProfileLog::size() const {
+  if (!header_) return 0;
+  u64 t = header_->tail.load(std::memory_order_acquire);
+  return t < header_->max_entries ? t : header_->max_entries;
+}
+
+void ProfileLog::set_active(bool on) {
+  if (on)
+    header_->flags.fetch_or(log_flags::kActive, std::memory_order_acq_rel);
+  else
+    header_->flags.fetch_and(~log_flags::kActive, std::memory_order_acq_rel);
+}
+
+bool ProfileLog::active() const {
+  return header_ &&
+         (header_->flags.load(std::memory_order_acquire) & log_flags::kActive);
+}
+
+void ProfileLog::set_flags(u64 set_mask, u64 clear_mask) {
+  u64 old = header_->flags.load(std::memory_order_relaxed);
+  while (!header_->flags.compare_exchange_weak(old, (old & ~clear_mask) | set_mask,
+                                               std::memory_order_acq_rel)) {
+  }
+}
+
+u64 ProfileLog::flags() const {
+  return header_ ? header_->flags.load(std::memory_order_acquire) : 0;
+}
+
+}  // namespace teeperf

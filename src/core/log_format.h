@@ -1,0 +1,137 @@
+// The TEE-Perf log format (paper §II-B, Figure 2).
+//
+// The log lives in shared memory mapped between the profiled application
+// (inside the TEE) and the recorder wrapper (outside). It is a fixed-size
+// header followed by an append-only array of fixed-size entries. Appending
+// is lock-free: a writer reserves a slot with a fetch-and-add on the tail
+// index and then fills it in. Entry order across threads is therefore not
+// globally consistent, but per-thread order is — which is all the analyzer
+// needs (§II-C, multithreading support).
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "common/types.h"
+
+namespace teeperf {
+
+// Header flags (Figure 2a). The flags word is atomically readable and
+// writable so measurement can be (de)activated while the application runs
+// without introducing a critical section (§II-B, stage #1).
+namespace log_flags {
+inline constexpr u64 kActive = 1ull << 0;         // measurement currently on
+inline constexpr u64 kRecordCalls = 1ull << 1;    // record function entries
+inline constexpr u64 kRecordReturns = 1ull << 2;  // record function exits
+inline constexpr u64 kMultithread = 1ull << 16;   // entries carry thread ids
+inline constexpr u64 kRingBuffer = 1ull << 17;    // wrap instead of dropping
+}  // namespace log_flags
+
+inline constexpr u32 kLogVersion = 1;
+inline constexpr u64 kLogMagic = 0x5445455045524631ull;  // "TEEPERF1"
+
+enum class EventKind : u64 { kCall = 0, kReturn = 1 };
+
+// Log entry (Figure 2b): the top bit of the first word distinguishes call
+// from return; the remaining 63 bits hold the counter value at the event.
+// 32 bytes so two entries share a cache line and the array stays aligned.
+struct LogEntry {
+  static constexpr u64 kKindBit = 1ull << 63;
+
+  u64 kind_and_counter = 0;
+  u64 addr = 0;  // call/return target: function address or registered id
+  u64 tid = 0;   // profiler-assigned thread id (dense, starts at 0)
+  u64 reserved = 0;
+
+  static u64 pack(EventKind kind, u64 counter) {
+    return (kind == EventKind::kReturn ? kKindBit : 0) | (counter & ~kKindBit);
+  }
+  EventKind kind() const {
+    return (kind_and_counter & kKindBit) ? EventKind::kReturn : EventKind::kCall;
+  }
+  u64 counter() const { return kind_and_counter & ~kKindBit; }
+};
+static_assert(sizeof(LogEntry) == 32);
+
+// Log header (Figure 2a). `flags`, `tail` and `counter` are the only fields
+// mutated after initialisation; `version` and the rest are written once and
+// never changed (§II-B: the version "is static after it is written once").
+struct LogHeader {
+  u64 magic = 0;
+  std::atomic<u64> flags{0};
+  u32 version = 0;
+  u32 reserved0 = 0;
+  u64 shm_base = 0;    // address the shared memory is mapped at in the app
+  u64 pid = 0;         // process id of the profiled application
+  u64 max_entries = 0; // immutable capacity; writers past this drop entries
+  std::atomic<u64> tail{0};       // index of the next entry to write
+  u64 profiler_anchor = 0;        // address of a well-known function, used to
+                                  // compute the load offset of relocatable code
+  std::atomic<u64> counter{0};    // the software counter lives here so the
+                                  // counter thread touches one cache line
+  u32 counter_mode = 0;           // CounterMode the entries were taken with
+  u32 reserved2 = 0;
+  double ns_per_tick = 0.0;       // measured at dump time; lets the analyzer
+                                  // report human time (relative profiles do
+                                  // not depend on its accuracy)
+  u8 reserved1[128 - 11 * 8];     // pad so entries start cache-aligned
+};
+static_assert(sizeof(LogHeader) == 128);
+
+// A view over a header + entry array placed in a caller-provided region.
+// Does not own the memory (the shared-memory region or file buffer does).
+class ProfileLog {
+ public:
+  ProfileLog() = default;
+
+  // Formats `buffer` (of `size` bytes) as an empty log. Returns false if the
+  // buffer cannot hold the header plus at least one entry.
+  bool init(void* buffer, usize size, u64 pid, u64 initial_flags);
+
+  // Adopts an already-formatted log (the analyzer side / reopened shm).
+  // Returns false if the magic or version does not match or sizes disagree.
+  bool adopt(void* buffer, usize size);
+
+  // Lock-free append (§II-B stage #2): reserves a slot via fetch-and-add,
+  // then writes the entry. Returns false (and counts a drop) when full —
+  // unless kRingBuffer is set, in which case the slot wraps and the oldest
+  // entry is overwritten (long-running sessions keep the newest window).
+  bool append(EventKind kind, u64 addr, u64 tid, u64 counter);
+
+  // Copies the entries in oldest→newest order into `out`, handling ring
+  // wrap-around. For non-ring logs this is simply entries [0, size).
+  void snapshot_ordered(std::vector<LogEntry>* out) const;
+
+  bool valid() const { return header_ != nullptr; }
+  LogHeader* header() { return header_; }
+  const LogHeader* header() const { return header_; }
+
+  // Number of complete entries: min(tail, max_entries). Entries past
+  // max_entries were dropped; entries at the very tail may be torn if the
+  // application was killed mid-write, which the analyzer tolerates.
+  u64 size() const;
+  u64 capacity() const { return header_ ? header_->max_entries : 0; }
+  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  const LogEntry& entry(u64 i) const { return entries_[i]; }
+  LogEntry* entries() { return entries_; }
+
+  // Bytes needed for a log with `max_entries` entries.
+  static usize bytes_for(u64 max_entries) {
+    return sizeof(LogHeader) + static_cast<usize>(max_entries) * sizeof(LogEntry);
+  }
+
+  // Flag helpers (atomic; usable while the application runs).
+  void set_active(bool on);
+  bool active() const;
+  void set_flags(u64 set_mask, u64 clear_mask);
+  u64 flags() const;
+
+ private:
+  LogHeader* header_ = nullptr;
+  LogEntry* entries_ = nullptr;
+  std::atomic<u64> dropped_{0};
+};
+
+}  // namespace teeperf

@@ -1,0 +1,96 @@
+#include "core/recorder.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/fileutil.h"
+#include "core/runtime.h"
+#include "core/symbol_dump.h"
+
+namespace teeperf {
+
+std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
+  auto rec = std::unique_ptr<Recorder>(new Recorder());
+  rec->options_ = options;
+  usize bytes = ProfileLog::bytes_for(options.max_entries);
+  bool ok = options.shm_name.empty() ? rec->shm_.create_anonymous(bytes)
+                                     : rec->shm_.create(options.shm_name, bytes);
+  if (!ok) return nullptr;
+
+  u64 flags = log_flags::kMultithread;
+  if (options.ring_buffer) flags |= log_flags::kRingBuffer;
+  if (options.start_active) flags |= log_flags::kActive;
+  if (options.record_calls) flags |= log_flags::kRecordCalls;
+  if (options.record_returns) flags |= log_flags::kRecordReturns;
+  if (!rec->log_.init(rec->shm_.data(), bytes, static_cast<u64>(getpid()), flags)) {
+    return nullptr;
+  }
+  rec->log_.header()->counter_mode = static_cast<u32>(options.counter_mode);
+  return rec;
+}
+
+Recorder::~Recorder() { detach(); }
+
+bool Recorder::attach() {
+  if (attached_) return true;
+  if (!runtime::attach(&log_, options_.counter_mode, options_.filter)) return false;
+  if (options_.counter_mode == CounterMode::kSoftware) {
+    counter_ = std::make_unique<SoftwareCounter>(log_.header(),
+                                                 options_.software_counter_yield);
+    counter_->start();
+  }
+  attached_ = true;
+  return true;
+}
+
+void Recorder::detach() {
+  if (!attached_) return;
+  runtime::detach();
+  if (counter_) {
+    counter_->stop();
+    counter_.reset();
+  }
+  attached_ = false;
+}
+
+Recorder::Stats Recorder::stats() const {
+  return Stats{log_.size(), log_.dropped(), log_.capacity()};
+}
+
+bool Recorder::dump(const std::string& prefix) {
+  // Measure the tick rate before serialising so the analyzer can convert.
+  log_.header()->ns_per_tick =
+      counter_ns_per_tick(options_.counter_mode, log_.header());
+
+  u64 tail = log_.header()->tail.load(std::memory_order_acquire);
+  if ((log_.flags() & log_flags::kRingBuffer) && tail > log_.capacity()) {
+    // Wrapped ring: persist a normalized file (header + ordered entries)
+    // so the analyzer's offline loader needs no wrap logic.
+    std::vector<LogEntry> ordered;
+    log_.snapshot_ordered(&ordered);
+    LogHeader header_copy;
+    std::memcpy(&header_copy, log_.header(), sizeof(LogHeader));
+    header_copy.tail.store(ordered.size(), std::memory_order_relaxed);
+    header_copy.flags.store(log_.flags() & ~log_flags::kRingBuffer,
+                            std::memory_order_relaxed);
+    std::string out(reinterpret_cast<const char*>(&header_copy), sizeof(LogHeader));
+    out.append(reinterpret_cast<const char*>(ordered.data()),
+               ordered.size() * sizeof(LogEntry));
+    if (!write_file(prefix + ".log", out)) return false;
+  } else {
+    u64 n = log_.size();
+    usize bytes = sizeof(LogHeader) + static_cast<usize>(n) * sizeof(LogEntry);
+    std::string_view raw(static_cast<const char*>(shm_.data()), bytes);
+    if (!write_file(prefix + ".log", raw)) return false;
+  }
+
+  // Symbol file: every registered symbol, then dladdr resolutions for raw
+  // addresses recorded via the -finstrument-functions route. dladdr plays
+  // the role of the paper's addr2line/DWARF lookup (see DESIGN.md).
+  return write_file(prefix + ".sym", build_symbol_file(log_));
+}
+
+}  // namespace teeperf

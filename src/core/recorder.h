@@ -1,0 +1,92 @@
+// The recorder wrapper (§II-B, stage #2): sets up the shared-memory log,
+// manages the counter, installs the runtime session, and persists the log
+// (plus a symbol file) for the offline analyzer.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "core/counter.h"
+#include "core/filter.h"
+#include "core/log_format.h"
+#include "core/shm.h"
+
+namespace teeperf {
+
+struct RecorderOptions {
+  // Log capacity. 1M entries = 32 MiB of untrusted host memory.
+  u64 max_entries = 1ull << 20;
+
+  // Time source. kTsc by default: on the single-core CI machine a software
+  // counter thread starves the workload (see counter.h); pass kSoftware to
+  // reproduce the paper's portable configuration.
+  CounterMode counter_mode = CounterMode::kTsc;
+
+  // When using kSoftware: sched_yield after this many increments (0 = the
+  // paper's pure tight loop, appropriate when a spare core exists).
+  u64 software_counter_yield = 4096;
+
+  // Start with measurement active; flags can be toggled at runtime.
+  bool start_active = true;
+
+  // Ring mode: when the log fills, overwrite the oldest entries instead of
+  // dropping new ones — long-running sessions keep the most recent window.
+  bool ring_buffer = false;
+  bool record_calls = true;
+  bool record_returns = true;
+
+  // Named POSIX shared memory ("/teeperf.<pid>"-style) when set; anonymous
+  // shared mapping otherwise. Named shm is the cross-process path.
+  std::string shm_name;
+
+  // Selective profiling filter; must outlive the recorder. May be null.
+  const Filter* filter = nullptr;
+};
+
+class Recorder {
+ public:
+  // Creates the shared memory and formats the log. Null on failure.
+  static std::unique_ptr<Recorder> create(const RecorderOptions& options);
+
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // Installs the runtime session (starts the software counter thread if
+  // configured). False if another session is already attached.
+  bool attach();
+  void detach();
+
+  // Dynamic de/activation (§II-B: flags are changed atomically while the
+  // application executes).
+  void start() { log_.set_active(true); }
+  void stop() { log_.set_active(false); }
+
+  ProfileLog& log() { return log_; }
+  const ProfileLog& log() const { return log_; }
+
+  struct Stats {
+    u64 entries = 0;
+    u64 dropped = 0;
+    u64 capacity = 0;
+  };
+  Stats stats() const;
+
+  // Writes "<prefix>.log" (raw header + entries, with ns_per_tick measured
+  // and stored into the header) and "<prefix>.sym" (registered symbols plus
+  // dladdr resolutions of raw addresses found in the log). Returns false on
+  // I/O failure.
+  bool dump(const std::string& prefix);
+
+ private:
+  Recorder() = default;
+
+  RecorderOptions options_;
+  SharedMemoryRegion shm_;
+  ProfileLog log_;
+  std::unique_ptr<SoftwareCounter> counter_;
+  bool attached_ = false;
+};
+
+}  // namespace teeperf

@@ -1,0 +1,122 @@
+#include "core/runtime.h"
+
+namespace teeperf::runtime {
+namespace {
+
+struct Session {
+  ProfileLog* log = nullptr;
+  CounterMode mode = CounterMode::kSteadyClock;
+  const Filter* filter = nullptr;
+};
+
+Session g_session;
+std::atomic<bool> g_attached{false};
+std::atomic<u64> g_next_tid{0};
+
+TEEPERF_NO_INSTRUMENT ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+TEEPERF_NO_INSTRUMENT u64 tid_of(ThreadState& t) {
+  if (t.tid == ~0ull) t.tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t.tid;
+}
+
+}  // namespace
+
+bool attach(ProfileLog* log, CounterMode mode, const Filter* filter) {
+  bool expected = false;
+  if (!g_attached.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    return false;
+  }
+  g_session.log = log;
+  g_session.mode = mode;
+  g_session.filter = filter;
+  std::atomic_thread_fence(std::memory_order_release);
+  return true;
+}
+
+void detach() {
+  g_session.log = nullptr;
+  g_session.filter = nullptr;
+  g_attached.store(false, std::memory_order_release);
+}
+
+bool attached() { return g_attached.load(std::memory_order_acquire); }
+
+ProfileLog* current_log() {
+  return g_attached.load(std::memory_order_acquire) ? g_session.log : nullptr;
+}
+
+CounterMode counter_mode() { return g_session.mode; }
+
+void on_enter(u64 addr) {
+  if (!g_attached.load(std::memory_order_acquire)) return;
+  ThreadState& t = thread_state();
+  if (t.in_hook) return;
+  t.in_hook = true;
+
+  // Shadow stack is maintained for every event (the sampler baseline needs
+  // it even when no trace log is attached).
+  int d = t.stack.depth.load(std::memory_order_relaxed);
+  if (d < ShadowStack::kMaxDepth) {
+    t.stack.frames[d] = addr;
+    t.stack.depth.store(d + 1, std::memory_order_release);
+  } else {
+    // Overflowing frames are not tracked individually; keep depth pinned so
+    // matching on_exit calls below still unwind correctly.
+    t.stack.depth.store(d + 1, std::memory_order_release);
+  }
+
+  ProfileLog* log = g_session.log;
+  if (log && log->active() &&
+      (log->flags() & log_flags::kRecordCalls) &&
+      (!g_session.filter || g_session.filter->passes(addr))) {
+    log->append(EventKind::kCall, addr, tid_of(t),
+                read_counter(g_session.mode, log->header()));
+  }
+  t.in_hook = false;
+}
+
+void on_exit(u64 addr) {
+  if (!g_attached.load(std::memory_order_acquire)) return;
+  ThreadState& t = thread_state();
+  if (t.in_hook) return;
+  t.in_hook = true;
+
+  int d = t.stack.depth.load(std::memory_order_relaxed);
+  if (d > 0) t.stack.depth.store(d - 1, std::memory_order_release);
+
+  ProfileLog* log = g_session.log;
+  if (log && log->active() &&
+      (log->flags() & log_flags::kRecordReturns) &&
+      (!g_session.filter || g_session.filter->passes(addr))) {
+    log->append(EventKind::kReturn, addr, tid_of(t),
+                read_counter(g_session.mode, log->header()));
+  }
+  t.in_hook = false;
+}
+
+u64 current_tid() { return tid_of(thread_state()); }
+
+u64 thread_count() { return g_next_tid.load(std::memory_order_relaxed); }
+
+int capture_own_stack(u64* out, int max) {
+  ThreadState& t = thread_state();
+  int d = t.stack.depth.load(std::memory_order_acquire);
+  if (d > ShadowStack::kMaxDepth) d = ShadowStack::kMaxDepth;
+  if (d > max) d = max;
+  for (int i = 0; i < d; ++i) out[i] = t.stack.frames[i];
+  return d;
+}
+
+void reset_thread_for_test() {
+  ThreadState& t = thread_state();
+  t.tid = ~0ull;
+  t.in_hook = false;
+  t.stack.depth.store(0, std::memory_order_release);
+}
+
+}  // namespace teeperf::runtime

@@ -1,0 +1,66 @@
+// The in-application half of the recorder (§II-B, stage #2): the code that
+// the compiler pass (or the RAII scope API) invokes on every function entry
+// and exit. It writes log entries into the shared-memory log and maintains a
+// per-thread shadow stack that the sampling-profiler baseline reads
+// asynchronously.
+//
+// Everything on the hot path is annotated no_instrument_function so that a
+// binary compiled with -finstrument-functions does not recurse into its own
+// profiler (§III: "the injected code has to prevent to be measured itself").
+#pragma once
+
+#include "common/types.h"
+#include "core/counter.h"
+#include "core/filter.h"
+#include "core/log_format.h"
+
+#define TEEPERF_NO_INSTRUMENT __attribute__((no_instrument_function))
+
+namespace teeperf::runtime {
+
+// Per-thread shadow stack of function ids. Readable from a signal handler:
+// depth is an atomic written after the frame slot, and readers tolerate the
+// benign race of a frame changing under them (it is a sampling profile).
+struct ShadowStack {
+  static constexpr int kMaxDepth = 512;
+  u64 frames[kMaxDepth];
+  std::atomic<int> depth{0};
+};
+
+struct ThreadState {
+  u64 tid = ~0ull;
+  bool in_hook = false;  // reentrancy guard
+  ShadowStack stack;
+};
+
+// Installs the session: `log` may be null for sampling-only sessions (the
+// shadow stacks are still maintained). `filter` may be null (record all).
+// Neither object may be destroyed before detach(). Only one session can be
+// attached at a time; attach returns false if one already is.
+bool attach(ProfileLog* log, CounterMode mode, const Filter* filter) TEEPERF_NO_INSTRUMENT;
+void detach() TEEPERF_NO_INSTRUMENT;
+bool attached() TEEPERF_NO_INSTRUMENT;
+
+ProfileLog* current_log() TEEPERF_NO_INSTRUMENT;
+CounterMode counter_mode() TEEPERF_NO_INSTRUMENT;
+
+// The instrumentation entry points. `addr` is a raw function address (cyg
+// hooks) or a registered symbol id (scope API).
+void on_enter(u64 addr) TEEPERF_NO_INSTRUMENT;
+void on_exit(u64 addr) TEEPERF_NO_INSTRUMENT;
+
+// This thread's profiler-assigned id (dense, assigned on first event).
+u64 current_tid() TEEPERF_NO_INSTRUMENT;
+
+// Number of threads that have produced at least one event this session.
+u64 thread_count() TEEPERF_NO_INSTRUMENT;
+
+// Copies the calling thread's shadow stack (bottom → top) into `out`,
+// returning the depth copied (≤ max). Async-signal-safe.
+int capture_own_stack(u64* out, int max) TEEPERF_NO_INSTRUMENT;
+
+// Resets the calling thread's shadow stack and cached tid. Test-only: lets
+// one process run many independent sessions.
+void reset_thread_for_test() TEEPERF_NO_INSTRUMENT;
+
+}  // namespace teeperf::runtime

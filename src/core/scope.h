@@ -1,0 +1,46 @@
+// RAII instrumentation (the second route into the recorder, see DESIGN.md).
+//
+// The paper's primary route recompiles the application with
+// -finstrument-functions; cyg_hooks.cc implements those hooks. For code you
+// own, TEEPERF_FUNCTION()/TEEPERF_SCOPE(name) emit the *identical* log
+// entries with a registry-backed name, which keeps frame names deterministic
+// across platforms — this is what the substrate workloads use so their flame
+// graphs match the paper's figures. It also doubles as the "selective code
+// profiling" mechanism: instrument only the scopes you care about.
+#pragma once
+
+#include <string_view>
+
+#include "core/runtime.h"
+#include "core/symbol_registry.h"
+
+namespace teeperf {
+
+class Scope {
+ public:
+  TEEPERF_NO_INSTRUMENT explicit Scope(u64 id) : id_(id) { runtime::on_enter(id_); }
+  TEEPERF_NO_INSTRUMENT ~Scope() { runtime::on_exit(id_); }
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  u64 id_;
+};
+
+#define TEEPERF_CAT_(a, b) a##b
+#define TEEPERF_CAT(a, b) TEEPERF_CAT_(a, b)
+
+// Interns once per call site (function-local static), then constructs the
+// RAII scope. Cost when no session is attached: one static-init check and
+// one relaxed atomic load per entry/exit pair.
+#define TEEPERF_SCOPE(name_literal)                                        \
+  static const ::teeperf::u64 TEEPERF_CAT(teeperf_scope_id_, __LINE__) =   \
+      ::teeperf::SymbolRegistry::instance().intern(name_literal);          \
+  ::teeperf::Scope TEEPERF_CAT(teeperf_scope_, __LINE__)(                  \
+      TEEPERF_CAT(teeperf_scope_id_, __LINE__))
+
+// Instrument the enclosing function under its own (pretty) name.
+#define TEEPERF_FUNCTION() TEEPERF_SCOPE(__PRETTY_FUNCTION__)
+
+}  // namespace teeperf

@@ -1,0 +1,51 @@
+// Shared-memory region between the profiled application (in the TEE) and
+// the recorder wrapper on the host (§II-B, stage #2). Because the region is
+// host memory mapped into the TEE, it does not consume the TEE's limited
+// secure memory. Two backings are provided:
+//   - named POSIX shm (shm_open + mmap): the real cross-process path;
+//   - anonymous mapping: in-process profiling and tests.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace teeperf {
+
+class SharedMemoryRegion {
+ public:
+  SharedMemoryRegion() = default;
+  ~SharedMemoryRegion() { close(); }
+
+  SharedMemoryRegion(const SharedMemoryRegion&) = delete;
+  SharedMemoryRegion& operator=(const SharedMemoryRegion&) = delete;
+  SharedMemoryRegion(SharedMemoryRegion&& other) noexcept { *this = std::move(other); }
+  SharedMemoryRegion& operator=(SharedMemoryRegion&& other) noexcept;
+
+  // Creates (exclusively) a named region of `size` bytes. The creator owns
+  // the name and unlinks it on close.
+  bool create(const std::string& name, usize size);
+
+  // Opens an existing named region (the recorder attaching to an
+  // application, or vice versa).
+  bool open(const std::string& name);
+
+  // Anonymous shared mapping (MAP_SHARED | MAP_ANONYMOUS): survives fork,
+  // used for in-process sessions and tests.
+  bool create_anonymous(usize size);
+
+  void close();
+
+  void* data() const { return data_; }
+  usize size() const { return size_; }
+  const std::string& name() const { return name_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  void* data_ = nullptr;
+  usize size_ = 0;
+  std::string name_;
+  bool owns_name_ = false;
+};
+
+}  // namespace teeperf

@@ -1,0 +1,35 @@
+#include "core/symbol_dump.h"
+
+#include <dlfcn.h>
+
+#include <unordered_set>
+
+#include "common/stringutil.h"
+#include "core/symbol_registry.h"
+
+namespace teeperf {
+
+std::string build_symbol_file(const ProfileLog& log) {
+  std::string sym = SymbolRegistry::instance().serialize();
+  std::unordered_set<u64> raw_addrs;
+  u64 n = log.size();
+  for (u64 i = 0; i < n; ++i) {
+    u64 a = log.entry(i).addr;
+    if (!SymbolRegistry::is_registered_id(a)) raw_addrs.insert(a);
+  }
+  for (u64 a : raw_addrs) {
+    Dl_info info{};
+    std::string name;
+    if (dladdr(reinterpret_cast<void*>(a), &info) && info.dli_sname) {
+      name = demangle(info.dli_sname);
+    } else {
+      name = str_format("0x%llx", static_cast<unsigned long long>(a));
+    }
+    sym += str_format("%llu\t", static_cast<unsigned long long>(a));
+    sym += name;
+    sym += '\n';
+  }
+  return sym;
+}
+
+}  // namespace teeperf

@@ -1,0 +1,16 @@
+// Builds the ".sym" sidecar contents for a recorded log: every registered
+// symbol plus dladdr resolutions for raw -finstrument-functions addresses
+// appearing in the log. Must run in the *profiled* process (dladdr needs
+// its address space) — either at Recorder::dump() for in-process sessions
+// or at exit for wrapper-launched sessions (TEEPERF_SYM, see auto_attach).
+#pragma once
+
+#include <string>
+
+#include "core/log_format.h"
+
+namespace teeperf {
+
+std::string build_symbol_file(const ProfileLog& log);
+
+}  // namespace teeperf

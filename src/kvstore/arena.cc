@@ -1,0 +1,26 @@
+#include "kvstore/arena.h"
+
+namespace teeperf::kvs {
+
+char* Arena::allocate_fallback(usize bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large allocations get their own block so the current block's tail
+    // isn't wasted.
+    auto block = std::make_unique<char[]>(bytes);
+    char* r = block.get();
+    blocks_.push_back(std::move(block));
+    total_ += bytes;
+    return r;
+  }
+  auto block = std::make_unique<char[]>(kBlockSize);
+  ptr_ = block.get();
+  remaining_ = kBlockSize;
+  blocks_.push_back(std::move(block));
+  total_ += kBlockSize;
+  char* r = ptr_;
+  ptr_ += bytes;
+  remaining_ -= bytes;
+  return r;
+}
+
+}  // namespace teeperf::kvs

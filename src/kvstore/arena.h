@@ -1,0 +1,58 @@
+// Bump allocator backing the memtable skiplist: nodes live until the whole
+// memtable dies, so per-node free is unnecessary and allocation is a pointer
+// bump. Matches LevelDB's Arena semantics (including the alignment rule).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace teeperf::kvs {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  char* allocate(usize bytes);
+  char* allocate_aligned(usize bytes, usize align = alignof(void*));
+
+  usize memory_usage() const { return total_; }
+
+ private:
+  static constexpr usize kBlockSize = 64 * 1024;
+
+  char* allocate_fallback(usize bytes);
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* ptr_ = nullptr;
+  usize remaining_ = 0;
+  usize total_ = 0;
+};
+
+inline char* Arena::allocate(usize bytes) {
+  if (bytes <= remaining_) {
+    char* r = ptr_;
+    ptr_ += bytes;
+    remaining_ -= bytes;
+    return r;
+  }
+  return allocate_fallback(bytes);
+}
+
+inline char* Arena::allocate_aligned(usize bytes, usize align) {
+  usize mis = reinterpret_cast<usize>(ptr_) & (align - 1);
+  usize pad = mis == 0 ? 0 : align - mis;
+  if (bytes + pad <= remaining_) {
+    char* r = ptr_ + pad;
+    ptr_ += bytes + pad;
+    remaining_ -= bytes + pad;
+    return r;
+  }
+  // Fallback blocks are max_align-aligned by construction.
+  return allocate_fallback(bytes);
+}
+
+}  // namespace teeperf::kvs

@@ -1,0 +1,55 @@
+#include "kvstore/bloom.h"
+
+#include <algorithm>
+
+namespace teeperf::kvs {
+
+u64 BloomFilterBuilder::hash_key(std::string_view key) {
+  // FNV-1a, then a finalizer mix so sequential keys spread well.
+  u64 h = 1469598103934665603ull;
+  for (char c : key) h = (h ^ static_cast<u8>(c)) * 1099511628211ull;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+std::string BloomFilterBuilder::finish() const {
+  // k = bits_per_key * ln2, clamped to [1, 30] (LevelDB's rule).
+  usize k = static_cast<usize>(static_cast<double>(bits_per_key_) * 0.69);
+  k = std::clamp<usize>(k, 1, 30);
+
+  usize bits = std::max<usize>(hashes_.size() * bits_per_key_, 64);
+  usize bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string out(bytes, '\0');
+  for (u64 h : hashes_) {
+    u64 delta = (h >> 33) | (h << 31);  // double hashing increment
+    for (usize i = 0; i < k; ++i) {
+      u64 bit = h % bits;
+      out[bit / 8] = static_cast<char>(out[bit / 8] | (1 << (bit % 8)));
+      h += delta;
+    }
+  }
+  out.push_back(static_cast<char>(k));
+  return out;
+}
+
+bool bloom_may_contain(std::string_view filter, std::string_view key) {
+  if (filter.size() < 2) return true;
+  usize k = static_cast<u8>(filter.back());
+  if (k == 0 || k > 30) return true;  // unrecognized encoding
+  usize bits = (filter.size() - 1) * 8;
+
+  u64 h = BloomFilterBuilder::hash_key(key);
+  u64 delta = (h >> 33) | (h << 31);
+  for (usize i = 0; i < k; ++i) {
+    u64 bit = h % bits;
+    if (!(static_cast<u8>(filter[bit / 8]) & (1 << (bit % 8)))) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace teeperf::kvs

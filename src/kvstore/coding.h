@@ -1,0 +1,87 @@
+// Varint / fixed-width integer encoding for WAL records, SSTable blocks and
+// write batches (LevelDB wire conventions).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace teeperf::kvs {
+
+inline void put_fixed32(std::string* dst, u32 v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (i * 8));
+  dst->append(buf, 4);
+}
+
+inline void put_fixed64(std::string* dst, u64 v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (i * 8));
+  dst->append(buf, 8);
+}
+
+inline u32 get_fixed32(const char* p) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(static_cast<u8>(p[i])) << (i * 8);
+  return v;
+}
+
+inline u64 get_fixed64(const char* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(static_cast<u8>(p[i])) << (i * 8);
+  return v;
+}
+
+inline void put_varint64(std::string* dst, u64 v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+inline void put_varint32(std::string* dst, u32 v) { put_varint64(dst, v); }
+
+// Decodes a varint from [p, limit); advances *p past it. Returns false on
+// truncation or overlong encoding.
+inline bool get_varint64(const char** p, const char* limit, u64* out) {
+  u64 v = 0;
+  int shift = 0;
+  while (*p < limit && shift <= 63) {
+    u8 byte = static_cast<u8>(**p);
+    ++*p;
+    v |= static_cast<u64>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+inline bool get_varint32(const char** p, const char* limit, u32* out) {
+  u64 v = 0;
+  if (!get_varint64(p, limit, &v) || v > 0xffffffffull) return false;
+  *out = static_cast<u32>(v);
+  return true;
+}
+
+// Reads a varint-length-prefixed string_view out of [p, limit).
+inline bool get_length_prefixed(const char** p, const char* limit,
+                                std::string_view* out) {
+  u32 len = 0;
+  if (!get_varint32(p, limit, &len)) return false;
+  if (static_cast<usize>(limit - *p) < len) return false;
+  *out = std::string_view(*p, len);
+  *p += len;
+  return true;
+}
+
+inline void put_length_prefixed(std::string* dst, std::string_view s) {
+  put_varint32(dst, static_cast<u32>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+}  // namespace teeperf::kvs

@@ -1,0 +1,97 @@
+#include "kvstore/compress.h"
+
+#include <cstring>
+#include <vector>
+
+#include "kvstore/coding.h"
+
+namespace teeperf::kvs {
+namespace {
+
+constexpr usize kMinMatch = 4;
+constexpr usize kMaxOffset = 1u << 16;
+constexpr usize kHashBits = 13;
+constexpr usize kHashSize = 1u << kHashBits;
+
+inline u32 hash4(const char* p) {
+  u32 v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void emit_literals(std::string_view input, usize from, usize to, std::string* out) {
+  if (to <= from) return;
+  out->push_back('\0');
+  put_varint64(out, to - from);
+  out->append(input.data() + from, to - from);
+}
+
+}  // namespace
+
+std::string lz_compress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  if (input.size() < kMinMatch + 1) {
+    emit_literals(input, 0, input.size(), &out);
+    return out;
+  }
+
+  // Last seen position of each 4-byte hash.
+  std::vector<u32> table(kHashSize, 0xffffffffu);
+  usize literal_start = 0;
+  usize i = 0;
+  while (i + kMinMatch <= input.size()) {
+    u32 h = hash4(input.data() + i);
+    u32 candidate = table[h];
+    table[h] = static_cast<u32>(i);
+
+    if (candidate != 0xffffffffu && i - candidate <= kMaxOffset &&
+        std::memcmp(input.data() + candidate, input.data() + i, kMinMatch) == 0) {
+      // Extend the match.
+      usize len = kMinMatch;
+      while (i + len < input.size() &&
+             input[candidate + len] == input[i + len]) {
+        ++len;
+      }
+      emit_literals(input, literal_start, i, &out);
+      out.push_back('\x01');
+      put_varint64(&out, i - candidate);
+      put_varint64(&out, len);
+      i += len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  emit_literals(input, literal_start, input.size(), &out);
+  return out;
+}
+
+bool lz_decompress(std::string_view compressed, std::string* out) {
+  out->clear();
+  const char* p = compressed.data();
+  const char* limit = p + compressed.size();
+  while (p < limit) {
+    u8 tag = static_cast<u8>(*p++);
+    if (tag == 0) {
+      u64 len = 0;
+      if (!get_varint64(&p, limit, &len)) return false;
+      if (static_cast<usize>(limit - p) < len) return false;
+      out->append(p, len);
+      p += len;
+    } else if (tag == 1) {
+      u64 offset = 0, len = 0;
+      if (!get_varint64(&p, limit, &offset)) return false;
+      if (!get_varint64(&p, limit, &len)) return false;
+      if (offset == 0 || offset > out->size() || len < kMinMatch) return false;
+      // Byte-by-byte copy: offsets smaller than len self-overlap (RLE).
+      usize from = out->size() - static_cast<usize>(offset);
+      for (u64 k = 0; k < len; ++k) out->push_back((*out)[from + k]);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace teeperf::kvs

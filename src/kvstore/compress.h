@@ -1,0 +1,28 @@
+// Block compression for SSTables: a small LZ77-class codec (greedy
+// hash-table matcher, byte-aligned tokens) standing in for the Snappy/LZ4
+// family RocksDB uses. Self-contained — the point is exercising the
+// compressed-block code path, not competing on ratio.
+//
+// Token stream:
+//   0x00 <varint len> <len literal bytes>
+//   0x01 <varint offset> <varint len>     copy `len` bytes from `offset`
+//                                         back in the output (len ≥ 4,
+//                                         overlap allowed, RLE-style)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace teeperf::kvs {
+
+// Compresses `input`. Always succeeds; incompressible data grows by a few
+// bytes of framing (callers should keep the raw block in that case).
+std::string lz_compress(std::string_view input);
+
+// Decompresses into *out. Returns false on any malformed token (truncated
+// stream, bad offset); *out contents are unspecified on failure.
+bool lz_decompress(std::string_view compressed, std::string* out);
+
+}  // namespace teeperf::kvs

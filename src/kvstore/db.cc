@@ -1,0 +1,571 @@
+#include "kvstore/db.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/fileutil.h"
+#include "core/scope.h"
+#include "kvstore/coding.h"
+#include "kvstore/dbformat.h"
+
+namespace teeperf::kvs {
+namespace {
+
+// Adapts MemTable::Iterator to the Iterator interface.
+class MemIterAdapter : public Iterator {
+ public:
+  explicit MemIterAdapter(std::shared_ptr<MemTable> mem)
+      : mem_(std::move(mem)), it_(mem_.get()) {}
+
+  bool valid() const override { return it_.valid(); }
+  void seek_to_first() override { it_.seek_to_first(); }
+  void seek(std::string_view target) override { it_.seek(target); }
+  void next() override { it_.next(); }
+  std::string_view key() const override { return it_.internal_key(); }
+  std::string_view value() const override { return it_.value(); }
+
+ private:
+  std::shared_ptr<MemTable> mem_;  // keeps the arena alive
+  MemTable::Iterator it_;
+};
+
+// The user-facing iterator: resolves versions and tombstones against a
+// snapshot sequence. key() yields *user* keys.
+class DBIterator : public Iterator {
+ public:
+  DBIterator(std::unique_ptr<Iterator> inner, u64 snapshot)
+      : inner_(std::move(inner)), snapshot_(snapshot) {}
+
+  bool valid() const override { return valid_; }
+
+  void seek_to_first() override {
+    inner_->seek_to_first();
+    advance_to_live(/*skip_current_user_key=*/false);
+  }
+
+  void seek(std::string_view user_key) override {
+    std::string probe;
+    append_internal_key(&probe, user_key, snapshot_, ValueType::kValue);
+    inner_->seek(probe);
+    advance_to_live(/*skip_current_user_key=*/false);
+  }
+
+  void next() override {
+    inner_->next();
+    advance_to_live(/*skip_current_user_key=*/true);
+  }
+
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+
+ private:
+  // Positions on the newest live (visible, non-tombstoned) user key at or
+  // after the inner cursor. Internal ordering (seq descending within a user
+  // key) makes the first visible version the authoritative one.
+  void advance_to_live(bool skip_current_user_key) {
+    std::string skip_key = skip_current_user_key ? key_ : std::string();
+    bool skipping = skip_current_user_key;
+    valid_ = false;
+    while (inner_->valid()) {
+      ParsedInternalKey parsed;
+      if (!parse_internal_key(inner_->key(), &parsed) ||
+          parsed.sequence > snapshot_) {
+        inner_->next();
+        continue;
+      }
+      if (skipping && parsed.user_key == skip_key) {
+        inner_->next();
+        continue;
+      }
+      if (parsed.type == ValueType::kDeletion) {
+        // Tombstone: everything older for this key is dead too.
+        skip_key.assign(parsed.user_key);
+        skipping = true;
+        inner_->next();
+        continue;
+      }
+      key_.assign(parsed.user_key);
+      value_.assign(inner_->value());
+      valid_ = true;
+      return;
+    }
+  }
+
+  std::unique_ptr<Iterator> inner_;
+  u64 snapshot_;
+  bool valid_ = false;
+  std::string key_, value_;
+};
+
+}  // namespace
+
+DB::DB(const Options& options, std::string path)
+    : options_(options), path_(std::move(path)) {
+  usize levels = options_.max_levels < 2 ? 2 : options_.max_levels;
+  mem_ = std::make_shared<MemTable>();
+  current_ = std::make_shared<Version>(levels);
+  stats_.files_per_level.assign(levels, 0);
+}
+
+DB::~DB() { wal_.close(); }
+
+Status DB::open(const Options& options, const std::string& path,
+                std::unique_ptr<DB>* out) {
+  if (!make_dirs(path)) return Status::io_error("mkdir " + path);
+  auto db = std::unique_ptr<DB>(new DB(options, path));
+  Status s = db->recover();
+  if (!s.is_ok()) return s;
+  *out = std::move(db);
+  return Status::ok();
+}
+
+Status DB::recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  ManifestData manifest;
+  bool exists = false;
+  Status s = read_manifest(path_, &manifest, &exists);
+  if (!s.is_ok()) return s;
+  // A DB that never flushed has no MANIFEST yet but does have a WAL.
+  bool db_present = exists || file_exists(wal_file_name(path_));
+  if (db_present && options_.error_if_exists) {
+    return Status::invalid("db exists: " + path_);
+  }
+  if (!db_present && !options_.create_if_missing) {
+    return Status::invalid("db missing: " + path_);
+  }
+
+  if (exists) {
+    next_file_number_ = manifest.next_file_number;
+    sequence_ = manifest.last_sequence;
+    auto v = std::make_shared<Version>(current_->levels.size());
+    for (const auto& [level, number] : manifest.files) {
+      if (level >= v->levels.size()) return Status::corruption("manifest level");
+      std::unique_ptr<Table> table;
+      s = Table::open(table_file_name(path_, number), options_, &table);
+      if (!s.is_ok()) return s;
+      auto meta = std::make_shared<FileMeta>();
+      meta->number = number;
+      meta->entries = table->entry_count();
+      meta->size = table->file_size();
+      meta->table = std::shared_ptr<Table>(std::move(table));
+      v->levels[level].push_back(std::move(meta));
+    }
+    // Deeper levels keep files sorted by smallest key for range reasoning.
+    for (usize l = 1; l < v->levels.size(); ++l) {
+      std::sort(v->levels[l].begin(), v->levels[l].end(),
+                [](const auto& a, const auto& b) {
+                  return a->table->smallest() < b->table->smallest();
+                });
+    }
+    current_ = std::move(v);
+  }
+
+  // Replay the WAL (acknowledged writes that never reached an SSTable).
+  if (options_.wal_enabled) {
+    std::vector<std::string> records;
+    s = WalReader::read_all(wal_file_name(path_), &records);
+    if (!s.is_ok()) return s;
+    for (std::string& rec : records) {
+      WriteBatch batch = WriteBatch::from_payload(std::move(rec));
+      ++stats_.wal_records;
+      u64 max_seq = 0;
+      Status bs = batch.iterate([&](u64 seq, ValueType type, std::string_view key,
+                                    std::string_view value) {
+        mem_->add(seq, type, key, value);
+        max_seq = std::max(max_seq, seq);
+      });
+      if (!bs.is_ok()) return bs;
+      sequence_ = std::max(sequence_, max_seq);
+    }
+    s = wal_.open(wal_file_name(path_), /*truncate=*/false);
+    if (!s.is_ok()) return s;
+  }
+
+  stats_.sequence = sequence_;
+  for (usize l = 0; l < current_->levels.size(); ++l) {
+    stats_.files_per_level[l] = current_->levels[l].size();
+  }
+  return Status::ok();
+}
+
+Status DB::put(const WriteOptions& wopts, std::string_view key,
+               std::string_view value) {
+  TEEPERF_SCOPE("kvs::DB::Put");
+  WriteBatch batch;
+  batch.put(key, value);
+  return write(wopts, &batch);
+}
+
+Status DB::remove(const WriteOptions& wopts, std::string_view key) {
+  TEEPERF_SCOPE("kvs::DB::Delete");
+  WriteBatch batch;
+  batch.remove(key);
+  return write(wopts, &batch);
+}
+
+Status DB::write(const WriteOptions&, WriteBatch* batch) {
+  TEEPERF_SCOPE("kvs::DB::Write");
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_locked(batch);
+}
+
+Status DB::write_locked(WriteBatch* batch) {
+  batch->set_base_sequence(sequence_ + 1);
+
+  if (options_.wal_enabled) {
+    TEEPERF_SCOPE("kvs::DB::WriteToWAL");
+    Status s = wal_.append(batch->payload());
+    if (!s.is_ok()) return s;
+    s = wal_.flush();
+    if (!s.is_ok()) return s;
+  }
+
+  {
+    TEEPERF_SCOPE("kvs::MemTable::Add");
+    Status s = batch->iterate([this](u64 seq, ValueType type, std::string_view key,
+                                     std::string_view value) {
+      mem_->add(seq, type, key, value);
+    });
+    if (!s.is_ok()) return s;
+  }
+  sequence_ += batch->count();
+  stats_.sequence = sequence_;
+
+  if (mem_->approximate_memory_usage() >= options_.write_buffer_size) {
+    Status s = flush_memtable_locked();
+    if (!s.is_ok()) return s;
+    s = maybe_compact_locked();
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+Status DB::get(const ReadOptions&, std::string_view key, std::string* value) {
+  TEEPERF_SCOPE("kvs::DB::Get");
+  std::shared_ptr<MemTable> mem;
+  std::shared_ptr<Version> version;
+  u64 snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mem = mem_;
+    version = current_;
+    snapshot = sequence_;
+  }
+
+  TEEPERF_SCOPE("kvs::DB::GetImpl");
+  Status result;
+  {
+    TEEPERF_SCOPE("kvs::MemTable::Get");
+    if (mem->get(key, snapshot, value, &result)) return result;
+  }
+
+  TEEPERF_SCOPE("kvs::Version::Get");
+  // L0: newest file first (files overlap).
+  for (const auto& f : version->levels[0]) {
+    if (f->table->get(key, snapshot, value, &result)) return result;
+  }
+  // Deeper levels: disjoint files; check only the one covering the key.
+  for (usize l = 1; l < version->levels.size(); ++l) {
+    for (const auto& f : version->levels[l]) {
+      if (key < extract_user_key(f->table->smallest())) break;
+      if (key > extract_user_key(f->table->largest())) continue;
+      if (f->table->get(key, snapshot, value, &result)) return result;
+    }
+  }
+  return Status::not_found(std::string(key));
+}
+
+std::vector<Status> DB::multi_get(const ReadOptions&,
+                                  const std::vector<std::string_view>& keys,
+                                  std::vector<std::string>* values) {
+  TEEPERF_SCOPE("kvs::DB::MultiGet");
+  std::shared_ptr<MemTable> mem;
+  std::shared_ptr<Version> version;
+  u64 snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mem = mem_;
+    version = current_;
+    snapshot = sequence_;
+  }
+
+  values->assign(keys.size(), {});
+  std::vector<Status> statuses;
+  statuses.reserve(keys.size());
+  for (usize i = 0; i < keys.size(); ++i) {
+    std::string_view key = keys[i];
+    std::string* value = &(*values)[i];
+    Status result;
+    bool found = mem->get(key, snapshot, value, &result);
+    if (!found) {
+      for (const auto& f : version->levels[0]) {
+        if ((found = f->table->get(key, snapshot, value, &result))) break;
+      }
+    }
+    if (!found) {
+      for (usize l = 1; l < version->levels.size() && !found; ++l) {
+        for (const auto& f : version->levels[l]) {
+          if (key < extract_user_key(f->table->smallest())) break;
+          if (key > extract_user_key(f->table->largest())) continue;
+          if ((found = f->table->get(key, snapshot, value, &result))) break;
+        }
+      }
+    }
+    statuses.push_back(found ? result : Status::not_found(std::string(key)));
+  }
+  return statuses;
+}
+
+std::unique_ptr<Iterator> DB::new_iterator(const ReadOptions&) {
+  std::shared_ptr<MemTable> mem;
+  std::shared_ptr<Version> version;
+  u64 snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mem = mem_;
+    version = current_;
+    snapshot = sequence_;
+  }
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<MemIterAdapter>(mem));
+  for (const auto& level : version->levels) {
+    for (const auto& f : level) children.push_back(f->table->new_iterator());
+  }
+  // The version shared_ptr must outlive the child iterators; capture it in
+  // a wrapper via a custom deleter trick: stash it in the DBIterator.
+  class Holder : public Iterator {
+   public:
+    Holder(std::unique_ptr<Iterator> inner, std::shared_ptr<Version> v)
+        : inner_(std::move(inner)), v_(std::move(v)) {}
+    bool valid() const override { return inner_->valid(); }
+    void seek_to_first() override { inner_->seek_to_first(); }
+    void seek(std::string_view t) override { inner_->seek(t); }
+    void next() override { inner_->next(); }
+    std::string_view key() const override { return inner_->key(); }
+    std::string_view value() const override { return inner_->value(); }
+
+   private:
+    std::unique_ptr<Iterator> inner_;
+    std::shared_ptr<Version> v_;
+  };
+  auto merged = std::make_unique<Holder>(new_merging_iterator(std::move(children)),
+                                         version);
+  return std::make_unique<DBIterator>(std::move(merged), snapshot);
+}
+
+Status DB::flush_memtable_locked() {
+  TEEPERF_SCOPE("kvs::DB::FlushMemTable");
+  if (mem_->entry_count() == 0) return Status::ok();
+
+  u64 number = next_file_number_++;
+  TableBuilder builder(options_);
+  MemTable::Iterator it(mem_.get());
+  for (it.seek_to_first(); it.valid(); it.next()) {
+    builder.add(it.internal_key(), it.value());
+  }
+  Status s = builder.finish(table_file_name(path_, number));
+  if (!s.is_ok()) return s;
+
+  std::unique_ptr<Table> table;
+  s = Table::open(table_file_name(path_, number), options_, &table);
+  if (!s.is_ok()) return s;
+
+  auto meta = std::make_shared<FileMeta>();
+  meta->number = number;
+  meta->entries = table->entry_count();
+  meta->size = table->file_size();
+  meta->table = std::shared_ptr<Table>(std::move(table));
+
+  auto v = std::make_shared<Version>(*current_);
+  v->levels[0].insert(v->levels[0].begin(), std::move(meta));  // newest first
+  s = install_version_locked(std::move(v));
+  if (!s.is_ok()) return s;
+
+  mem_ = std::make_shared<MemTable>();
+  if (options_.wal_enabled) {
+    s = wal_.open(wal_file_name(path_), /*truncate=*/true);
+    if (!s.is_ok()) return s;
+  }
+  ++stats_.memtable_flushes;
+  return Status::ok();
+}
+
+u64 DB::level_byte_budget(usize level) const {
+  u64 budget = options_.max_bytes_for_level_base;
+  for (usize l = 1; l < level; ++l) budget *= 10;
+  return budget;
+}
+
+Status DB::maybe_compact_locked() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (current_->levels[0].size() >= options_.l0_compaction_trigger) {
+      Status s = compact_level_locked(0);
+      if (!s.is_ok()) return s;
+      progress = true;
+      continue;
+    }
+    for (usize l = 1; l + 1 < current_->levels.size(); ++l) {
+      if (current_->level_bytes(l) > level_byte_budget(l)) {
+        Status s = compact_level_locked(l);
+        if (!s.is_ok()) return s;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status DB::compact_level_locked(usize level) {
+  TEEPERF_SCOPE("kvs::DB::CompactLevel");
+  usize out_level = level + 1;
+  if (out_level >= current_->levels.size()) return Status::ok();
+
+  // Inputs: every file of `level` and `out_level` (whole-level merge).
+  std::vector<std::shared_ptr<FileMeta>> inputs;
+  for (const auto& f : current_->levels[level]) inputs.push_back(f);
+  for (const auto& f : current_->levels[out_level]) inputs.push_back(f);
+  if (inputs.empty()) return Status::ok();
+
+  // Tombstones can be dropped when nothing deeper could hold the key.
+  bool bottom = true;
+  for (usize l = out_level + 1; l < current_->levels.size(); ++l) {
+    if (!current_->levels[l].empty()) bottom = false;
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children;
+  for (const auto& f : inputs) children.push_back(f->table->new_iterator());
+  auto merged = new_merging_iterator(std::move(children));
+
+  std::vector<std::shared_ptr<FileMeta>> outputs;
+  std::unique_ptr<TableBuilder> builder;
+  u64 out_number = 0;
+
+  auto finish_output = [&]() -> Status {
+    if (!builder || builder->entry_count() == 0) {
+      builder.reset();
+      return Status::ok();
+    }
+    Status s = builder->finish(table_file_name(path_, out_number));
+    if (!s.is_ok()) return s;
+    std::unique_ptr<Table> table;
+    s = Table::open(table_file_name(path_, out_number), options_, &table);
+    if (!s.is_ok()) return s;
+    auto meta = std::make_shared<FileMeta>();
+    meta->number = out_number;
+    meta->entries = table->entry_count();
+    meta->size = table->file_size();
+    meta->table = std::shared_ptr<Table>(std::move(table));
+    outputs.push_back(std::move(meta));
+    builder.reset();
+    return Status::ok();
+  };
+
+  std::string last_user_key;
+  bool has_last = false;
+  for (merged->seek_to_first(); merged->valid(); merged->next()) {
+    ParsedInternalKey parsed;
+    if (!parse_internal_key(merged->key(), &parsed)) {
+      return Status::corruption("compaction key");
+    }
+    // Keep only the newest version of each user key (no snapshots held:
+    // older versions are unreachable).
+    if (has_last && parsed.user_key == last_user_key) continue;
+    last_user_key.assign(parsed.user_key);
+    has_last = true;
+    if (bottom && parsed.type == ValueType::kDeletion) continue;
+
+    if (!builder) {
+      builder = std::make_unique<TableBuilder>(options_);
+      out_number = next_file_number_++;
+    }
+    builder->add(merged->key(), merged->value());
+    if (builder->file_size() >= options_.target_file_size) {
+      Status s = finish_output();
+      if (!s.is_ok()) return s;
+    }
+  }
+  Status s = finish_output();
+  if (!s.is_ok()) return s;
+
+  auto v = std::make_shared<Version>(*current_);
+  std::vector<std::shared_ptr<FileMeta>> old_level0 = v->levels[level];
+  std::vector<std::shared_ptr<FileMeta>> old_level1 = v->levels[out_level];
+  v->levels[level].clear();
+  v->levels[out_level] = outputs;  // merge output is already key-ordered
+  s = install_version_locked(std::move(v));
+  if (!s.is_ok()) return s;
+
+  // Inputs are no longer referenced by the manifest; remove the files (the
+  // Table objects keep their in-memory images alive for live iterators).
+  for (const auto& f : old_level0) remove_file(table_file_name(path_, f->number));
+  for (const auto& f : old_level1) remove_file(table_file_name(path_, f->number));
+  ++stats_.compactions;
+  return Status::ok();
+}
+
+Status DB::install_version_locked(std::shared_ptr<Version> v) {
+  ManifestData manifest;
+  manifest.next_file_number = next_file_number_;
+  manifest.last_sequence = sequence_;
+  for (usize l = 0; l < v->levels.size(); ++l) {
+    for (const auto& f : v->levels[l]) manifest.files.emplace_back(l, f->number);
+  }
+  Status s = write_manifest(path_, manifest);
+  if (!s.is_ok()) return s;
+  current_ = std::move(v);
+  for (usize l = 0; l < current_->levels.size(); ++l) {
+    stats_.files_per_level[l] = current_->levels[l].size();
+  }
+  return Status::ok();
+}
+
+Status DB::compact_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = flush_memtable_locked();
+  if (!s.is_ok()) return s;
+  for (usize l = 0; l + 1 < current_->levels.size(); ++l) {
+    if (current_->levels[l].empty()) continue;
+    s = compact_level_locked(l);
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+DB::DBStats DB::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string DB::debug_string() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "level   files        bytes\n";
+  for (usize l = 0; l < current_->levels.size(); ++l) {
+    char line[80];
+    std::snprintf(line, sizeof line, "L%-6zu %5zu %12llu\n", l,
+                  current_->levels[l].size(),
+                  static_cast<unsigned long long>(current_->level_bytes(l)));
+    out += line;
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof tail,
+                "memtable: %llu entries, %zu bytes | seq %llu | flushes %llu | "
+                "compactions %llu\n",
+                static_cast<unsigned long long>(mem_->entry_count()),
+                mem_->approximate_memory_usage(),
+                static_cast<unsigned long long>(sequence_),
+                static_cast<unsigned long long>(stats_.memtable_flushes),
+                static_cast<unsigned long long>(stats_.compactions));
+  out += tail;
+  return out;
+}
+
+u64 DB::sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sequence_;
+}
+
+}  // namespace teeperf::kvs

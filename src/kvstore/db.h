@@ -1,0 +1,100 @@
+// The LSM key-value store (the RocksDB stand-in, see DESIGN.md).
+//
+// Write path: WriteBatch → WAL append → memtable insert; when the memtable
+// exceeds write_buffer_size it is flushed to an L0 SSTable and the WAL is
+// reset. When L0 accumulates l0_compaction_trigger files (or a level
+// exceeds its byte budget), a whole-level merge compacts it into the next
+// level, dropping shadowed versions and — at the bottom level — tombstones.
+// Compactions run synchronously on the triggering write, which keeps the
+// system deterministic for profiling experiments.
+//
+// Read path: memtable → immutable memtable → L0 (newest first) → L1+.
+//
+// Thread safety: all public methods are safe to call concurrently. Writes
+// serialize on a mutex; reads take it only to snapshot shared_ptrs to the
+// memtables and current Version, then proceed lock-free.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "kvstore/iterator.h"
+#include "kvstore/memtable.h"
+#include "kvstore/options.h"
+#include "kvstore/version.h"
+#include "kvstore/wal.h"
+#include "kvstore/write_batch.h"
+
+namespace teeperf::kvs {
+
+class DB {
+ public:
+  static Status open(const Options& options, const std::string& path,
+                     std::unique_ptr<DB>* db);
+  ~DB();
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  Status put(const WriteOptions& wopts, std::string_view key, std::string_view value);
+  Status remove(const WriteOptions& wopts, std::string_view key);
+  Status write(const WriteOptions& wopts, WriteBatch* batch);
+
+  Status get(const ReadOptions& ropts, std::string_view key, std::string* value);
+
+  // Batched point lookups against one consistent snapshot: all keys are
+  // resolved at the same sequence number even if writers race. Returns one
+  // status per key, values filled where found.
+  std::vector<Status> multi_get(const ReadOptions& ropts,
+                                const std::vector<std::string_view>& keys,
+                                std::vector<std::string>* values);
+
+  // User-level iterator over live keys (tombstones and shadowed versions
+  // resolved) as of the current sequence.
+  std::unique_ptr<Iterator> new_iterator(const ReadOptions& ropts);
+
+  // Forces a memtable flush and full compaction down to the bottom level.
+  Status compact_all();
+
+  struct DBStats {
+    u64 memtable_flushes = 0;
+    u64 compactions = 0;
+    u64 wal_records = 0;
+    std::vector<usize> files_per_level;
+    u64 sequence = 0;
+  };
+  DBStats stats() const;
+
+  // Human-readable state summary: per-level file counts and bytes, the
+  // RocksDB `GetProperty("rocksdb.stats")` equivalent.
+  std::string debug_string() const;
+
+  u64 sequence() const;
+
+ private:
+  DB(const Options& options, std::string path);
+
+  Status recover();
+  Status write_locked(WriteBatch* batch) ;
+  // Flushes mem_ to a new L0 file; requires mu_ held.
+  Status flush_memtable_locked();
+  // Runs compactions until every level is within budget; requires mu_ held.
+  Status maybe_compact_locked();
+  Status compact_level_locked(usize level);
+  Status install_version_locked(std::shared_ptr<Version> v);
+  u64 level_byte_budget(usize level) const;
+
+  Options options_;
+  std::string path_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<MemTable> mem_;
+  std::shared_ptr<Version> current_;
+  WalWriter wal_;
+  u64 sequence_ = 0;
+  u64 next_file_number_ = 1;
+  DBStats stats_;
+};
+
+}  // namespace teeperf::kvs

@@ -1,0 +1,67 @@
+// Internal key format (LevelDB conventions): a user key followed by an
+// 8-byte trailer packing (sequence << 8 | type). Ordering is user key
+// ascending, then sequence *descending*, so the freshest version of a key
+// is encountered first during scans.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "kvstore/coding.h"
+
+namespace teeperf::kvs {
+
+enum class ValueType : u8 {
+  kDeletion = 0,
+  kValue = 1,
+};
+
+inline constexpr u64 kMaxSequence = (1ull << 56) - 1;
+
+inline u64 pack_tag(u64 seq, ValueType type) {
+  return (seq << 8) | static_cast<u64>(type);
+}
+
+inline u64 tag_sequence(u64 tag) { return tag >> 8; }
+inline ValueType tag_type(u64 tag) { return static_cast<ValueType>(tag & 0xff); }
+
+inline void append_internal_key(std::string* dst, std::string_view user_key,
+                                u64 seq, ValueType type) {
+  dst->append(user_key.data(), user_key.size());
+  put_fixed64(dst, pack_tag(seq, type));
+}
+
+struct ParsedInternalKey {
+  std::string_view user_key;
+  u64 sequence = 0;
+  ValueType type = ValueType::kValue;
+};
+
+inline bool parse_internal_key(std::string_view ikey, ParsedInternalKey* out) {
+  if (ikey.size() < 8) return false;
+  u64 tag = get_fixed64(ikey.data() + ikey.size() - 8);
+  out->user_key = ikey.substr(0, ikey.size() - 8);
+  out->sequence = tag_sequence(tag);
+  out->type = tag_type(tag);
+  return true;
+}
+
+inline std::string_view extract_user_key(std::string_view ikey) {
+  return ikey.substr(0, ikey.size() - 8);
+}
+
+// Three-way comparison of internal keys: user key ascending, tag descending.
+inline int compare_internal_keys(std::string_view a, std::string_view b) {
+  std::string_view ua = extract_user_key(a), ub = extract_user_key(b);
+  int r = ua.compare(ub);
+  if (r != 0) return r;
+  u64 ta = get_fixed64(a.data() + a.size() - 8);
+  u64 tb = get_fixed64(b.data() + b.size() - 8);
+  if (ta > tb) return -1;  // higher sequence sorts first
+  if (ta < tb) return 1;
+  return 0;
+}
+
+}  // namespace teeperf::kvs

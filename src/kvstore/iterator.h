@@ -1,0 +1,32 @@
+// Iterator interface over (internal_key, value) pairs, plus the k-way
+// merging iterator the read path and compaction are built on.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace teeperf::kvs {
+
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  virtual bool valid() const = 0;
+  virtual void seek_to_first() = 0;
+  // Positions at the first entry with internal key >= target.
+  virtual void seek(std::string_view internal_key) = 0;
+  virtual void next() = 0;
+
+  // Valid only while valid() is true and until the next move.
+  virtual std::string_view key() const = 0;  // internal key
+  virtual std::string_view value() const = 0;
+};
+
+// Merges children in internal-key order. Ties (same internal key, which
+// cannot happen across well-formed sources) resolve to the earlier child,
+// so callers should order children newest-first.
+std::unique_ptr<Iterator> new_merging_iterator(
+    std::vector<std::unique_ptr<Iterator>> children);
+
+}  // namespace teeperf::kvs

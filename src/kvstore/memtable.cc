@@ -1,0 +1,105 @@
+#include "kvstore/memtable.h"
+
+#include <cassert>
+
+#include "kvstore/coding.h"
+
+namespace teeperf::kvs {
+namespace {
+
+// Decodes the internal key of an encoded memtable record.
+std::string_view record_internal_key(const char* rec) {
+  const char* p = rec;
+  const char* limit = rec + 10;  // varint32 is at most 5 bytes; generous
+  u32 klen = 0;
+  get_varint32(&p, limit, &klen);
+  return std::string_view(p, klen);
+}
+
+std::string_view record_value(const char* rec) {
+  const char* p = rec;
+  const char* limit = rec + (1u << 30);
+  u32 klen = 0;
+  get_varint32(&p, limit, &klen);
+  p += klen;
+  u32 vlen = 0;
+  get_varint32(&p, limit, &vlen);
+  return std::string_view(p, vlen);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* a, const char* b) const {
+  return compare_internal_keys(record_internal_key(a), record_internal_key(b));
+}
+
+void MemTable::add(u64 seq, ValueType type, std::string_view key,
+                   std::string_view value) {
+  // Record = klen | internal_key | vlen | value, all in one arena chunk.
+  std::string ikey;
+  ikey.reserve(key.size() + 8);
+  append_internal_key(&ikey, key, seq, type);
+
+  std::string header;
+  put_varint32(&header, static_cast<u32>(ikey.size()));
+  usize total = header.size() + ikey.size();
+  std::string vheader;
+  put_varint32(&vheader, static_cast<u32>(value.size()));
+  total += vheader.size() + value.size();
+
+  char* buf = arena_.allocate(total);
+  char* p = buf;
+  std::memcpy(p, header.data(), header.size());
+  p += header.size();
+  std::memcpy(p, ikey.data(), ikey.size());
+  p += ikey.size();
+  std::memcpy(p, vheader.data(), vheader.size());
+  p += vheader.size();
+  if (!value.empty()) std::memcpy(p, value.data(), value.size());
+
+  table_.insert(buf);
+  ++entries_;
+}
+
+bool MemTable::get(std::string_view key, u64 snapshot_seq, std::string* value,
+                   Status* status) const {
+  // Seek to the first entry for `key` at or below snapshot_seq (internal
+  // ordering puts higher sequences first).
+  std::string probe_rec;
+  std::string ikey;
+  append_internal_key(&ikey, key, snapshot_seq, ValueType::kValue);
+  put_varint32(&probe_rec, static_cast<u32>(ikey.size()));
+  probe_rec += ikey;
+
+  SkipList<const char*, KeyComparator>::Iterator it(&table_);
+  it.seek(probe_rec.data());
+  if (!it.valid()) return false;
+
+  std::string_view found = record_internal_key(it.key());
+  ParsedInternalKey parsed;
+  if (!parse_internal_key(found, &parsed)) return false;
+  if (parsed.user_key != key) return false;
+
+  if (parsed.type == ValueType::kDeletion) {
+    *status = Status::not_found("deleted");
+    return true;
+  }
+  *status = Status::ok();
+  value->assign(record_value(it.key()));
+  return true;
+}
+
+void MemTable::Iterator::seek(std::string_view internal_key) {
+  seek_buf_.clear();
+  put_varint32(&seek_buf_, static_cast<u32>(internal_key.size()));
+  seek_buf_.append(internal_key.data(), internal_key.size());
+  it_.seek(seek_buf_.data());
+}
+
+std::string_view MemTable::Iterator::internal_key() const {
+  return record_internal_key(it_.key());
+}
+
+std::string_view MemTable::Iterator::value() const { return record_value(it_.key()); }
+
+}  // namespace teeperf::kvs

@@ -1,0 +1,66 @@
+// In-memory write buffer: an arena-backed skiplist over internal keys.
+// Entries are encoded LevelDB-style into the arena:
+//   varint32 internal_key_len | internal_key | varint32 value_len | value
+// and the skiplist key is the pointer to that record.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "kvstore/arena.h"
+#include "kvstore/dbformat.h"
+#include "kvstore/skiplist.h"
+#include "kvstore/status.h"
+
+namespace teeperf::kvs {
+
+class MemTable {
+ public:
+  struct KeyComparator {
+    // Keys are length-prefixed records in the arena.
+    int operator()(const char* a, const char* b) const;
+  };
+
+  MemTable() : table_(KeyComparator{}, &arena_) {}
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Single writer (the DB serializes writes); concurrent readers are safe.
+  void add(u64 seq, ValueType type, std::string_view key, std::string_view value);
+
+  // Looks up the freshest version of `key` visible at `snapshot_seq`.
+  // Returns true if an entry was found; *status is not_found() when that
+  // entry is a tombstone, ok() otherwise (value filled in).
+  bool get(std::string_view key, u64 snapshot_seq, std::string* value,
+           Status* status) const;
+
+  usize approximate_memory_usage() const { return arena_.memory_usage(); }
+  u64 entry_count() const { return entries_; }
+
+  // Iterator over (internal_key, value) pairs in internal-key order.
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* mt) : it_(&mt->table_) {}
+    bool valid() const { return it_.valid(); }
+    void seek_to_first() { it_.seek_to_first(); }
+    void seek(std::string_view internal_key);
+    void next() { it_.next(); }
+    std::string_view internal_key() const;
+    std::string_view value() const;
+
+   private:
+    std::string seek_buf_;
+    SkipList<const char*, KeyComparator>::Iterator it_;
+  };
+
+ private:
+  friend class Iterator;
+
+  Arena arena_;
+  SkipList<const char*, KeyComparator> table_;
+  u64 entries_ = 0;
+};
+
+}  // namespace teeperf::kvs

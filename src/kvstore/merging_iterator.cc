@@ -1,0 +1,61 @@
+#include "kvstore/iterator.h"
+
+#include "kvstore/dbformat.h"
+
+namespace teeperf::kvs {
+namespace {
+
+class MergingIterator : public Iterator {
+ public:
+  explicit MergingIterator(std::vector<std::unique_ptr<Iterator>> children)
+      : children_(std::move(children)) {}
+
+  bool valid() const override { return current_ >= 0; }
+
+  void seek_to_first() override {
+    for (auto& c : children_) c->seek_to_first();
+    find_smallest();
+  }
+
+  void seek(std::string_view target) override {
+    for (auto& c : children_) c->seek(target);
+    find_smallest();
+  }
+
+  void next() override {
+    children_[static_cast<usize>(current_)]->next();
+    find_smallest();
+  }
+
+  std::string_view key() const override {
+    return children_[static_cast<usize>(current_)]->key();
+  }
+  std::string_view value() const override {
+    return children_[static_cast<usize>(current_)]->value();
+  }
+
+ private:
+  void find_smallest() {
+    current_ = -1;
+    for (usize i = 0; i < children_.size(); ++i) {
+      if (!children_[i]->valid()) continue;
+      if (current_ < 0 ||
+          compare_internal_keys(children_[i]->key(),
+                                children_[static_cast<usize>(current_)]->key()) < 0) {
+        current_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Iterator>> children_;
+  int current_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> new_merging_iterator(
+    std::vector<std::unique_ptr<Iterator>> children) {
+  return std::make_unique<MergingIterator>(std::move(children));
+}
+
+}  // namespace teeperf::kvs

@@ -1,0 +1,47 @@
+// Tuning knobs for the LSM store, mirroring the RocksDB options the
+// db_bench workloads exercise.
+#pragma once
+
+#include "common/types.h"
+
+namespace teeperf::kvs {
+
+struct Options {
+  // Memtable size that triggers a flush to an L0 SSTable.
+  usize write_buffer_size = 4u << 20;
+
+  // Number of L0 files that triggers an L0→L1 compaction.
+  usize l0_compaction_trigger = 4;
+
+  // Target size of one SSTable produced by compaction.
+  usize target_file_size = 2u << 20;
+
+  // Level-1 total-bytes limit; each deeper level is 10× larger.
+  usize max_bytes_for_level_base = 16u << 20;
+
+  // Levels beyond L0 (L0 + max_levels in total).
+  usize max_levels = 4;
+
+  // Bloom filter bits per key in SSTables (0 disables filters).
+  usize bloom_bits_per_key = 10;
+
+  // Approximate data-block size inside SSTables.
+  usize block_size = 4096;
+
+  // Compress data blocks with the built-in LZ codec (kept raw when a block
+  // does not shrink). Filter and index blocks stay uncompressed.
+  bool compress_blocks = false;
+
+  // fsync-like durability is out of scope; WAL writes are buffered + flushed.
+  bool wal_enabled = true;
+
+  // Create the directory if missing; fail if a DB already exists there.
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+};
+
+struct ReadOptions {};
+
+struct WriteOptions {};
+
+}  // namespace teeperf::kvs

@@ -1,0 +1,325 @@
+#include "kvstore/sstable.h"
+
+#include <algorithm>
+
+#include "common/crc32c.h"
+#include "common/fileutil.h"
+#include "kvstore/bloom.h"
+#include "kvstore/coding.h"
+#include "kvstore/compress.h"
+#include "kvstore/dbformat.h"
+
+namespace teeperf::kvs {
+namespace {
+
+void append_block_with_crc(std::string* dst, std::string_view block) {
+  dst->append(block.data(), block.size());
+  put_fixed32(dst, crc32c_mask(crc32c(block.data(), block.size())));
+}
+
+bool check_block_crc(std::string_view block_with_crc) {
+  if (block_with_crc.size() < 4) return false;
+  std::string_view body = block_with_crc.substr(0, block_with_crc.size() - 4);
+  u32 stored = get_fixed32(block_with_crc.data() + body.size());
+  return crc32c_unmask(stored) == crc32c(body.data(), body.size());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- builder --
+
+void TableBuilder::add(std::string_view internal_key, std::string_view value) {
+  if (entries_ == 0) smallest_.assign(internal_key);
+  largest_.assign(internal_key);
+
+  put_varint32(&block_, static_cast<u32>(internal_key.size()));
+  put_varint32(&block_, static_cast<u32>(value.size()));
+  block_.append(internal_key.data(), internal_key.size());
+  block_.append(value.data(), value.size());
+  last_key_.assign(internal_key);
+  ++entries_;
+
+  put_length_prefixed(&filter_keys_, extract_user_key(internal_key));
+
+  if (block_.size() >= options_.block_size) flush_block();
+}
+
+void TableBuilder::flush_block() {
+  if (block_.empty()) return;
+  // Prefix byte selects the payload encoding; compression is only kept
+  // when it actually shrinks the block.
+  std::string framed;
+  if (options_.compress_blocks) {
+    std::string packed = lz_compress(block_);
+    if (packed.size() < block_.size()) {
+      framed.push_back('\x01');
+      framed += packed;
+    }
+  }
+  if (framed.empty()) {
+    framed.push_back('\x00');
+    framed += block_;
+  }
+  u64 offset = buf_.size();
+  u64 length = framed.size();
+  append_block_with_crc(&buf_, framed);
+  block_.clear();
+
+  put_varint32(&index_, static_cast<u32>(last_key_.size()));
+  index_.append(last_key_);
+  put_fixed64(&index_, offset);
+  put_fixed64(&index_, length);
+}
+
+Status TableBuilder::finish(const std::string& path) {
+  flush_block();
+
+  // Filter block.
+  BloomFilterBuilder bloom(options_.bloom_bits_per_key ? options_.bloom_bits_per_key
+                                                       : 1);
+  const char* p = filter_keys_.data();
+  const char* limit = p + filter_keys_.size();
+  std::string_view key;
+  while (p < limit && get_length_prefixed(&p, limit, &key)) bloom.add(key);
+  std::string filter = options_.bloom_bits_per_key ? bloom.finish() : std::string();
+
+  u64 filter_off = buf_.size();
+  u64 filter_len = filter.size();
+  append_block_with_crc(&buf_, filter);
+
+  u64 index_off = buf_.size();
+  u64 index_len = index_.size();
+  append_block_with_crc(&buf_, index_);
+
+  put_fixed64(&buf_, index_off);
+  put_fixed64(&buf_, index_len);
+  put_fixed64(&buf_, filter_off);
+  put_fixed64(&buf_, filter_len);
+  put_fixed64(&buf_, entries_);
+  put_fixed64(&buf_, kTableMagic);
+
+  if (!write_file(path, buf_)) return Status::io_error("write " + path);
+  return Status::ok();
+}
+
+// ----------------------------------------------------------------- reader --
+
+Status Table::open(const std::string& path, const Options& options,
+                   std::unique_ptr<Table>* out) {
+  (void)options;
+  auto data = read_file(path);
+  if (!data) return Status::io_error("read " + path);
+  if (data->size() < 48) return Status::corruption("table too small: " + path);
+
+  auto table = std::unique_ptr<Table>(new Table());
+  table->path_ = path;
+  table->data_ = std::move(*data);
+  const std::string& d = table->data_;
+  const char* footer = d.data() + d.size() - 48;
+  u64 index_off = get_fixed64(footer);
+  u64 index_len = get_fixed64(footer + 8);
+  u64 filter_off = get_fixed64(footer + 16);
+  u64 filter_len = get_fixed64(footer + 24);
+  table->entry_count_ = get_fixed64(footer + 32);
+  if (get_fixed64(footer + 40) != kTableMagic) {
+    return Status::corruption("bad table magic: " + path);
+  }
+  if (index_off + index_len + 4 > d.size() || filter_off + filter_len + 4 > d.size()) {
+    return Status::corruption("bad table footer: " + path);
+  }
+
+  std::string_view index_block(d.data() + index_off, index_len + 4);
+  std::string_view filter_block(d.data() + filter_off, filter_len + 4);
+  if (!check_block_crc(index_block) || !check_block_crc(filter_block)) {
+    return Status::corruption("table meta crc: " + path);
+  }
+  table->filter_.assign(filter_block.substr(0, filter_len));
+
+  // Decode the index and verify every data block exactly once.
+  const char* p = d.data() + index_off;
+  const char* limit = p + index_len;
+  while (p < limit) {
+    std::string_view last_key;
+    if (!get_length_prefixed(&p, limit, &last_key) ||
+        static_cast<usize>(limit - p) < 16) {
+      return Status::corruption("table index: " + path);
+    }
+    IndexEntry e;
+    e.last_key.assign(last_key);
+    e.offset = get_fixed64(p);
+    e.length = get_fixed64(p + 8);
+    p += 16;
+    if (e.offset + e.length + 4 > d.size()) {
+      return Status::corruption("table index range: " + path);
+    }
+    if (!check_block_crc(std::string_view(d.data() + e.offset, e.length + 4))) {
+      return Status::corruption("table data crc: " + path);
+    }
+    // Decode the encoding prefix; compressed payloads are inflated once
+    // here and served from owned storage.
+    if (e.length < 1) return Status::corruption("empty block frame: " + path);
+    char prefix = d[e.offset];
+    std::string owned;
+    if (prefix == '\x01') {
+      if (!lz_decompress(std::string_view(d.data() + e.offset + 1, e.length - 1),
+                         &owned)) {
+        return Status::corruption("block decompress: " + path);
+      }
+      ++table->compressed_blocks;
+    } else if (prefix != '\x00') {
+      return Status::corruption("unknown block encoding: " + path);
+    }
+    table->owned_blocks_.push_back(std::move(owned));
+    table->index_.push_back(std::move(e));
+  }
+
+  // Derive smallest/largest from the first record / last index key.
+  if (!table->index_.empty()) {
+    std::string_view block = table->block_data(0);
+    const char* bp = block.data();
+    const char* blimit = bp + block.size();
+    u32 klen = 0, vlen = 0;
+    if (get_varint32(&bp, blimit, &klen) && get_varint32(&bp, blimit, &vlen) &&
+        static_cast<usize>(blimit - bp) >= klen) {
+      table->smallest_.assign(bp, klen);
+    }
+    table->largest_ = table->index_.back().last_key;
+  }
+
+  *out = std::move(table);
+  return Status::ok();
+}
+
+std::string_view Table::block_data(usize block_index) const {
+  const std::string& owned = owned_blocks_[block_index];
+  if (!owned.empty()) return owned;  // decompressed at open
+  const IndexEntry& e = index_[block_index];
+  return std::string_view(data_.data() + e.offset + 1, e.length - 1);
+}
+
+usize Table::block_lower_bound(std::string_view internal_key) const {
+  usize lo = 0, hi = index_.size();
+  while (lo < hi) {
+    usize mid = (lo + hi) / 2;
+    if (compare_internal_keys(index_[mid].last_key, internal_key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool Table::get(std::string_view user_key, u64 snapshot_seq, std::string* value,
+                Status* status) const {
+  if (!filter_.empty() && !bloom_may_contain(filter_, user_key)) {
+    ++bloom_negatives;
+    return false;
+  }
+
+  std::string probe;
+  append_internal_key(&probe, user_key, snapshot_seq, ValueType::kValue);
+  usize b = block_lower_bound(probe);
+  if (b >= index_.size()) return false;
+  ++block_reads;
+
+  std::string_view block = block_data(b);
+  const char* p = block.data();
+  const char* limit = p + block.size();
+  while (p < limit) {
+    u32 klen = 0, vlen = 0;
+    if (!get_varint32(&p, limit, &klen) || !get_varint32(&p, limit, &vlen)) break;
+    if (static_cast<usize>(limit - p) < klen + vlen) break;
+    std::string_view ikey(p, klen);
+    std::string_view val(p + klen, vlen);
+    p += klen + vlen;
+
+    if (compare_internal_keys(ikey, probe) < 0) continue;  // too fresh / earlier key
+    ParsedInternalKey parsed;
+    if (!parse_internal_key(ikey, &parsed)) break;
+    if (parsed.user_key != user_key) return false;  // passed the key entirely
+    if (parsed.type == ValueType::kDeletion) {
+      *status = Status::not_found("deleted");
+      return true;
+    }
+    *status = Status::ok();
+    value->assign(val);
+    return true;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- iterator --
+
+class TableIterator : public Iterator {
+ public:
+  explicit TableIterator(const Table* table) : table_(table) {}
+
+  bool valid() const override { return block_ < table_->index_.size(); }
+
+  void seek_to_first() override {
+    block_ = 0;
+    pos_ = 0;
+    load_block();
+    parse_current();
+  }
+
+  void seek(std::string_view target) override {
+    block_ = table_->block_lower_bound(target);
+    pos_ = 0;
+    load_block();
+    parse_current();
+    while (valid() && compare_internal_keys(key_, target) < 0) next();
+  }
+
+  void next() override {
+    pos_ = next_pos_;
+    if (pos_ >= span_.size()) {
+      ++block_;
+      pos_ = 0;
+      load_block();
+    }
+    parse_current();
+  }
+
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+
+ private:
+  void load_block() {
+    span_ = block_ < table_->index_.size() ? table_->block_data(block_)
+                                           : std::string_view{};
+  }
+
+  void parse_current() {
+    while (block_ < table_->index_.size()) {
+      if (pos_ < span_.size()) {
+        const char* p = span_.data() + pos_;
+        const char* limit = span_.data() + span_.size();
+        u32 klen = 0, vlen = 0;
+        if (get_varint32(&p, limit, &klen) && get_varint32(&p, limit, &vlen) &&
+            static_cast<usize>(limit - p) >= klen + vlen) {
+          key_ = std::string_view(p, klen);
+          value_ = std::string_view(p + klen, vlen);
+          next_pos_ = static_cast<usize>(p + klen + vlen - span_.data());
+          return;
+        }
+      }
+      // Block exhausted (or malformed tail): move on.
+      ++block_;
+      pos_ = 0;
+      load_block();
+    }
+  }
+
+  const Table* table_;
+  usize block_ = ~usize{0};
+  usize pos_ = 0, next_pos_ = 0;
+  std::string_view span_, key_, value_;
+};
+
+std::unique_ptr<Iterator> Table::new_iterator() const {
+  return std::make_unique<TableIterator>(this);
+}
+
+}  // namespace teeperf::kvs

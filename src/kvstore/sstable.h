@@ -1,0 +1,108 @@
+// Sorted String Table: the immutable on-disk format.
+//
+// Layout:
+//   [data block + crc]*  — 1 prefix byte (0 raw, 1 LZ-compressed) followed
+//                          by records: varint klen | varint vlen | key | value
+//   [filter block + crc] — bloom filter over user keys
+//   [index block + crc]  — per data block: varint klen | last_internal_key |
+//                          fixed64 offset | fixed64 length
+//   footer (48 bytes)    — fixed64 index_off, index_len, filter_off,
+//                          filter_len, entry_count, magic
+// All block CRCs are verified once at open; reads after that trust memory.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "kvstore/iterator.h"
+#include "kvstore/options.h"
+#include "kvstore/status.h"
+
+namespace teeperf::kvs {
+
+inline constexpr u64 kTableMagic = 0x73737461626c6531ull;  // "sstable1"
+
+class TableBuilder {
+ public:
+  explicit TableBuilder(const Options& options) : options_(options) {}
+
+  // Keys must arrive in strictly ascending internal-key order.
+  void add(std::string_view internal_key, std::string_view value);
+
+  // Finalizes the table and writes it to `path`.
+  Status finish(const std::string& path);
+
+  u64 entry_count() const { return entries_; }
+  u64 file_size() const { return buf_.size(); }
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+
+ private:
+  void flush_block();
+
+  Options options_;
+  std::string buf_;        // the file image being built
+  std::string block_;      // current data block
+  std::string index_;      // index block under construction
+  std::string last_key_;   // last key added to the current block
+  std::string smallest_, largest_;
+  std::vector<u64> key_hash_pending_;  // user keys for the bloom filter
+  std::string filter_keys_;            // flattened user keys (len-prefixed)
+  u64 entries_ = 0;
+};
+
+class Table {
+ public:
+  // Opens and fully validates an SSTable file (footer, magic, block CRCs).
+  static Status open(const std::string& path, const Options& options,
+                     std::unique_ptr<Table>* table);
+
+  // Point lookup with memtable-equivalent semantics: returns true if an
+  // entry for `user_key` (visible at `snapshot_seq`) exists; *status is
+  // not_found() for tombstones, ok() with *value filled otherwise.
+  bool get(std::string_view user_key, u64 snapshot_seq, std::string* value,
+           Status* status) const;
+
+  std::unique_ptr<Iterator> new_iterator() const;
+
+  u64 entry_count() const { return entry_count_; }
+  u64 file_size() const { return data_.size(); }
+  std::string_view smallest() const { return smallest_; }  // internal key
+  std::string_view largest() const { return largest_; }    // internal key
+  const std::string& path() const { return path_; }
+
+  // Lookup statistics (filter effectiveness tests / bench reporting).
+  mutable u64 bloom_negatives = 0;
+  mutable u64 block_reads = 0;
+  // Number of data blocks stored compressed in this table.
+  usize compressed_blocks = 0;
+
+ private:
+  friend class TableIterator;
+  Table() = default;
+
+  struct IndexEntry {
+    std::string last_key;  // internal key of the block's last record
+    u64 offset = 0;
+    u64 length = 0;
+  };
+
+  // Index position of the first block whose last key is >= target.
+  usize block_lower_bound(std::string_view internal_key) const;
+  std::string_view block_data(usize block_index) const;
+
+  std::string path_;
+  std::string data_;    // entire file
+  std::string filter_;  // bloom filter contents
+  // Decompressed payloads for compressed blocks; empty strings for raw
+  // blocks (those are served as views into data_).
+  std::vector<std::string> owned_blocks_;
+  std::vector<IndexEntry> index_;
+  u64 entry_count_ = 0;
+  std::string smallest_, largest_;
+};
+
+}  // namespace teeperf::kvs

@@ -1,0 +1,57 @@
+#include "kvstore/version.h"
+
+#include <cstdio>
+
+#include "common/fileutil.h"
+#include "common/stringutil.h"
+
+namespace teeperf::kvs {
+
+std::string table_file_name(const std::string& db_dir, u64 number) {
+  return str_format("%s/%06llu.sst", db_dir.c_str(),
+                    static_cast<unsigned long long>(number));
+}
+
+std::string wal_file_name(const std::string& db_dir) { return db_dir + "/wal.log"; }
+
+Status write_manifest(const std::string& db_dir, const ManifestData& data) {
+  std::string out = str_format("next_file %llu\nseq %llu\n",
+                               static_cast<unsigned long long>(data.next_file_number),
+                               static_cast<unsigned long long>(data.last_sequence));
+  for (const auto& [level, number] : data.files) {
+    out += str_format("file %zu %llu\n", level,
+                      static_cast<unsigned long long>(number));
+  }
+  std::string tmp = db_dir + "/MANIFEST.tmp";
+  std::string final_path = db_dir + "/MANIFEST";
+  if (!write_file(tmp, out)) return Status::io_error("write manifest");
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::io_error("rename manifest");
+  }
+  return Status::ok();
+}
+
+Status read_manifest(const std::string& db_dir, ManifestData* data, bool* exists) {
+  auto raw = read_file(db_dir + "/MANIFEST");
+  *exists = raw.has_value();
+  if (!raw) return Status::ok();
+  data->files.clear();
+  for (std::string_view line : split(*raw, '\n')) {
+    if (line.empty()) continue;
+    unsigned long long a = 0, b = 0;
+    usize level = 0;
+    std::string l(line);
+    if (std::sscanf(l.c_str(), "next_file %llu", &a) == 1) {
+      data->next_file_number = a;
+    } else if (std::sscanf(l.c_str(), "seq %llu", &a) == 1) {
+      data->last_sequence = a;
+    } else if (std::sscanf(l.c_str(), "file %zu %llu", &level, &b) == 2) {
+      data->files.emplace_back(level, b);
+    } else {
+      return Status::corruption("manifest line: " + l);
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace teeperf::kvs

@@ -1,0 +1,70 @@
+#include "kvstore/write_batch.h"
+
+#include "kvstore/coding.h"
+
+namespace teeperf::kvs {
+
+namespace {
+constexpr usize kHeader = 12;  // fixed64 seq + fixed32 count
+}
+
+void WriteBatch::clear() {
+  rep_.clear();
+  rep_.resize(kHeader, '\0');
+}
+
+void WriteBatch::put(std::string_view key, std::string_view value) {
+  rep_.push_back(static_cast<char>(ValueType::kValue));
+  put_length_prefixed(&rep_, key);
+  put_length_prefixed(&rep_, value);
+  u32 c = get_fixed32(rep_.data() + 8) + 1;
+  for (int i = 0; i < 4; ++i) rep_[8 + i] = static_cast<char>(c >> (i * 8));
+}
+
+void WriteBatch::remove(std::string_view key) {
+  rep_.push_back(static_cast<char>(ValueType::kDeletion));
+  put_length_prefixed(&rep_, key);
+  u32 c = get_fixed32(rep_.data() + 8) + 1;
+  for (int i = 0; i < 4; ++i) rep_[8 + i] = static_cast<char>(c >> (i * 8));
+}
+
+u32 WriteBatch::count() const { return get_fixed32(rep_.data() + 8); }
+
+u64 WriteBatch::base_sequence() const { return get_fixed64(rep_.data()); }
+
+void WriteBatch::set_base_sequence(u64 seq) {
+  for (int i = 0; i < 8; ++i) rep_[i] = static_cast<char>(seq >> (i * 8));
+}
+
+Status WriteBatch::iterate(const Handler& fn) const {
+  if (rep_.size() < kHeader) return Status::corruption("batch too small");
+  const char* p = rep_.data() + kHeader;
+  const char* limit = rep_.data() + rep_.size();
+  u64 seq = base_sequence();
+  u32 expected = count();
+  u32 seen = 0;
+  while (p < limit) {
+    ValueType type = static_cast<ValueType>(*p++);
+    std::string_view key, value;
+    if (!get_length_prefixed(&p, limit, &key)) return Status::corruption("batch key");
+    if (type == ValueType::kValue) {
+      if (!get_length_prefixed(&p, limit, &value)) {
+        return Status::corruption("batch value");
+      }
+    } else if (type != ValueType::kDeletion) {
+      return Status::corruption("batch record type");
+    }
+    fn(seq++, type, key, value);
+    ++seen;
+  }
+  if (seen != expected) return Status::corruption("batch count mismatch");
+  return Status::ok();
+}
+
+WriteBatch WriteBatch::from_payload(std::string payload) {
+  WriteBatch b;
+  if (payload.size() >= kHeader) b.rep_ = std::move(payload);
+  return b;
+}
+
+}  // namespace teeperf::kvs

@@ -1,0 +1,44 @@
+// Atomic multi-operation writes. The batch's serialized form doubles as the
+// WAL record payload: fixed64 starting-sequence | fixed32 count | records,
+// where each record is: u8 type | varint key [| varint value].
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "kvstore/dbformat.h"
+#include "kvstore/status.h"
+
+namespace teeperf::kvs {
+
+class WriteBatch {
+ public:
+  WriteBatch() { clear(); }
+
+  void put(std::string_view key, std::string_view value);
+  void remove(std::string_view key);
+  void clear();
+
+  u32 count() const;
+  const std::string& payload() const { return rep_; }
+
+  // Replays every operation into `fn(type, key, value)` with ascending
+  // per-record sequence numbers starting at base_sequence().
+  using Handler = std::function<void(u64 seq, ValueType type, std::string_view key,
+                                     std::string_view value)>;
+  Status iterate(const Handler& fn) const;
+
+  u64 base_sequence() const;
+  void set_base_sequence(u64 seq);
+
+  // Adopts a serialized payload (WAL recovery path). Validation happens in
+  // iterate().
+  static WriteBatch from_payload(std::string payload);
+
+ private:
+  std::string rep_;
+};
+
+}  // namespace teeperf::kvs

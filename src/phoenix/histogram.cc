@@ -1,0 +1,80 @@
+// Phoenix histogram: bucket the R/G/B channels of a bitmap into 3×256 bins.
+// Call density: one scoped helper per row of 256 pixels — moderate.
+#include <array>
+
+#include "common/rng.h"
+#include "core/scope.h"
+#include "phoenix/parallel.h"
+#include "phoenix/phoenix.h"
+
+namespace teeperf::phoenix {
+namespace {
+
+constexpr usize kRowPixels = 256;
+
+struct LocalHist {
+  std::array<u64, 256> r{}, g{}, b{};
+};
+
+// One "row" of the bitmap: the per-call unit of work.
+void accumulate_row(const u8* px, usize pixels, LocalHist& h) {
+  TEEPERF_SCOPE("phoenix::histogram::accumulate_row");
+  for (usize i = 0; i < pixels; ++i) {
+    ++h.r[px[i * 3 + 0]];
+    ++h.g[px[i * 3 + 1]];
+    ++h.b[px[i * 3 + 2]];
+  }
+}
+
+}  // namespace
+
+u64 HistogramResult::checksum() const {
+  u64 c = 0;
+  for (usize i = 0; i < 256; ++i) {
+    c = c * 31 + r[i];
+    c = c * 31 + g[i];
+    c = c * 31 + b[i];
+  }
+  return c;
+}
+
+HistogramInput gen_histogram(usize pixel_count, u64 seed) {
+  HistogramInput in;
+  in.pixels.resize(pixel_count * 3);
+  Xorshift64 rng(seed);
+  for (usize i = 0; i < in.pixels.size(); i += 8) {
+    u64 v = rng.next();
+    for (usize j = 0; j < 8 && i + j < in.pixels.size(); ++j) {
+      in.pixels[i + j] = static_cast<u8>(v >> (j * 8));
+    }
+  }
+  return in;
+}
+
+HistogramResult run_histogram(const HistogramInput& in, usize threads) {
+  TEEPERF_SCOPE("phoenix::histogram");
+  usize pixels = in.pixels.size() / 3;
+  std::vector<LocalHist> locals(threads ? threads : 1);
+
+  parallel_chunks(pixels, threads, [&](usize worker, usize begin, usize end) {
+    TEEPERF_SCOPE("phoenix::histogram::map_worker");
+    LocalHist& h = locals[worker];
+    for (usize p = begin; p < end; p += kRowPixels) {
+      usize row = std::min(kRowPixels, end - p);
+      accumulate_row(in.pixels.data() + p * 3, row, h);
+    }
+  });
+
+  TEEPERF_SCOPE("phoenix::histogram::reduce");
+  HistogramResult out;
+  for (const LocalHist& h : locals) {
+    for (usize i = 0; i < 256; ++i) {
+      out.r[i] += h.r[i];
+      out.g[i] += h.g[i];
+      out.b[i] += h.b[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace teeperf::phoenix

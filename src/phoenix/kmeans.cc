@@ -1,0 +1,114 @@
+// Phoenix kmeans: Lloyd's iterations over d-dimensional points.
+// Call density: one scoped helper per point per iteration (distance scan
+// over k centroids inside) — medium-high.
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/scope.h"
+#include "phoenix/parallel.h"
+#include "phoenix/phoenix.h"
+
+namespace teeperf::phoenix {
+namespace {
+
+// Nearest-centroid assignment for one point: the per-call unit.
+usize assign_point(const double* p, const double* centroids, usize k, usize dim) {
+  TEEPERF_SCOPE("phoenix::kmeans::assign_point");
+  usize best = 0;
+  double best_d = 1e300;
+  for (usize c = 0; c < k; ++c) {
+    double d = 0;
+    for (usize j = 0; j < dim; ++j) {
+      double diff = p[j] - centroids[c * dim + j];
+      d += diff * diff;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+u64 KmeansResult::checksum() const {
+  u64 c = iterations;
+  for (double v : centroids) c = c * 31 + static_cast<u64>(std::llround(v * 1000.0));
+  return c;
+}
+
+KmeansInput gen_kmeans(usize points, usize dim, usize k, u64 seed) {
+  KmeansInput in;
+  in.dim = dim;
+  in.k = k;
+  in.points.resize(points * dim);
+  Xorshift64 rng(seed);
+  // Points drawn around k well-separated true centers so iterations converge.
+  for (usize p = 0; p < points; ++p) {
+    usize center = rng.next_below(k);
+    for (usize j = 0; j < dim; ++j) {
+      in.points[p * dim + j] =
+          static_cast<double>(center * 100 + j) + rng.next_double() * 10.0;
+    }
+  }
+  return in;
+}
+
+KmeansResult run_kmeans(const KmeansInput& in, usize threads, usize max_iters) {
+  TEEPERF_SCOPE("phoenix::kmeans");
+  usize n = in.dim ? in.points.size() / in.dim : 0;
+  usize k = in.k, dim = in.dim;
+  if (n == 0 || k == 0) return {};
+
+  std::vector<double> centroids(k * dim);
+  for (usize c = 0; c < k; ++c) {
+    for (usize j = 0; j < dim; ++j) centroids[c * dim + j] = in.points[c * dim + j];
+  }
+
+  std::vector<usize> assign(n, 0);
+  usize workers = threads ? threads : 1;
+  KmeansResult out;
+
+  for (usize iter = 0; iter < max_iters; ++iter) {
+    std::vector<u64> changed(workers, 0);
+    parallel_chunks(n, threads, [&](usize worker, usize begin, usize end) {
+      TEEPERF_SCOPE("phoenix::kmeans::map_worker");
+      u64 local_changed = 0;
+      for (usize p = begin; p < end; ++p) {
+        usize c = assign_point(in.points.data() + p * dim, centroids.data(), k, dim);
+        if (c != assign[p]) {
+          assign[p] = c;
+          ++local_changed;
+        }
+      }
+      changed[worker] = local_changed;
+    });
+    ++out.iterations;
+
+    // Reduce: recompute centroids.
+    TEEPERF_SCOPE("phoenix::kmeans::update_centroids");
+    std::vector<double> sums(k * dim, 0.0);
+    std::vector<u64> counts(k, 0);
+    for (usize p = 0; p < n; ++p) {
+      usize c = assign[p];
+      ++counts[c];
+      for (usize j = 0; j < dim; ++j) sums[c * dim + j] += in.points[p * dim + j];
+    }
+    for (usize c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (usize j = 0; j < dim; ++j) {
+        centroids[c * dim + j] = sums[c * dim + j] / static_cast<double>(counts[c]);
+      }
+    }
+
+    u64 total_changed = 0;
+    for (u64 ch : changed) total_changed += ch;
+    if (total_changed == 0) break;
+  }
+
+  out.centroids = std::move(centroids);
+  return out;
+}
+
+}  // namespace teeperf::phoenix

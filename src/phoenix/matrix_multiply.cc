@@ -1,0 +1,59 @@
+// Phoenix matrix_multiply: C = A·B for dense n×n integer matrices.
+// Call density: one scoped helper per output row — n calls carrying O(n²)
+// work each, so instrumentation overhead is low.
+#include "common/rng.h"
+#include "core/scope.h"
+#include "phoenix/parallel.h"
+#include "phoenix/phoenix.h"
+
+namespace teeperf::phoenix {
+namespace {
+
+u64 multiply_row(const i32* a_row, const i32* b, usize n, i32* c_row) {
+  TEEPERF_SCOPE("phoenix::matrix_multiply::multiply_row");
+  u64 sum = 0;
+  for (usize j = 0; j < n; ++j) {
+    i64 acc = 0;
+    for (usize k = 0; k < n; ++k) {
+      acc += static_cast<i64>(a_row[k]) * static_cast<i64>(b[k * n + j]);
+    }
+    c_row[j] = static_cast<i32>(acc);
+    sum += static_cast<u64>(acc);
+  }
+  return sum;
+}
+
+}  // namespace
+
+MatMulInput gen_matmul(usize n, u64 seed) {
+  MatMulInput in;
+  in.n = n;
+  in.a.resize(n * n);
+  in.b.resize(n * n);
+  Xorshift64 rng(seed);
+  for (auto& v : in.a) v = static_cast<i32>(rng.next_below(100));
+  for (auto& v : in.b) v = static_cast<i32>(rng.next_below(100));
+  return in;
+}
+
+MatMulResult run_matmul(const MatMulInput& in, usize threads) {
+  TEEPERF_SCOPE("phoenix::matrix_multiply");
+  usize n = in.n;
+  std::vector<i32> c(n * n);
+  std::vector<u64> partial(threads ? threads : 1, 0);
+
+  parallel_chunks(n, threads, [&](usize worker, usize begin, usize end) {
+    TEEPERF_SCOPE("phoenix::matrix_multiply::map_worker");
+    u64 local = 0;
+    for (usize i = begin; i < end; ++i) {
+      local += multiply_row(in.a.data() + i * n, in.b.data(), n, c.data() + i * n);
+    }
+    partial[worker] = local;
+  });
+
+  MatMulResult out;
+  for (u64 p : partial) out.checksum_value += p;
+  return out;
+}
+
+}  // namespace teeperf::phoenix

@@ -1,0 +1,33 @@
+// Phoenix-style chunked fork/join: split [0, total) into one contiguous
+// chunk per worker, run them on std::threads, join. Matches the original
+// suite's static partitioning (each map worker owns a slice of the input).
+#pragma once
+
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace teeperf::phoenix {
+
+// fn(worker_index, begin, end) — called once per worker; worker 0 runs on
+// the calling thread so single-threaded runs spawn nothing.
+template <typename F>
+void parallel_chunks(usize total, usize threads, F&& fn) {
+  if (threads == 0) threads = 1;
+  if (threads > total && total > 0) threads = total;
+  usize chunk = threads ? (total + threads - 1) / threads : 0;
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads > 0 ? threads - 1 : 0);
+  for (usize t = 1; t < threads; ++t) {
+    usize begin = t * chunk;
+    usize end = begin + chunk < total ? begin + chunk : total;
+    if (begin >= end) break;
+    workers.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+  }
+  if (total > 0) fn(0, 0, chunk < total ? chunk : total);
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace teeperf::phoenix

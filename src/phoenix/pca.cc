@@ -1,0 +1,91 @@
+// Phoenix pca: column means and the covariance matrix of a dense matrix
+// (the original suite computes exactly these two passes).
+// Call density: one scoped helper per row per pass — medium.
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/scope.h"
+#include "phoenix/parallel.h"
+#include "phoenix/phoenix.h"
+
+namespace teeperf::phoenix {
+namespace {
+
+void sum_row(const double* row, usize cols, double* acc) {
+  TEEPERF_SCOPE("phoenix::pca::sum_row");
+  for (usize j = 0; j < cols; ++j) acc[j] += row[j];
+}
+
+void cov_row(const double* row, const double* mean, usize cols, double* acc) {
+  TEEPERF_SCOPE("phoenix::pca::cov_row");
+  for (usize a = 0; a < cols; ++a) {
+    double da = row[a] - mean[a];
+    for (usize b = a; b < cols; ++b) acc[a * cols + b] += da * (row[b] - mean[b]);
+  }
+}
+
+}  // namespace
+
+u64 PcaResult::checksum() const {
+  u64 c = 0;
+  for (double v : mean) c = c * 31 + static_cast<u64>(std::llround(v * 1000.0));
+  for (double v : cov) c = c * 31 + static_cast<u64>(std::llround(v * 100.0));
+  return c;
+}
+
+PcaInput gen_pca(usize rows, usize cols, u64 seed) {
+  PcaInput in;
+  in.rows = rows;
+  in.cols = cols;
+  in.data.resize(rows * cols);
+  Xorshift64 rng(seed);
+  for (auto& v : in.data) v = rng.next_double() * 100.0;
+  return in;
+}
+
+PcaResult run_pca(const PcaInput& in, usize threads) {
+  TEEPERF_SCOPE("phoenix::pca");
+  usize rows = in.rows, cols = in.cols;
+  usize workers = threads ? threads : 1;
+
+  // Pass 1: column means.
+  std::vector<std::vector<double>> partial_sum(workers, std::vector<double>(cols, 0.0));
+  parallel_chunks(rows, threads, [&](usize worker, usize begin, usize end) {
+    TEEPERF_SCOPE("phoenix::pca::mean_worker");
+    for (usize r = begin; r < end; ++r) {
+      sum_row(in.data.data() + r * cols, cols, partial_sum[worker].data());
+    }
+  });
+  std::vector<double> mean(cols, 0.0);
+  for (const auto& p : partial_sum) {
+    for (usize j = 0; j < cols; ++j) mean[j] += p[j];
+  }
+  for (usize j = 0; j < cols; ++j) mean[j] /= static_cast<double>(rows ? rows : 1);
+
+  // Pass 2: covariance (upper triangle accumulated, mirrored at the end).
+  std::vector<std::vector<double>> partial_cov(workers,
+                                               std::vector<double>(cols * cols, 0.0));
+  parallel_chunks(rows, threads, [&](usize worker, usize begin, usize end) {
+    TEEPERF_SCOPE("phoenix::pca::cov_worker");
+    for (usize r = begin; r < end; ++r) {
+      cov_row(in.data.data() + r * cols, mean.data(), cols, partial_cov[worker].data());
+    }
+  });
+
+  PcaResult out;
+  out.mean = std::move(mean);
+  out.cov.assign(cols * cols, 0.0);
+  for (const auto& p : partial_cov) {
+    for (usize i = 0; i < cols * cols; ++i) out.cov[i] += p[i];
+  }
+  double denom = rows > 1 ? static_cast<double>(rows - 1) : 1.0;
+  for (usize a = 0; a < cols; ++a) {
+    for (usize b = a; b < cols; ++b) {
+      out.cov[a * cols + b] /= denom;
+      out.cov[b * cols + a] = out.cov[a * cols + b];
+    }
+  }
+  return out;
+}
+
+}  // namespace teeperf::phoenix

@@ -1,0 +1,155 @@
+// Reimplementation of the Phoenix 2.0 multithreaded benchmark kernels
+// (Ranger et al., HPCA'07) used by the paper's Figure 4 evaluation:
+// histogram, kmeans, linear_regression, matrix_multiply, pca, string_match
+// and word_count.
+//
+// What matters for reproducing Figure 4 is each kernel's *call density* —
+// how much work it does per function call — because TEE-Perf's overhead is
+// per call/return while perf's is per sample:
+//   - string_match calls a tiny encrypt+compare helper once per word
+//     (the paper's worst case, 5.7× vs perf);
+//   - linear_regression is one tight loop per thread with almost no calls
+//     (the paper's best case, ~0.92× — faster than perf);
+//   - the rest sit in between (per-row / per-token / per-point helpers).
+// The hot helpers carry TEEPERF scopes, which emit exactly the log entries
+// the compiler route would; threading follows Phoenix's map/reduce chunking.
+//
+// Every kernel returns a checksum so tests can verify sequential vs
+// threaded equivalence and known closed-form results.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace teeperf::phoenix {
+
+// ---- histogram -------------------------------------------------------------
+struct HistogramInput {
+  std::vector<u8> pixels;  // interleaved RGB
+};
+struct HistogramResult {
+  std::array<u64, 256> r{}, g{}, b{};
+  u64 checksum() const;
+};
+HistogramInput gen_histogram(usize pixel_count, u64 seed);
+HistogramResult run_histogram(const HistogramInput& in, usize threads);
+
+// ---- linear_regression -----------------------------------------------------
+struct LinRegInput {
+  std::vector<i32> xs, ys;
+};
+struct LinRegResult {
+  double slope = 0, intercept = 0;
+  u64 n = 0;
+  u64 checksum() const;
+};
+LinRegInput gen_linreg(usize points, u64 seed);
+LinRegResult run_linreg(const LinRegInput& in, usize threads);
+
+// ---- string_match ----------------------------------------------------------
+struct StringMatchInput {
+  std::vector<std::string> words;
+  std::array<std::string, 4> keys;  // Phoenix matches 4 fixed keys
+};
+struct StringMatchResult {
+  u64 matches = 0;
+  u64 words_scanned = 0;
+  u64 checksum() const;
+};
+StringMatchInput gen_string_match(usize word_count, u64 seed);
+StringMatchResult run_string_match(const StringMatchInput& in, usize threads);
+
+// ---- word_count ------------------------------------------------------------
+struct WordCountInput {
+  std::string text;  // whitespace-separated words
+};
+struct WordCountResult {
+  u64 total_words = 0;
+  u64 distinct_words = 0;
+  std::vector<std::pair<std::string, u64>> top;  // 10 most frequent
+  u64 checksum() const;
+};
+WordCountInput gen_word_count(usize word_count, u64 seed);
+WordCountResult run_word_count(const WordCountInput& in, usize threads);
+
+// ---- matrix_multiply -------------------------------------------------------
+struct MatMulInput {
+  usize n = 0;
+  std::vector<i32> a, b;  // row-major n×n
+};
+struct MatMulResult {
+  u64 checksum_value = 0;  // sum of all cells of C (mod 2^64)
+  u64 checksum() const { return checksum_value; }
+};
+MatMulInput gen_matmul(usize n, u64 seed);
+MatMulResult run_matmul(const MatMulInput& in, usize threads);
+
+// ---- kmeans ----------------------------------------------------------------
+struct KmeansInput {
+  usize dim = 0, k = 0;
+  std::vector<double> points;  // row-major point×dim
+};
+struct KmeansResult {
+  std::vector<double> centroids;  // k×dim
+  u64 iterations = 0;
+  u64 checksum() const;
+};
+KmeansInput gen_kmeans(usize points, usize dim, usize k, u64 seed);
+KmeansResult run_kmeans(const KmeansInput& in, usize threads, usize max_iters = 10);
+
+// ---- pca -------------------------------------------------------------------
+struct PcaInput {
+  usize rows = 0, cols = 0;
+  std::vector<double> data;  // row-major
+};
+struct PcaResult {
+  std::vector<double> mean;      // per column
+  std::vector<double> cov;       // cols×cols covariance matrix
+  u64 checksum() const;
+};
+PcaInput gen_pca(usize rows, usize cols, u64 seed);
+PcaResult run_pca(const PcaInput& in, usize threads);
+
+// ---- reverse_index -----------------------------------------------------------
+struct ReverseIndexInput {
+  std::vector<std::string> documents;  // synthetic HTML with href="..." links
+};
+struct ReverseIndexResult {
+  u64 total_links = 0;
+  u64 distinct_targets = 0;
+  std::vector<std::pair<std::string, u64>> top;  // 10 most-linked targets
+  u64 checksum() const;
+};
+ReverseIndexInput gen_reverse_index(usize docs, usize links_per_doc, u64 seed);
+ReverseIndexResult run_reverse_index(const ReverseIndexInput& in, usize threads);
+
+// ---- suite wrapper ----------------------------------------------------------
+// Uniform interface for the Figure 4 harness and tests: prepare generates
+// the (scaled) input once; run executes the kernel and returns its checksum.
+struct SuiteParams {
+  usize scale = 1;  // multiplies the default input size
+  u64 seed = 42;
+  usize threads = 4;
+};
+
+class PhoenixBenchmark {
+ public:
+  virtual ~PhoenixBenchmark() = default;
+  virtual std::string_view name() const = 0;
+  virtual void prepare(const SuiteParams& params) = 0;
+  virtual u64 run(usize threads) = 0;
+  // Approximate dynamic function-call count of one run (scoped helpers
+  // only); lets tests assert the call-density ordering Figure 4 relies on.
+  virtual u64 approx_calls() const = 0;
+};
+
+// The five Figure 4 kernels, in the figure's order, then kmeans and pca.
+std::vector<std::string> suite_names();
+std::unique_ptr<PhoenixBenchmark> make_benchmark(std::string_view name);
+
+}  // namespace teeperf::phoenix

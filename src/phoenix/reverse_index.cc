@@ -1,0 +1,101 @@
+// Phoenix reverse_index: extract links from a corpus of (synthetic) HTML
+// documents and build the inverted index target → list of documents.
+// Call density: one scoped helper per document — moderate.
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "core/scope.h"
+#include "phoenix/parallel.h"
+#include "phoenix/phoenix.h"
+
+namespace teeperf::phoenix {
+namespace {
+
+// Extracts every href="..." target from one document: the per-call unit.
+void extract_links(std::string_view doc, usize doc_id,
+                   std::map<std::string, std::vector<usize>>& index) {
+  TEEPERF_SCOPE("phoenix::reverse_index::extract_links");
+  constexpr std::string_view kNeedle = "href=\"";
+  usize pos = 0;
+  while ((pos = doc.find(kNeedle, pos)) != std::string_view::npos) {
+    pos += kNeedle.size();
+    usize end = doc.find('"', pos);
+    if (end == std::string_view::npos) break;
+    index[std::string(doc.substr(pos, end - pos))].push_back(doc_id);
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+u64 ReverseIndexResult::checksum() const {
+  u64 c = total_links * 31 + distinct_targets;
+  for (const auto& [target, docs] : top) {
+    for (char ch : target) c = c * 131 + static_cast<u8>(ch);
+    c = c * 31 + docs;
+  }
+  return c;
+}
+
+ReverseIndexInput gen_reverse_index(usize docs, usize links_per_doc, u64 seed) {
+  ReverseIndexInput in;
+  Xorshift64 rng(seed);
+  // A shared pool of link targets so documents genuinely cross-reference.
+  std::vector<std::string> targets;
+  for (usize i = 0; i < 256; ++i) {
+    targets.push_back(rng.next_word(6) + ".html");
+  }
+  in.documents.reserve(docs);
+  SkewedPicker picker(targets.size(), 1.5, seed ^ 0x51ab);
+  for (usize d = 0; d < docs; ++d) {
+    std::string doc = "<html><body>";
+    for (usize l = 0; l < links_per_doc; ++l) {
+      doc += "<p>" + rng.next_word(8) + " <a href=\"" + targets[picker.next()] +
+             "\">link</a></p>";
+    }
+    doc += "</body></html>";
+    in.documents.push_back(std::move(doc));
+  }
+  return in;
+}
+
+ReverseIndexResult run_reverse_index(const ReverseIndexInput& in, usize threads) {
+  TEEPERF_SCOPE("phoenix::reverse_index");
+  usize workers = threads ? threads : 1;
+  std::vector<std::map<std::string, std::vector<usize>>> locals(workers);
+
+  parallel_chunks(in.documents.size(), threads,
+                  [&](usize worker, usize begin, usize end) {
+                    TEEPERF_SCOPE("phoenix::reverse_index::map_worker");
+                    for (usize d = begin; d < end; ++d) {
+                      extract_links(in.documents[d], d, locals[worker]);
+                    }
+                  });
+
+  TEEPERF_SCOPE("phoenix::reverse_index::reduce");
+  std::map<std::string, std::vector<usize>> merged;
+  ReverseIndexResult out;
+  for (auto& local : locals) {
+    for (auto& [target, docs] : local) {
+      auto& list = merged[target];
+      list.insert(list.end(), docs.begin(), docs.end());
+    }
+  }
+  for (auto& [target, docs] : merged) {
+    std::sort(docs.begin(), docs.end());
+    out.total_links += docs.size();
+  }
+  out.distinct_targets = merged.size();
+
+  std::vector<std::pair<std::string, u64>> ranked;
+  for (auto& [target, docs] : merged) ranked.emplace_back(target, docs.size());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (ranked.size() > 10) ranked.resize(10);
+  out.top = std::move(ranked);
+  return out;
+}
+
+}  // namespace teeperf::phoenix

@@ -1,0 +1,136 @@
+// Uniform wrappers over the seven kernels for the Figure 4 harness.
+// Default sizes are tuned so that a scale=1 run takes tens of milliseconds
+// on a small machine; the harness scales them up for stable measurements.
+#include "phoenix/phoenix.h"
+
+namespace teeperf::phoenix {
+namespace {
+
+class HistogramBench : public PhoenixBenchmark {
+ public:
+  std::string_view name() const override { return "histogram"; }
+  void prepare(const SuiteParams& p) override {
+    in_ = gen_histogram(2'000'000 * p.scale, p.seed);
+  }
+  u64 run(usize threads) override { return run_histogram(in_, threads).checksum(); }
+  u64 approx_calls() const override { return in_.pixels.size() / 3 / 256; }
+
+ private:
+  HistogramInput in_;
+};
+
+class LinRegBench : public PhoenixBenchmark {
+ public:
+  std::string_view name() const override { return "linear_regression"; }
+  void prepare(const SuiteParams& p) override {
+    in_ = gen_linreg(8'000'000 * p.scale, p.seed);
+  }
+  u64 run(usize threads) override { return run_linreg(in_, threads).checksum(); }
+  u64 approx_calls() const override { return 8; }
+
+ private:
+  LinRegInput in_;
+};
+
+class StringMatchBench : public PhoenixBenchmark {
+ public:
+  std::string_view name() const override { return "string_match"; }
+  void prepare(const SuiteParams& p) override {
+    in_ = gen_string_match(900'000 * p.scale, p.seed);
+  }
+  u64 run(usize threads) override { return run_string_match(in_, threads).checksum(); }
+  u64 approx_calls() const override { return in_.words.size(); }
+
+ private:
+  StringMatchInput in_;
+};
+
+class WordCountBench : public PhoenixBenchmark {
+ public:
+  std::string_view name() const override { return "word_count"; }
+  void prepare(const SuiteParams& p) override {
+    in_ = gen_word_count(300'000 * p.scale, p.seed);
+  }
+  u64 run(usize threads) override { return run_word_count(in_, threads).checksum(); }
+  // One count_word call per word plus one count_line per 8 words.
+  u64 approx_calls() const override { return 300'000 + 300'000 / 8; }
+
+ private:
+  WordCountInput in_;
+};
+
+class MatMulBench : public PhoenixBenchmark {
+ public:
+  std::string_view name() const override { return "matrix_multiply"; }
+  void prepare(const SuiteParams& p) override {
+    in_ = gen_matmul(256 + 64 * p.scale, p.seed);
+  }
+  u64 run(usize threads) override { return run_matmul(in_, threads).checksum(); }
+  u64 approx_calls() const override { return in_.n; }
+
+ private:
+  MatMulInput in_;
+};
+
+class KmeansBench : public PhoenixBenchmark {
+ public:
+  std::string_view name() const override { return "kmeans"; }
+  void prepare(const SuiteParams& p) override {
+    in_ = gen_kmeans(50'000 * p.scale, 4, 8, p.seed);
+  }
+  u64 run(usize threads) override { return run_kmeans(in_, threads).checksum(); }
+  u64 approx_calls() const override {
+    return (in_.dim ? in_.points.size() / in_.dim : 0) * 10;
+  }
+
+ private:
+  KmeansInput in_;
+};
+
+class PcaBench : public PhoenixBenchmark {
+ public:
+  std::string_view name() const override { return "pca"; }
+  void prepare(const SuiteParams& p) override {
+    in_ = gen_pca(2000 * p.scale, 64, p.seed);
+  }
+  u64 run(usize threads) override { return run_pca(in_, threads).checksum(); }
+  u64 approx_calls() const override { return in_.rows * 2; }
+
+ private:
+  PcaInput in_;
+};
+
+class ReverseIndexBench : public PhoenixBenchmark {
+ public:
+  std::string_view name() const override { return "reverse_index"; }
+  void prepare(const SuiteParams& p) override {
+    in_ = gen_reverse_index(4'000 * p.scale, 20, p.seed);
+  }
+  u64 run(usize threads) override { return run_reverse_index(in_, threads).checksum(); }
+  u64 approx_calls() const override { return in_.documents.size(); }
+
+ private:
+  ReverseIndexInput in_;
+};
+
+}  // namespace
+
+std::vector<std::string> suite_names() {
+  // Figure 4's x-axis order, then the three extra kernels.
+  return {"matrix_multiply", "word_count", "string_match",
+          "linear_regression", "histogram", "kmeans", "pca", "reverse_index"};
+}
+
+std::unique_ptr<PhoenixBenchmark> make_benchmark(std::string_view name) {
+  if (name == "histogram") return std::make_unique<HistogramBench>();
+  if (name == "linear_regression") return std::make_unique<LinRegBench>();
+  if (name == "string_match") return std::make_unique<StringMatchBench>();
+  if (name == "word_count") return std::make_unique<WordCountBench>();
+  if (name == "matrix_multiply") return std::make_unique<MatMulBench>();
+  if (name == "kmeans") return std::make_unique<KmeansBench>();
+  if (name == "pca") return std::make_unique<PcaBench>();
+  if (name == "reverse_index") return std::make_unique<ReverseIndexBench>();
+  return nullptr;
+}
+
+}  // namespace teeperf::phoenix

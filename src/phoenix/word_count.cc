@@ -1,0 +1,114 @@
+// Phoenix word_count: count word frequencies, report the top 10.
+// Call density: one scoped helper per line (~8 words) — between
+// string_match (per word) and histogram (per 1024-pixel row).
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "core/scope.h"
+#include "phoenix/parallel.h"
+#include "phoenix/phoenix.h"
+
+namespace teeperf::phoenix {
+namespace {
+
+constexpr usize kWordsPerLine = 8;
+
+using Counts = std::unordered_map<std::string, u64>;
+
+// Insert one token into the counts — mirrors Phoenix's per-word insert into
+// its sorted key list, which compiler instrumentation would hit per word.
+void count_word(std::string_view word, Counts& counts) {
+  TEEPERF_SCOPE("phoenix::word_count::count_word");
+  ++counts[std::string(word)];
+}
+
+// Tokenize one "line" of text.
+void count_line(std::string_view line, Counts& counts) {
+  TEEPERF_SCOPE("phoenix::word_count::count_line");
+  usize i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    usize start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) count_word(line.substr(start, i - start), counts);
+  }
+}
+
+}  // namespace
+
+u64 WordCountResult::checksum() const {
+  u64 c = total_words * 31 + distinct_words;
+  for (const auto& [w, n] : top) {
+    for (char ch : w) c = c * 131 + static_cast<u8>(ch);
+    c = c * 31 + n;
+  }
+  return c;
+}
+
+WordCountInput gen_word_count(usize word_count, u64 seed) {
+  // A zipf-ish vocabulary: common words short and frequent.
+  Xorshift64 rng(seed);
+  std::vector<std::string> vocab;
+  for (usize i = 0; i < 512; ++i) vocab.push_back(rng.next_word(3 + i % 8));
+
+  WordCountInput in;
+  in.text.reserve(word_count * 8);
+  SkewedPicker picker(vocab.size(), 2.0, seed ^ 0xabcdef);
+  for (usize i = 0; i < word_count; ++i) {
+    in.text += vocab[picker.next()];
+    in.text += (i + 1) % kWordsPerLine == 0 ? '\n' : ' ';
+  }
+  return in;
+}
+
+WordCountResult run_word_count(const WordCountInput& in, usize threads) {
+  TEEPERF_SCOPE("phoenix::word_count");
+  if (threads == 0) threads = 1;
+
+  // Split the text at line boundaries into one region per worker.
+  std::vector<std::string_view> lines;
+  for (std::string_view line :
+       [&] {
+         std::vector<std::string_view> out;
+         usize start = 0;
+         for (usize i = 0; i <= in.text.size(); ++i) {
+           if (i == in.text.size() || in.text[i] == '\n') {
+             if (i > start) out.push_back(std::string_view(in.text).substr(start, i - start));
+             start = i + 1;
+           }
+         }
+         return out;
+       }()) {
+    lines.push_back(line);
+  }
+
+  std::vector<Counts> locals(threads);
+  parallel_chunks(lines.size(), threads, [&](usize worker, usize begin, usize end) {
+    TEEPERF_SCOPE("phoenix::word_count::map_worker");
+    for (usize i = begin; i < end; ++i) count_line(lines[i], locals[worker]);
+  });
+
+  TEEPERF_SCOPE("phoenix::word_count::reduce");
+  Counts merged;
+  u64 total = 0;
+  for (Counts& c : locals) {
+    for (auto& [w, n] : c) {
+      merged[w] += n;
+      total += n;
+    }
+  }
+
+  WordCountResult out;
+  out.total_words = total;
+  out.distinct_words = merged.size();
+  std::vector<std::pair<std::string, u64>> all(merged.begin(), merged.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (all.size() > 10) all.resize(10);
+  out.top = std::move(all);
+  return out;
+}
+
+}  // namespace teeperf::phoenix

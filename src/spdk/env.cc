@@ -1,0 +1,60 @@
+#include "spdk/env.h"
+
+#include "common/spin.h"
+#include "core/scope.h"
+#include "tee/sysapi.h"
+
+namespace teeperf::spdk {
+namespace {
+
+bool g_initialized = false;
+
+void map_all_hugepages(const EnvConfig& config) {
+  TEEPERF_SCOPE("map_all_hugepages");
+  for (usize i = 0; i < config.hugepage_count; ++i) {
+    spin_for_ns(config.per_hugepage_map_ns);
+  }
+}
+
+void eal_hugepage_init(const EnvConfig& config) {
+  TEEPERF_SCOPE("eal_hugepage_init");
+  map_all_hugepages(config);
+}
+
+void eal_memory_init(const EnvConfig& config) {
+  TEEPERF_SCOPE("eal_memory_init");
+  eal_hugepage_init(config);
+}
+
+void vfio_enable() {
+  TEEPERF_SCOPE("vfio_enable");
+  // Group/container setup is a handful of ioctls: syscalls, so trapped
+  // when initialising from inside an enclave.
+  for (int i = 0; i < 3; ++i) tee::sys::write_out("", 0);
+}
+
+void eal_vfio_setup(const EnvConfig& config) {
+  TEEPERF_SCOPE("eal_vfio_setup");
+  if (config.enable_vfio) vfio_enable();
+}
+
+void eal_init(const EnvConfig& config) {
+  TEEPERF_SCOPE("eal_init");
+  eal_memory_init(config);
+  eal_vfio_setup(config);
+}
+
+}  // namespace
+
+void env_init(const EnvConfig& config) {
+  TEEPERF_SCOPE("env_init");
+  if (g_initialized) return;
+  eal_init(config);
+  g_initialized = true;
+}
+
+bool env_initialized() { return g_initialized; }
+
+void env_reset_for_test() { g_initialized = false; }
+
+}  // namespace teeperf::spdk

@@ -1,0 +1,23 @@
+// The environment/EAL initialisation layer (DPDK's Environment Abstraction
+// Layer, which SPDK builds on): hugepage mapping, VFIO setup, memory init.
+// One-time startup cost, reproduced so the init stacks appear in the flame
+// graph exactly where Figure 6 (bottom right) shows them.
+#pragma once
+
+#include "common/types.h"
+
+namespace teeperf::spdk {
+
+struct EnvConfig {
+  usize hugepage_count = 64;       // simulated 2 MiB hugepages to "map"
+  u64 per_hugepage_map_ns = 20'000;  // mmap + touch cost per page
+  bool enable_vfio = true;
+};
+
+// env_init → eal_init → {eal_memory_init → eal_hugepage_init →
+// map_all_hugepages, eal_vfio_setup → vfio_enable}. Idempotent.
+void env_init(const EnvConfig& config = {});
+bool env_initialized();
+void env_reset_for_test();
+
+}  // namespace teeperf::spdk

@@ -1,0 +1,148 @@
+#include "spdk/perf_tool.h"
+
+#include "common/rng.h"
+#include "common/spin.h"
+#include "core/scope.h"
+#include "spdk/env.h"
+#include "spdk/ticks.h"
+
+#include "common/stringutil.h"
+
+namespace teeperf::spdk {
+namespace {
+
+struct PerfState {
+  NvmeQPair* qpair = nullptr;
+  const PerfConfig* config = nullptr;
+  SpdkMode mode;
+  CachedTicks cached_ticks;
+  Xorshift64 rng{1};
+  std::vector<std::vector<u8>> buffers;  // one per queue slot
+  LatencyHistogram latency;
+  u64 ios = 0, reads = 0, writes = 0;
+  bool draining = false;
+
+  explicit PerfState(u64 correction) : cached_ticks(correction) {}
+
+  u64 ticks() {
+    return mode.cache_ticks ? cached_ticks.get() : get_ticks();
+  }
+};
+
+struct TaskCtx {
+  PerfState* state;
+  usize slot;
+  u64 submit_ticks;
+};
+
+void submit_single_io(PerfState& st, TaskCtx* task);
+
+void io_complete(bool success, void* ctx) {
+  TEEPERF_SCOPE("io_complete");
+  TaskCtx* task = static_cast<TaskCtx*>(ctx);
+  PerfState& st = *task->state;
+  if (success) {
+    ++st.ios;
+    if (st.config->track_latency) {
+      u64 end = st.ticks();
+      st.latency.add(end >= task->submit_ticks ? end - task->submit_ticks : 0);
+    }
+  }
+  if (!st.draining) {
+    TEEPERF_SCOPE("task_complete");
+    submit_single_io(st, task);
+  }
+}
+
+void submit_single_io(PerfState& st, TaskCtx* task) {
+  TEEPERF_SCOPE("submit_single_io");
+  if (st.config->track_latency) task->submit_ticks = st.ticks();
+  u64 lba = st.rng.next_below(st.config->lba_space);
+  bool is_read = st.rng.next_double() < st.config->read_fraction;
+  void* buf = st.buffers[task->slot].data();
+  bool ok;
+  if (is_read) {
+    ++st.reads;
+    ok = st.qpair->read(buf, lba, st.config->blocks_per_io, io_complete, task);
+  } else {
+    ++st.writes;
+    ok = st.qpair->write(buf, lba, st.config->blocks_per_io, io_complete, task);
+  }
+  if (!ok) {
+    // Queue full (should not happen at queue_depth ≤ ring size): undo.
+    if (is_read) --st.reads; else --st.writes;
+  }
+}
+
+usize check_io(PerfState& st) {
+  TEEPERF_SCOPE("check_io");
+  return st.qpair->process_completions();
+}
+
+void work_fn(PerfState& st) {
+  TEEPERF_SCOPE("work_fn");
+  u64 deadline = monotonic_ns() + st.config->duration_ns;
+  while (monotonic_ns() < deadline) {
+    check_io(st);
+  }
+  // Drain outstanding commands so every submitted IO completes.
+  st.draining = true;
+  while (st.qpair->outstanding() > 0) check_io(st);
+}
+
+}  // namespace
+
+double ticks_to_us(u64 ticks) {
+  u64 hz = get_ticks_hz();
+  return hz ? static_cast<double>(ticks) * 1e6 / static_cast<double>(hz) : 0.0;
+}
+
+std::string latency_summary_us(const PerfResult& result) {
+  const LatencyHistogram& h = result.latency_ticks;
+  return str_format("lat(us): mean=%.1f p50=%.1f p99=%.1f max=%.1f",
+                    ticks_to_us(static_cast<u64>(h.mean())),
+                    ticks_to_us(static_cast<u64>(h.percentile(50))),
+                    ticks_to_us(static_cast<u64>(h.percentile(99))),
+                    ticks_to_us(h.max()));
+}
+
+PerfResult run_perf_tool(NvmeDevice& device, const PerfConfig& config,
+                         const SpdkMode& mode) {
+  TEEPERF_SCOPE("main");
+  env_init();
+  device.initialize();
+
+  PerfState st(mode.ticks_correction_interval);
+  st.config = &config;
+  st.mode = mode;
+  st.rng.reseed(config.seed);
+
+  NvmeQPair qpair(&device, mode);
+  st.qpair = &qpair;
+
+  usize io_bytes = static_cast<usize>(config.blocks_per_io) * config.block_size;
+  st.buffers.assign(config.queue_depth, std::vector<u8>(io_bytes, 0xa5));
+
+  std::vector<TaskCtx> tasks(config.queue_depth);
+  u64 t0 = monotonic_ns();
+  for (usize i = 0; i < config.queue_depth; ++i) {
+    tasks[i] = TaskCtx{&st, i, 0};
+    submit_single_io(st, &tasks[i]);
+  }
+  work_fn(st);
+  u64 t1 = monotonic_ns();
+
+  PerfResult r;
+  r.ios = st.ios;
+  r.reads = st.reads;
+  r.writes = st.writes;
+  r.seconds = static_cast<double>(t1 - t0) / 1e9;
+  r.iops = r.seconds > 0 ? static_cast<double>(r.ios) / r.seconds : 0;
+  r.throughput_mib_s =
+      r.iops * static_cast<double>(io_bytes) / (1024.0 * 1024.0);
+  r.latency_ticks = st.latency;
+  r.pid_lookups = qpair.pid_lookups();
+  return r;
+}
+
+}  // namespace teeperf::spdk

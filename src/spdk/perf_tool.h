@@ -1,0 +1,54 @@
+// The SPDK "perf" benchmark tool the paper uses for §IV-C: a polled
+// random-read/write workload against one namespace, fixed block size and
+// queue depth, reporting IOPS and throughput. Call structure mirrors
+// Figure 6: work_fn → check_io → qpair_process_completions, with completed
+// commands flowing task_complete → io_complete → submit_single_io.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include <string>
+
+#include "spdk/nvme.h"
+
+namespace teeperf::spdk {
+
+struct PerfConfig {
+  usize queue_depth = 32;
+  usize block_size = 4096;
+  u32 blocks_per_io = 1;
+  double read_fraction = 0.8;  // the paper's 80% read mix
+  u64 duration_ns = 1'000'000'000;
+  u64 lba_space = 1u << 20;  // LBAs addressed (wraps onto the model's storage)
+  u64 seed = 42;
+  bool track_latency = true;  // get_ticks per IO (the rdtsc bottleneck)
+};
+
+struct PerfResult {
+  u64 ios = 0;
+  u64 reads = 0;
+  u64 writes = 0;
+  double seconds = 0;
+  double iops = 0;
+  double throughput_mib_s = 0;
+  LatencyHistogram latency_ticks;
+  u64 pid_lookups = 0;
+};
+
+// Converts tick deltas from PerfResult::latency_ticks into microseconds
+// using the measured tick frequency.
+double ticks_to_us(u64 ticks);
+
+// One-line latency summary (mean/p50/p99 in µs) of a perf result.
+std::string latency_summary_us(const PerfResult& result);
+
+// Runs the perf tool against `device` (initialising it if needed). The
+// caller decides the world: wrap the call in an Enclave::ecall to reproduce
+// the naive/optimized SGX rows of §IV-C, or call directly for native.
+PerfResult run_perf_tool(NvmeDevice& device, const PerfConfig& config,
+                         const SpdkMode& mode);
+
+}  // namespace teeperf::spdk

@@ -1,0 +1,64 @@
+#include "spdk/ticks.h"
+
+#include "common/spin.h"
+#include "core/scope.h"
+#include "tee/sysapi.h"
+
+namespace teeperf::spdk {
+namespace {
+
+u64 get_tsc_cycles() {
+  TEEPERF_SCOPE("get_tsc_cycles");
+  return tee::sys::rdtsc();  // the trap point inside an enclave
+}
+
+u64 get_timer_cycles() {
+  TEEPERF_SCOPE("get_timer_cycles");
+  return get_tsc_cycles();
+}
+
+}  // namespace
+
+u64 get_ticks() {
+  TEEPERF_SCOPE("get_ticks");
+  return get_timer_cycles();
+}
+
+u64 get_ticks_hz() {
+  static u64 hz = [] {
+    u64 c0 = tee::sys::rdtsc();
+    u64 t0 = monotonic_ns();
+    spin_for_ns(2'000'000);
+    u64 c1 = tee::sys::rdtsc();
+    u64 t1 = monotonic_ns();
+    if (c1 <= c0 || t1 <= t0) return u64{1'000'000'000};
+    return static_cast<u64>(static_cast<double>(c1 - c0) * 1e9 /
+                            static_cast<double>(t1 - t0));
+  }();
+  return hz;
+}
+
+u64 CachedTicks::get() {
+  TEEPERF_SCOPE("get_ticks_cached");
+  ++calls_;
+  if (calls_ - last_real_at_call_ >= interval_ || last_real_ == 0) {
+    u64 real = get_ticks();
+    if (last_real_ != 0 && calls_ > last_real_at_call_) {
+      u64 elapsed_calls = calls_ - last_real_at_call_;
+      u64 elapsed_ticks = real > last_real_ ? real - last_real_ : elapsed_calls;
+      step_ = elapsed_ticks / elapsed_calls;
+      if (step_ == 0) step_ = 1;
+    }
+    last_real_ = real;
+    last_real_at_call_ = calls_;
+    // Never step backwards: if extrapolation overshot the real counter,
+    // hold until reality catches up (latencies are computed as deltas).
+    current_ = real > current_ ? real : current_;
+    ++corrections_;
+    return current_;
+  }
+  current_ += step_;
+  return current_;
+}
+
+}  // namespace teeperf::spdk

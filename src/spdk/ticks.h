@@ -1,0 +1,42 @@
+// SPDK's timer-cycle chain, with the exact call structure of Figure 6:
+//   get_ticks → get_timer_cycles → get_tsc_cycles → rdtsc
+// Inside an enclave, the rdtsc at the bottom traps (illegal in SGXv1) —
+// one of the two bottlenecks the paper finds. The optimized variant is the
+// paper's fix: a cached timestamp, corrected by a real rdtsc every
+// `correction_interval` calls ("caching with correcting after a specific
+// amount of calls", §IV-C).
+#pragma once
+
+#include "common/types.h"
+
+namespace teeperf::spdk {
+
+// The naive chain: always ends in a (possibly trapped) rdtsc.
+u64 get_ticks();
+
+// Estimated tick frequency (ticks per second); measured once lazily.
+u64 get_ticks_hz();
+
+class CachedTicks {
+ public:
+  explicit CachedTicks(u64 correction_interval = 128)
+      : interval_(correction_interval ? correction_interval : 1) {}
+
+  // Returns the cached value, advanced by the measured mean delta between
+  // corrections; every `interval_` calls it re-reads the real counter.
+  u64 get();
+
+  u64 corrections() const { return corrections_; }
+  u64 calls() const { return calls_; }
+
+ private:
+  u64 interval_;
+  u64 calls_ = 0;
+  u64 corrections_ = 0;
+  u64 last_real_ = 0;
+  u64 last_real_at_call_ = 0;
+  u64 step_ = 1;      // estimated ticks per call between corrections
+  u64 current_ = 0;
+};
+
+}  // namespace teeperf::spdk

@@ -1,0 +1,81 @@
+// Micro-architectural cost model of a trusted execution environment.
+//
+// The paper's introduction names the TEE effects that make profiling
+// necessary: secure context switches (TLB flush on enclave enter/exit),
+// trapped instructions (rdtsc is illegal inside SGXv1 and causes an AEX),
+// forbidden direct syscalls (every syscall becomes an OCALL round trip),
+// EPC paging (secure swapping of enclave pages, "up to 2000x" slowdown),
+// and the memory encryption engine (per-cache-line cost on memory traffic).
+//
+// The simulator charges these as *real wall-clock time* (calibrated spin,
+// see common/spin.h) so that both the tracing profiler under test and the
+// sampling baseline observe them exactly as they would on real hardware.
+// Default magnitudes follow published SGX measurements (SCONE/Eleos/sgx-perf
+// report 4–8k cycles per transition and ~10k+ cycles per trapped syscall).
+#pragma once
+
+#include "common/types.h"
+
+namespace teeperf::tee {
+
+struct CostModel {
+  u64 ecall_ns = 3800;         // host → enclave transition
+  u64 eexit_ns = 3300;         // enclave → host transition
+  u64 syscall_ocall_ns = 9000; // full OCALL round trip for a trapped syscall
+                               // (exit + host syscall + re-enter)
+  u64 rdtsc_trap_ns = 3500;    // AEX + emulation of an illegal instruction
+  u64 epc_page_in_ns = 11000;  // secure paging: decrypt + integrity check
+  u64 epc_page_out_ns = 9000;  // encrypt + evict
+  u64 mee_cacheline_ns = 20;   // extra latency per encrypted line (random access)
+  usize epc_pages = 16384;     // resident secure pages (64 MiB of 4 KiB pages)
+
+  // An SGX-v1-like configuration (the defaults above).
+  static CostModel sgx_like() { return CostModel{}; }
+
+  // ARM TrustZone-like: world switches go through the secure monitor (SMC)
+  // and are cheaper than SGX's EENTER/EEXIT; there is no EPC paging (the
+  // secure world owns carve-out memory) and no memory-encryption engine,
+  // but syscalls still leave the secure world. rdtsc has no TrustZone
+  // equivalent restriction (generic timers are readable), so the trap is 0.
+  static CostModel trustzone_like() {
+    CostModel m;
+    m.ecall_ns = 1200;
+    m.eexit_ns = 1100;
+    m.syscall_ocall_ns = 4500;
+    m.rdtsc_trap_ns = 0;
+    m.epc_page_in_ns = 0;
+    m.epc_page_out_ns = 0;
+    m.mee_cacheline_ns = 0;
+    m.epc_pages = ~usize{0};  // carve-out: no secure-paging pressure
+    return m;
+  }
+
+  // AMD SEV-like: whole-VM encryption — no enclave transitions on the app's
+  // call path (the boundary is the hypervisor), timers readable, but the
+  // memory-encryption cost applies to all memory and I/O still exits the
+  // guest. Modeled as: free "transitions", moderate syscall exit cost
+  // (VMEXIT-ish), MEE on, no secure paging.
+  static CostModel sev_like() {
+    CostModel m;
+    m.ecall_ns = 0;
+    m.eexit_ns = 0;
+    m.syscall_ocall_ns = 2500;
+    m.rdtsc_trap_ns = 0;
+    m.epc_page_in_ns = 0;
+    m.epc_page_out_ns = 0;
+    m.mee_cacheline_ns = 25;
+    m.epc_pages = ~usize{0};
+    return m;
+  }
+
+  // Free transitions: useful for isolating one effect in tests/ablations.
+  static CostModel zero() {
+    CostModel m;
+    m.ecall_ns = m.eexit_ns = m.syscall_ocall_ns = m.rdtsc_trap_ns = 0;
+    m.epc_page_in_ns = m.epc_page_out_ns = 0;
+    m.mee_cacheline_ns = 0;
+    return m;
+  }
+};
+
+}  // namespace teeperf::tee

@@ -1,0 +1,17 @@
+#include "tee/enclave.h"
+
+namespace teeperf::tee {
+
+Enclave*& Enclave::current_thread_enclave() {
+  thread_local Enclave* current = nullptr;
+  return current;
+}
+
+void Enclave::charge_mee(usize bytes, bool random) {
+  if (costs_.mee_cacheline_ns == 0 || bytes == 0) return;
+  usize lines = (bytes + 63) / 64;
+  if (!random) lines = (lines + 7) / 8;  // sequential: engine pipelines well
+  charge(static_cast<u64>(lines) * costs_.mee_cacheline_ns);
+}
+
+}  // namespace teeperf::tee

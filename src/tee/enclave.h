@@ -1,0 +1,120 @@
+// The enclave simulator: world switching, OCALLs, and cost accounting.
+//
+// A thread "enters" the enclave by running a callable through
+// Enclave::ecall(); while inside, the thread-local world flag is set and
+// the tee::sys wrappers (sysapi.h) route syscalls through costed OCALLs.
+// Nesting is supported (an OCALL that performs another ECALL), matching
+// SGX's re-entrancy rules closely enough for profiling workloads.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "common/spin.h"
+#include "common/types.h"
+#include "tee/cost_model.h"
+
+namespace teeperf::tee {
+
+class Enclave {
+ public:
+  explicit Enclave(CostModel costs = CostModel::sgx_like()) : costs_(costs) {}
+
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  // Runs `fn` inside the enclave on the calling thread, charging the
+  // enter/exit transition costs. Returns fn's result.
+  template <typename F>
+  auto ecall(F&& fn) -> decltype(fn()) {
+    EnterGuard guard(this);
+    return fn();
+  }
+
+  // From inside the enclave: leave, run `fn` on the host, re-enter. Charged
+  // as a full transition pair. Calling ocall while outside is allowed and
+  // free (the wrappers use this so workload code is world-agnostic).
+  template <typename F>
+  auto ocall(F&& fn) -> decltype(fn()) {
+    if (current_thread_enclave() != this) return fn();
+    charge(costs_.eexit_ns);
+    counters_.ocalls.fetch_add(1, std::memory_order_relaxed);
+    ExitGuard guard(this);
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      guard.reenter();
+    } else {
+      auto result = fn();
+      guard.reenter();
+      return result;
+    }
+  }
+
+  // True when the calling thread is currently executing inside any enclave.
+  static bool inside() { return current_thread_enclave() != nullptr; }
+
+  // The enclave the calling thread is inside, or null.
+  static Enclave* current() { return current_thread_enclave(); }
+
+  const CostModel& costs() const { return costs_; }
+
+  // Charges `ns` of simulated hardware cost to the calling thread.
+  void charge(u64 ns) {
+    if (ns) spin_for_ns(ns);
+    charged_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  struct Counters {
+    std::atomic<u64> ecalls{0};
+    std::atomic<u64> ocalls{0};
+    std::atomic<u64> trapped_syscalls{0};
+    std::atomic<u64> rdtsc_traps{0};
+    std::atomic<u64> page_ins{0};
+    std::atomic<u64> page_outs{0};
+  };
+  Counters& counters() { return counters_; }
+  u64 charged_ns() const { return charged_ns_.load(std::memory_order_relaxed); }
+
+  // Charges the memory-encryption-engine cost for touching `bytes` of
+  // enclave memory; `random` access pays per cache line, sequential access
+  // is modelled as prefetch-friendly (1/8 of the lines).
+  void charge_mee(usize bytes, bool random);
+
+ private:
+  static Enclave*& current_thread_enclave();
+
+  struct EnterGuard {
+    explicit EnterGuard(Enclave* e) : enclave(e), previous(current_thread_enclave()) {
+      enclave->charge(enclave->costs_.ecall_ns);
+      enclave->counters_.ecalls.fetch_add(1, std::memory_order_relaxed);
+      current_thread_enclave() = enclave;
+    }
+    ~EnterGuard() {
+      enclave->charge(enclave->costs_.eexit_ns);
+      current_thread_enclave() = previous;
+    }
+    Enclave* enclave;
+    Enclave* previous;
+  };
+
+  struct ExitGuard {
+    explicit ExitGuard(Enclave* e) : enclave(e) { current_thread_enclave() = nullptr; }
+    void reenter() {
+      current_thread_enclave() = enclave;
+      enclave->charge(enclave->costs_.ecall_ns);
+      reentered = true;
+    }
+    ~ExitGuard() {
+      // If fn threw, still restore the world flag (without double charging).
+      if (!reentered) current_thread_enclave() = enclave;
+    }
+    Enclave* enclave;
+    bool reentered = false;
+  };
+
+  CostModel costs_;
+  Counters counters_;
+  std::atomic<u64> charged_ns_{0};
+};
+
+}  // namespace teeperf::tee

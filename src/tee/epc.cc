@@ -1,0 +1,113 @@
+#include "tee/epc.h"
+
+#include "core/scope.h"
+#include "tee/enclave.h"
+
+namespace teeperf::tee {
+
+EnclaveBuffer::EnclaveBuffer(EpcAllocator* epc, usize size, usize first_page)
+    : epc_(epc),
+      data_(std::make_unique<u8[]>(size)),
+      size_(size),
+      first_page_(first_page),
+      page_count_((size + kEpcPageSize - 1) / kEpcPageSize) {}
+
+EnclaveBuffer::~EnclaveBuffer() { epc_->release_range(first_page_, page_count_); }
+
+u8* EnclaveBuffer::touch(usize offset, usize len, bool write, bool random) {
+  if (offset >= size_) return nullptr;
+  if (len == 0) len = 1;
+  if (offset + len > size_) len = size_ - offset;
+  usize first = offset / kEpcPageSize;
+  usize last = (offset + len - 1) / kEpcPageSize;
+  for (usize p = first; p <= last; ++p) epc_->ensure_resident(first_page_ + p);
+  if (Enclave::inside()) Enclave::current()->charge_mee(len, random);
+  (void)write;
+  return data_.get() + offset;
+}
+
+usize EnclaveBuffer::resident_pages() const {
+  std::lock_guard<std::mutex> lock(epc_->mu_);
+  usize n = 0;
+  for (usize p = 0; p < page_count_; ++p) {
+    if (epc_->pages_[first_page_ + p].resident) ++n;
+  }
+  return n;
+}
+
+EpcAllocator::EpcAllocator(Enclave* enclave, usize resident_limit)
+    : enclave_(enclave), limit_(resident_limit ? resident_limit : 1) {}
+
+std::unique_ptr<EnclaveBuffer> EpcAllocator::allocate(usize size) {
+  if (size == 0) size = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  usize first = pages_.size();
+  usize count = (size + kEpcPageSize - 1) / kEpcPageSize;
+  pages_.resize(first + count);
+  return std::unique_ptr<EnclaveBuffer>(new EnclaveBuffer(this, size, first));
+}
+
+usize EpcAllocator::resident_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_;
+}
+
+u64 EpcAllocator::page_ins() const {
+  return enclave_->counters().page_ins.load(std::memory_order_relaxed);
+}
+
+u64 EpcAllocator::page_outs() const {
+  return enclave_->counters().page_outs.load(std::memory_order_relaxed);
+}
+
+void EpcAllocator::ensure_resident(usize page) {
+  u64 charge_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Page& p = pages_[page];
+    if (p.resident) {
+      p.referenced = true;
+      return;
+    }
+    // Evict with CLOCK until there is room.
+    while (resident_ >= limit_ && !pages_.empty()) {
+      Page& victim = pages_[clock_hand_];
+      usize victim_index = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % pages_.size();
+      if (!victim.resident || victim_index == page) continue;
+      if (victim.referenced) {
+        victim.referenced = false;
+        continue;
+      }
+      victim.resident = false;
+      --resident_;
+      charge_ns += enclave_->costs().epc_page_out_ns;
+      enclave_->counters().page_outs.fetch_add(1, std::memory_order_relaxed);
+    }
+    p.resident = true;
+    p.referenced = true;
+    ++resident_;
+    charge_ns += enclave_->costs().epc_page_in_ns;
+    enclave_->counters().page_ins.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Charge outside the lock: the paging latency is per-thread, the metadata
+  // is shared. The scope makes secure paging *visible in profiles* — the
+  // paper's motivating example of a TEE cost developers cannot otherwise
+  // see (§I: EPC paging "can slow down application performance up to 2000×").
+  if (Enclave::inside() && charge_ns > 0) {
+    TEEPERF_SCOPE("epc::secure_paging");
+    enclave_->charge(charge_ns);
+  }
+}
+
+void EpcAllocator::release_range(usize first, usize count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (usize p = first; p < first + count && p < pages_.size(); ++p) {
+    if (pages_[p].resident) {
+      pages_[p].resident = false;
+      --resident_;
+    }
+  }
+}
+
+}  // namespace teeperf::tee

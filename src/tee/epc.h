@@ -1,0 +1,92 @@
+// Enclave Page Cache (EPC) model: the limited secure physical memory.
+//
+// SGX backs enclave memory with a small protected region; pages beyond it
+// are transparently encrypted and swapped to untrusted host memory ("EPC
+// paging"), which the paper cites as costing up to 2000× on access-heavy
+// workloads. This allocator tracks page residency for enclave buffers and
+// charges page-in/page-out costs (via the owning Enclave) when a touched
+// page is not resident, evicting with a CLOCK (second-chance) policy.
+//
+// Workloads access enclave memory through EnclaveBuffer::touch()/data(), so
+// the residency accounting sits on the natural access path.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace teeperf::tee {
+
+class Enclave;
+class EpcAllocator;
+
+inline constexpr usize kEpcPageSize = 4096;
+
+// A buffer of enclave memory. Real storage is ordinary heap memory; what is
+// simulated is the *residency* of each page in the secure EPC.
+class EnclaveBuffer {
+ public:
+  ~EnclaveBuffer();
+  EnclaveBuffer(const EnclaveBuffer&) = delete;
+  EnclaveBuffer& operator=(const EnclaveBuffer&) = delete;
+
+  usize size() const { return size_; }
+
+  // Declares an access to [offset, offset+len): pages not resident are paged
+  // in (possibly evicting others), and MEE cost is charged when the owning
+  // enclave's thread is inside. Returns a pointer to the data.
+  u8* touch(usize offset, usize len, bool write, bool random = true);
+
+  // Raw data without residency simulation (setup/teardown paths).
+  u8* raw() { return data_.get(); }
+  const u8* raw() const { return data_.get(); }
+
+  usize resident_pages() const;
+
+ private:
+  friend class EpcAllocator;
+  EnclaveBuffer(EpcAllocator* epc, usize size, usize first_page);
+
+  EpcAllocator* epc_;
+  std::unique_ptr<u8[]> data_;
+  usize size_;
+  usize first_page_;  // index of this buffer's first page in the allocator
+  usize page_count_;
+};
+
+class EpcAllocator {
+ public:
+  // `resident_limit` = number of pages the secure memory can hold.
+  EpcAllocator(Enclave* enclave, usize resident_limit);
+
+  // Allocates an enclave buffer of `size` bytes (rounded up to whole pages).
+  std::unique_ptr<EnclaveBuffer> allocate(usize size);
+
+  usize resident_count() const;
+  usize resident_limit() const { return limit_; }
+  u64 page_ins() const;
+  u64 page_outs() const;
+
+ private:
+  friend class EnclaveBuffer;
+
+  struct Page {
+    bool resident = false;
+    bool referenced = false;  // CLOCK bit
+  };
+
+  // Ensures `page` is resident, charging costs and evicting as needed.
+  void ensure_resident(usize page);
+  void release_range(usize first, usize count);
+
+  Enclave* enclave_;
+  usize limit_;
+  mutable std::mutex mu_;
+  std::vector<Page> pages_;
+  usize resident_ = 0;
+  usize clock_hand_ = 0;
+};
+
+}  // namespace teeperf::tee

@@ -1,0 +1,37 @@
+#!/bin/sh
+# End-to-end check of the paper's CLI workflow: teeperf_record launches an
+# instrumented application in a child process, communicates over named
+# POSIX shared memory, persists <prefix>.log, the child writes <prefix>.sym
+# at exit, and teeperf_analyze / teeperf_flamegraph consume the pair.
+#
+# Usage: cross_process_test.sh <bindir>
+set -e
+BIN="$1"
+OUT=$(mktemp -d /tmp/teeperf_xproc.XXXXXX)
+trap 'rm -rf "$OUT"' EXIT
+
+"$BIN/tools/teeperf_record" -o "$OUT/run" -n 262144 -c tsc -- \
+    "$BIN/examples/instrumented_app" "$OUT/ignored" > "$OUT/app.out" 2>&1
+
+test -s "$OUT/run.log" || { echo "FAIL: run.log missing/empty"; exit 1; }
+test -s "$OUT/run.sym" || { echo "FAIL: run.sym missing/empty"; exit 1; }
+grep -q "recorded by wrapper" "$OUT/app.out" || {
+  echo "FAIL: app did not detect wrapper session"; cat "$OUT/app.out"; exit 1; }
+
+"$BIN/tools/teeperf_analyze" "$OUT/run" --top 10 --threads \
+    --folded "$OUT/run.folded" > "$OUT/analyze.out"
+grep -q "fibonacci" "$OUT/analyze.out" || {
+  echo "FAIL: fibonacci not symbolized across processes"; cat "$OUT/analyze.out"; exit 1; }
+test -s "$OUT/run.folded" || { echo "FAIL: folded output missing"; exit 1; }
+
+"$BIN/tools/teeperf_flamegraph" "$OUT/run.folded" "$OUT/run.svg" --title xproc
+grep -q "<svg" "$OUT/run.svg" || { echo "FAIL: svg output invalid"; exit 1; }
+
+# Dynamic-activation path: start inactive, log must stay empty.
+"$BIN/tools/teeperf_record" --inactive -o "$OUT/off" -- \
+    "$BIN/examples/instrumented_app" "$OUT/ignored2" > /dev/null 2>&1
+"$BIN/tools/teeperf_analyze" "$OUT/off" > "$OUT/off.out"
+grep -q "entries=0" "$OUT/off.out" || {
+  echo "FAIL: inactive session recorded entries"; cat "$OUT/off.out"; exit 1; }
+
+echo "PASS"

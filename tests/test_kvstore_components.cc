@@ -1,0 +1,813 @@
+// Tests for the LSM store's building blocks: coding, arena, skiplist,
+// memtable, write batch, WAL, bloom filter, SSTable, merging iterator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/fileutil.h"
+#include "common/rng.h"
+#include "kvstore/arena.h"
+#include "kvstore/bloom.h"
+#include "kvstore/coding.h"
+#include "kvstore/compress.h"
+#include "kvstore/dbformat.h"
+#include "kvstore/iterator.h"
+#include "kvstore/memtable.h"
+#include "kvstore/skiplist.h"
+#include "kvstore/sstable.h"
+#include "kvstore/wal.h"
+#include "kvstore/write_batch.h"
+
+namespace teeperf::kvs {
+namespace {
+
+class SeededCompressFuzz : public ::testing::TestWithParam<u64> {};
+
+// --- coding -------------------------------------------------------------------
+
+TEST(Coding, FixedRoundTrip) {
+  std::string s;
+  put_fixed32(&s, 0xdeadbeef);
+  put_fixed64(&s, 0x0123456789abcdefull);
+  EXPECT_EQ(get_fixed32(s.data()), 0xdeadbeefu);
+  EXPECT_EQ(get_fixed64(s.data() + 4), 0x0123456789abcdefull);
+}
+
+TEST(Coding, VarintRoundTrip) {
+  std::string s;
+  std::vector<u64> values{0, 1, 127, 128, 16383, 16384, 1ull << 40, ~0ull};
+  for (u64 v : values) put_varint64(&s, v);
+  const char* p = s.data();
+  const char* limit = p + s.size();
+  for (u64 v : values) {
+    u64 out = 0;
+    ASSERT_TRUE(get_varint64(&p, limit, &out));
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(Coding, VarintTruncationDetected) {
+  std::string s;
+  put_varint64(&s, 1ull << 40);
+  const char* p = s.data();
+  u64 out;
+  EXPECT_FALSE(get_varint64(&p, s.data() + 2, &out));
+}
+
+TEST(Coding, LengthPrefixedRoundTrip) {
+  std::string s;
+  put_length_prefixed(&s, "hello");
+  put_length_prefixed(&s, "");
+  const char* p = s.data();
+  const char* limit = p + s.size();
+  std::string_view a, b;
+  ASSERT_TRUE(get_length_prefixed(&p, limit, &a));
+  ASSERT_TRUE(get_length_prefixed(&p, limit, &b));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+}
+
+// --- internal keys ---------------------------------------------------------------
+
+TEST(InternalKey, PackParse) {
+  std::string ik;
+  append_internal_key(&ik, "user", 42, ValueType::kValue);
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(parse_internal_key(ik, &parsed));
+  EXPECT_EQ(parsed.user_key, "user");
+  EXPECT_EQ(parsed.sequence, 42u);
+  EXPECT_EQ(parsed.type, ValueType::kValue);
+}
+
+TEST(InternalKey, OrderingUserAscSeqDesc) {
+  std::string a10, a5, b1;
+  append_internal_key(&a10, "a", 10, ValueType::kValue);
+  append_internal_key(&a5, "a", 5, ValueType::kValue);
+  append_internal_key(&b1, "b", 1, ValueType::kValue);
+  EXPECT_LT(compare_internal_keys(a10, a5), 0);  // newer first
+  EXPECT_LT(compare_internal_keys(a5, b1), 0);
+  EXPECT_EQ(compare_internal_keys(a10, a10), 0);
+}
+
+TEST(InternalKey, ParseRejectsShort) {
+  ParsedInternalKey parsed;
+  EXPECT_FALSE(parse_internal_key("short", &parsed));
+}
+
+// --- arena -----------------------------------------------------------------------
+
+TEST(ArenaTest, AllocatesUsableMemory) {
+  Arena arena;
+  char* p = arena.allocate(100);
+  std::memset(p, 7, 100);
+  char* q = arena.allocate(100);
+  EXPECT_NE(p, q);
+  EXPECT_EQ(p[99], 7);
+  EXPECT_GT(arena.memory_usage(), 0u);
+}
+
+TEST(ArenaTest, LargeAllocationsGetOwnBlock) {
+  Arena arena;
+  char* big = arena.allocate(1 << 20);
+  std::memset(big, 1, 1 << 20);
+  EXPECT_GE(arena.memory_usage(), usize{1} << 20);
+}
+
+TEST(ArenaTest, AlignedAllocation) {
+  Arena arena;
+  arena.allocate(1);
+  char* p = arena.allocate_aligned(64);
+  EXPECT_EQ(reinterpret_cast<usize>(p) % alignof(void*), 0u);
+}
+
+// --- skiplist ---------------------------------------------------------------------
+
+struct IntPtrCmp {
+  int operator()(const int* a, const int* b) const {
+    // Head node key is null; treat it as -inf.
+    if (a == b) return 0;
+    if (!a) return -1;
+    if (!b) return 1;
+    return *a < *b ? -1 : (*a > *b ? 1 : 0);
+  }
+};
+
+TEST(SkipListTest, InsertAndIterateSorted) {
+  Arena arena;
+  SkipList<const int*, IntPtrCmp> list(IntPtrCmp{}, &arena);
+  Xorshift64 rng(1);
+  std::set<int> expected;
+  std::vector<std::unique_ptr<int>> keep;
+  for (int i = 0; i < 500; ++i) {
+    int v = static_cast<int>(rng.next_below(100000));
+    if (!expected.insert(v).second) continue;
+    keep.push_back(std::make_unique<int>(v));
+    list.insert(keep.back().get());
+  }
+  SkipList<const int*, IntPtrCmp>::Iterator it(&list);
+  it.seek_to_first();
+  for (int v : expected) {
+    ASSERT_TRUE(it.valid());
+    EXPECT_EQ(*it.key(), v);
+    it.next();
+  }
+  EXPECT_FALSE(it.valid());
+}
+
+TEST(SkipListTest, SeekFindsLowerBound) {
+  Arena arena;
+  SkipList<const int*, IntPtrCmp> list(IntPtrCmp{}, &arena);
+  std::vector<std::unique_ptr<int>> keep;
+  for (int v : {10, 20, 30}) {
+    keep.push_back(std::make_unique<int>(v));
+    list.insert(keep.back().get());
+  }
+  SkipList<const int*, IntPtrCmp>::Iterator it(&list);
+  int probe = 15;
+  it.seek(&probe);
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(*it.key(), 20);
+  int past = 99;
+  it.seek(&past);
+  EXPECT_FALSE(it.valid());
+}
+
+TEST(SkipListTest, Contains) {
+  Arena arena;
+  SkipList<const int*, IntPtrCmp> list(IntPtrCmp{}, &arena);
+  auto v = std::make_unique<int>(5);
+  list.insert(v.get());
+  int five = 5, six = 6;
+  EXPECT_TRUE(list.contains(&five));
+  EXPECT_FALSE(list.contains(&six));
+}
+
+// --- memtable ------------------------------------------------------------------------
+
+TEST(MemTableTest, AddGet) {
+  MemTable mt;
+  mt.add(1, ValueType::kValue, "k", "v1");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mt.get("k", 100, &value, &s));
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(value, "v1");
+  EXPECT_FALSE(mt.get("missing", 100, &value, &s));
+}
+
+TEST(MemTableTest, NewestVersionWins) {
+  MemTable mt;
+  mt.add(1, ValueType::kValue, "k", "old");
+  mt.add(5, ValueType::kValue, "k", "new");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mt.get("k", 100, &value, &s));
+  EXPECT_EQ(value, "new");
+}
+
+TEST(MemTableTest, SnapshotSeesOldVersion) {
+  MemTable mt;
+  mt.add(1, ValueType::kValue, "k", "old");
+  mt.add(5, ValueType::kValue, "k", "new");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mt.get("k", 3, &value, &s));
+  EXPECT_EQ(value, "old");
+}
+
+TEST(MemTableTest, TombstoneReportsNotFound) {
+  MemTable mt;
+  mt.add(1, ValueType::kValue, "k", "v");
+  mt.add(2, ValueType::kDeletion, "k", "");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(mt.get("k", 100, &value, &s));
+  EXPECT_TRUE(s.is_not_found());
+}
+
+TEST(MemTableTest, IteratorOrdered) {
+  MemTable mt;
+  mt.add(3, ValueType::kValue, "b", "2");
+  mt.add(1, ValueType::kValue, "a", "1");
+  mt.add(2, ValueType::kValue, "c", "3");
+  MemTable::Iterator it(&mt);
+  it.seek_to_first();
+  std::vector<std::string> keys;
+  for (; it.valid(); it.next()) {
+    ParsedInternalKey p;
+    ASSERT_TRUE(parse_internal_key(it.internal_key(), &p));
+    keys.emplace_back(p.user_key);
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(mt.entry_count(), 3u);
+  EXPECT_GT(mt.approximate_memory_usage(), 0u);
+}
+
+TEST(MemTableTest, EmptyValue) {
+  MemTable mt;
+  mt.add(1, ValueType::kValue, "k", "");
+  std::string value = "sentinel";
+  Status s;
+  ASSERT_TRUE(mt.get("k", 10, &value, &s));
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(value, "");
+}
+
+// --- write batch ----------------------------------------------------------------------
+
+TEST(WriteBatchTest, CountAndIterate) {
+  WriteBatch b;
+  b.put("a", "1");
+  b.remove("b");
+  b.put("c", "3");
+  b.set_base_sequence(100);
+  EXPECT_EQ(b.count(), 3u);
+
+  std::vector<std::tuple<u64, ValueType, std::string, std::string>> got;
+  ASSERT_TRUE(b.iterate([&](u64 seq, ValueType t, std::string_view k,
+                            std::string_view v) {
+                 got.emplace_back(seq, t, std::string(k), std::string(v));
+               }).is_ok());
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], std::make_tuple(100ull, ValueType::kValue, std::string("a"),
+                                    std::string("1")));
+  EXPECT_EQ(std::get<0>(got[2]), 102u);
+  EXPECT_EQ(std::get<1>(got[1]), ValueType::kDeletion);
+}
+
+TEST(WriteBatchTest, ClearResets) {
+  WriteBatch b;
+  b.put("a", "1");
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(WriteBatchTest, PayloadRoundTrip) {
+  WriteBatch b;
+  b.put("key", "value");
+  b.set_base_sequence(7);
+  WriteBatch c = WriteBatch::from_payload(b.payload());
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.base_sequence(), 7u);
+}
+
+TEST(WriteBatchTest, CorruptPayloadDetected) {
+  WriteBatch b;
+  b.put("key", "value");
+  std::string bad = b.payload();
+  bad.resize(bad.size() - 2);  // truncate mid-record
+  WriteBatch c = WriteBatch::from_payload(bad);
+  Status s = c.iterate([](u64, ValueType, std::string_view, std::string_view) {});
+  EXPECT_TRUE(s.is_corruption());
+}
+
+// --- WAL -------------------------------------------------------------------------------
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = make_temp_dir("teeperf_wal_"); }
+  void TearDown() override { remove_tree(dir_); }
+  std::string dir_;
+};
+
+TEST_F(WalTest, AppendReadRoundTrip) {
+  WalWriter w;
+  ASSERT_TRUE(w.open(dir_ + "/wal", true).is_ok());
+  ASSERT_TRUE(w.append("first").is_ok());
+  ASSERT_TRUE(w.append("second record").is_ok());
+  ASSERT_TRUE(w.flush().is_ok());
+  w.close();
+
+  std::vector<std::string> records;
+  bool truncated = true;
+  ASSERT_TRUE(WalReader::read_all(dir_ + "/wal", &records, &truncated).is_ok());
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "first");
+  EXPECT_EQ(records[1], "second record");
+}
+
+TEST_F(WalTest, MissingFileIsEmpty) {
+  std::vector<std::string> records{"stale"};
+  ASSERT_TRUE(WalReader::read_all(dir_ + "/none", &records).is_ok());
+  EXPECT_TRUE(records.empty());
+}
+
+TEST_F(WalTest, TornTailRecovered) {
+  WalWriter w;
+  ASSERT_TRUE(w.open(dir_ + "/wal", true).is_ok());
+  w.append("good one");
+  w.append("good two");
+  w.flush();
+  w.close();
+  // Truncate mid-record (simulated crash during write).
+  auto data = read_file(dir_ + "/wal");
+  ASSERT_TRUE(data);
+  write_file(dir_ + "/wal", std::string_view(*data).substr(0, data->size() - 3));
+
+  std::vector<std::string> records;
+  bool truncated = false;
+  ASSERT_TRUE(WalReader::read_all(dir_ + "/wal", &records, &truncated).is_ok());
+  EXPECT_TRUE(truncated);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "good one");
+}
+
+TEST_F(WalTest, CorruptCrcStopsRead) {
+  WalWriter w;
+  ASSERT_TRUE(w.open(dir_ + "/wal", true).is_ok());
+  w.append("aaaa");
+  w.append("bbbb");
+  w.close();
+  auto data = read_file(dir_ + "/wal");
+  ASSERT_TRUE(data);
+  std::string flipped = *data;
+  flipped[10] ^= 0xff;  // corrupt the first record's payload
+  write_file(dir_ + "/wal", flipped);
+
+  std::vector<std::string> records;
+  bool truncated = false;
+  ASSERT_TRUE(WalReader::read_all(dir_ + "/wal", &records, &truncated).is_ok());
+  EXPECT_TRUE(truncated);
+  EXPECT_TRUE(records.empty());
+
+  // Strict mode reports the corruption instead.
+  Status s = WalReader::read_all(dir_ + "/wal", &records, &truncated, true);
+  EXPECT_TRUE(s.is_corruption());
+}
+
+TEST_F(WalTest, AppendModePreservesExisting) {
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.open(dir_ + "/wal", true).is_ok());
+    w.append("one");
+  }
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.open(dir_ + "/wal", false).is_ok());
+    w.append("two");
+  }
+  std::vector<std::string> records;
+  ASSERT_TRUE(WalReader::read_all(dir_ + "/wal", &records).is_ok());
+  ASSERT_EQ(records.size(), 2u);
+}
+
+// --- bloom ------------------------------------------------------------------------------
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilterBuilder b(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back("key" + std::to_string(i));
+  for (const auto& k : keys) b.add(k);
+  std::string filter = b.finish();
+  for (const auto& k : keys) EXPECT_TRUE(bloom_may_contain(filter, k)) << k;
+}
+
+TEST(Bloom, FalsePositiveRateReasonable) {
+  BloomFilterBuilder b(10);
+  for (int i = 0; i < 10000; ++i) b.add("present" + std::to_string(i));
+  std::string filter = b.finish();
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (bloom_may_contain(filter, "absent" + std::to_string(i))) ++fp;
+  }
+  // 10 bits/key → ~1% theoretical; allow generous slack.
+  EXPECT_LT(fp, 300);
+}
+
+TEST(Bloom, EmptyFilterSaysMaybe) {
+  EXPECT_TRUE(bloom_may_contain("", "anything"));
+}
+
+TEST(Bloom, EmptyKeySetFilterWorks) {
+  BloomFilterBuilder b(10);
+  std::string filter = b.finish();
+  // No keys added: absent keys are mostly rejected but never crash.
+  (void)bloom_may_contain(filter, "x");
+}
+
+// --- sstable ---------------------------------------------------------------------------
+
+class SstTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = make_temp_dir("teeperf_sst_"); }
+  void TearDown() override { remove_tree(dir_); }
+
+  // Builds a table with n sequential keys; returns the opened table.
+  std::unique_ptr<Table> build(usize n, usize value_size = 20) {
+    TableBuilder builder(options_);
+    for (usize i = 0; i < n; ++i) {
+      std::string ik;
+      append_internal_key(&ik, key(i), i + 1, ValueType::kValue);
+      builder.add(ik, value(i, value_size));
+    }
+    EXPECT_TRUE(builder.finish(dir_ + "/t.sst").is_ok());
+    std::unique_ptr<Table> table;
+    EXPECT_TRUE(Table::open(dir_ + "/t.sst", options_, &table).is_ok());
+    return table;
+  }
+
+  static std::string key(usize i) {
+    char buf[16];
+    snprintf(buf, sizeof buf, "key%06zu", i);
+    return buf;
+  }
+  static std::string value(usize i, usize size) {
+    std::string v = "val" + std::to_string(i) + "_";
+    while (v.size() < size) v.push_back('x');
+    return v;
+  }
+
+  Options options_;
+  std::string dir_;
+};
+
+TEST_F(SstTest, BuildOpenGet) {
+  auto table = build(1000);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->entry_count(), 1000u);
+  std::string v;
+  Status s;
+  ASSERT_TRUE(table->get(key(123), kMaxSequence, &v, &s));
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(v, value(123, 20));
+  EXPECT_FALSE(table->get("nope", kMaxSequence, &v, &s));
+}
+
+TEST_F(SstTest, GetRespectsSnapshot) {
+  TableBuilder builder(options_);
+  std::string ik1, ik2;
+  append_internal_key(&ik2, "k", 9, ValueType::kValue);  // newer first
+  append_internal_key(&ik1, "k", 3, ValueType::kValue);
+  builder.add(ik2, "new");
+  builder.add(ik1, "old");
+  ASSERT_TRUE(builder.finish(dir_ + "/t.sst").is_ok());
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::open(dir_ + "/t.sst", options_, &table).is_ok());
+
+  std::string v;
+  Status s;
+  ASSERT_TRUE(table->get("k", 100, &v, &s));
+  EXPECT_EQ(v, "new");
+  ASSERT_TRUE(table->get("k", 5, &v, &s));
+  EXPECT_EQ(v, "old");
+  EXPECT_FALSE(table->get("k", 2, &v, &s));  // nothing visible that early
+}
+
+TEST_F(SstTest, TombstoneInTable) {
+  TableBuilder builder(options_);
+  std::string ik;
+  append_internal_key(&ik, "gone", 5, ValueType::kDeletion);
+  builder.add(ik, "");
+  ASSERT_TRUE(builder.finish(dir_ + "/t.sst").is_ok());
+  std::unique_ptr<Table> table;
+  ASSERT_TRUE(Table::open(dir_ + "/t.sst", options_, &table).is_ok());
+  std::string v;
+  Status s;
+  ASSERT_TRUE(table->get("gone", kMaxSequence, &v, &s));
+  EXPECT_TRUE(s.is_not_found());
+}
+
+TEST_F(SstTest, IteratorYieldsAllInOrder) {
+  auto table = build(2500);  // spans many blocks
+  auto it = table->new_iterator();
+  usize i = 0;
+  for (it->seek_to_first(); it->valid(); it->next(), ++i) {
+    EXPECT_EQ(extract_user_key(it->key()), key(i));
+  }
+  EXPECT_EQ(i, 2500u);
+}
+
+TEST_F(SstTest, IteratorSeek) {
+  auto table = build(2000);
+  auto it = table->new_iterator();
+  std::string probe;
+  append_internal_key(&probe, key(777), kMaxSequence, ValueType::kValue);
+  it->seek(probe);
+  ASSERT_TRUE(it->valid());
+  EXPECT_EQ(extract_user_key(it->key()), key(777));
+
+  append_internal_key(&probe, "zzzz", kMaxSequence, ValueType::kValue);
+  probe.clear();
+  append_internal_key(&probe, "zzzz", kMaxSequence, ValueType::kValue);
+  it->seek(probe);
+  EXPECT_FALSE(it->valid());
+}
+
+TEST_F(SstTest, SmallestLargest) {
+  auto table = build(100);
+  EXPECT_EQ(extract_user_key(table->smallest()), key(0));
+  EXPECT_EQ(extract_user_key(table->largest()), key(99));
+}
+
+TEST_F(SstTest, CorruptFileRejected) {
+  build(100);
+  auto data = read_file(dir_ + "/t.sst");
+  ASSERT_TRUE(data);
+  std::string bad = *data;
+  bad[bad.size() / 2] ^= 0xff;  // flip a data-block byte
+  write_file(dir_ + "/t.sst", bad);
+  std::unique_ptr<Table> table;
+  Status s = Table::open(dir_ + "/t.sst", options_, &table);
+  EXPECT_FALSE(s.is_ok());
+}
+
+TEST_F(SstTest, TruncatedFileRejected) {
+  build(100);
+  auto data = read_file(dir_ + "/t.sst");
+  write_file(dir_ + "/t.sst", std::string_view(*data).substr(0, 20));
+  std::unique_ptr<Table> table;
+  EXPECT_FALSE(Table::open(dir_ + "/t.sst", options_, &table).is_ok());
+}
+
+TEST_F(SstTest, BloomSkipsAbsentKeys) {
+  auto table = build(5000);
+  std::string v;
+  Status s;
+  for (int i = 0; i < 200; ++i) {
+    table->get("absent" + std::to_string(i), kMaxSequence, &v, &s);
+  }
+  // The vast majority of absent lookups never touch a block.
+  EXPECT_GT(table->bloom_negatives, 150u);
+}
+
+// --- compression --------------------------------------------------------------------------
+
+TEST(Compress, RoundTripCompressible) {
+  std::string input;
+  for (int i = 0; i < 200; ++i) input += "abcabcabc_repeating_payload_";
+  std::string packed = lz_compress(input);
+  EXPECT_LT(packed.size(), input.size() / 3);
+  std::string back;
+  ASSERT_TRUE(lz_decompress(packed, &back));
+  EXPECT_EQ(back, input);
+}
+
+TEST(Compress, RoundTripRandomIncompressible) {
+  Xorshift64 rng(9);
+  std::string input;
+  for (int i = 0; i < 5000; ++i) input.push_back(static_cast<char>(rng.next()));
+  std::string packed = lz_compress(input);
+  std::string back;
+  ASSERT_TRUE(lz_decompress(packed, &back));
+  EXPECT_EQ(back, input);
+}
+
+TEST(Compress, RoundTripEmptyAndTiny) {
+  for (std::string input : {std::string(), std::string("x"), std::string("abc")}) {
+    std::string back;
+    ASSERT_TRUE(lz_decompress(lz_compress(input), &back));
+    EXPECT_EQ(back, input);
+  }
+}
+
+TEST(Compress, RleStyleSelfOverlap) {
+  std::string input(10000, 'z');
+  std::string packed = lz_compress(input);
+  EXPECT_LT(packed.size(), 64u);
+  std::string back;
+  ASSERT_TRUE(lz_decompress(packed, &back));
+  EXPECT_EQ(back, input);
+}
+
+TEST(Compress, DecompressRejectsGarbage) {
+  std::string back;
+  EXPECT_FALSE(lz_decompress("\x07garbage", &back));  // unknown tag
+
+  // Literal run claiming more bytes than the stream holds. (Built as a
+  // std::string: the leading tag byte is 0x00, which a C literal would
+  // truncate at.)
+  std::string truncated;
+  truncated.push_back('\x00');
+  truncated.push_back('\x50');  // len 80, but nothing follows
+  truncated += "short";
+  EXPECT_FALSE(lz_decompress(truncated, &back));
+
+  // Match referencing before the start of output.
+  std::string bad;
+  bad.push_back('\x01');
+  bad.push_back('\x09');  // offset 9, but output is empty
+  bad.push_back('\x04');
+  EXPECT_FALSE(lz_decompress(bad, &back));
+
+  // Truncated varint (all-continuation bytes).
+  std::string endless;
+  endless.push_back('\x00');
+  for (int i = 0; i < 3; ++i) endless.push_back('\xff');
+  EXPECT_FALSE(lz_decompress(endless, &back));
+}
+
+TEST_P(SeededCompressFuzz, RoundTripsArbitraryStructured) {
+  Xorshift64 rng(GetParam());
+  std::string input;
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 20; ++i) vocab.push_back(rng.next_word(3 + rng.next_below(20)));
+  while (input.size() < 20000) {
+    input += vocab[rng.next_below(vocab.size())];
+    if (rng.next_bool(0.1)) input.push_back(static_cast<char>(rng.next()));
+  }
+  std::string back;
+  ASSERT_TRUE(lz_decompress(lz_compress(input), &back));
+  EXPECT_EQ(back, input);
+}
+
+TEST_F(SstTest, CompressedTableRoundTrips) {
+  options_.compress_blocks = true;
+  auto table = build(3000, 64);  // repetitive values compress well
+  ASSERT_NE(table, nullptr);
+  EXPECT_GT(table->compressed_blocks, 0u);
+
+  std::string v;
+  Status s;
+  for (usize i = 0; i < 3000; i += 113) {
+    ASSERT_TRUE(table->get(key(i), kMaxSequence, &v, &s)) << i;
+    EXPECT_EQ(v, value(i, 64));
+  }
+  auto it = table->new_iterator();
+  usize n = 0;
+  for (it->seek_to_first(); it->valid(); it->next()) ++n;
+  EXPECT_EQ(n, 3000u);
+}
+
+TEST_F(SstTest, CompressionShrinksFile) {
+  auto raw_table = build(3000, 64);
+  u64 raw_size = raw_table->file_size();
+  remove_file(dir_ + "/t.sst");
+  options_.compress_blocks = true;
+  auto packed_table = build(3000, 64);
+  EXPECT_LT(packed_table->file_size(), raw_size * 3 / 4);
+}
+
+TEST_F(SstTest, CorruptCompressedBlockRejected) {
+  options_.compress_blocks = true;
+  build(3000, 64);
+  auto data = read_file(dir_ + "/t.sst");
+  ASSERT_TRUE(data);
+  // Flip a byte inside the first data block payload (past the prefix).
+  std::string bad = *data;
+  bad[10] ^= 0xff;
+  write_file(dir_ + "/t.sst", bad);
+  std::unique_ptr<Table> table;
+  EXPECT_FALSE(Table::open(dir_ + "/t.sst", options_, &table).is_ok());
+}
+
+// --- WAL crash-point fuzz -------------------------------------------------------
+
+// Property: truncating the WAL at *any* byte offset yields a recoverable
+// prefix — read_all returns some prefix of the written records and never
+// returns a corrupted or reordered one.
+TEST_F(WalTest, CrashAtEveryOffsetYieldsCleanPrefix) {
+  std::vector<std::string> written;
+  {
+    WalWriter w;
+    ASSERT_TRUE(w.open(dir_ + "/wal", true).is_ok());
+    Xorshift64 rng(3);
+    for (int i = 0; i < 12; ++i) {
+      std::string rec = "record_" + std::to_string(i) + "_" +
+                        rng.next_word(rng.next_below(40));
+      written.push_back(rec);
+      ASSERT_TRUE(w.append(rec).is_ok());
+    }
+    w.flush();
+  }
+  auto full = read_file(dir_ + "/wal");
+  ASSERT_TRUE(full);
+
+  for (usize cut = 0; cut <= full->size(); cut += 7) {
+    write_file(dir_ + "/wal_cut", std::string_view(*full).substr(0, cut));
+    std::vector<std::string> got;
+    ASSERT_TRUE(WalReader::read_all(dir_ + "/wal_cut", &got).is_ok()) << cut;
+    ASSERT_LE(got.size(), written.size()) << cut;
+    for (usize i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], written[i]) << "cut=" << cut << " record " << i;
+    }
+  }
+}
+
+// --- merging iterator --------------------------------------------------------------------
+
+class VecIter : public Iterator {
+ public:
+  explicit VecIter(std::vector<std::pair<std::string, std::string>> kvs)
+      : kvs_(std::move(kvs)) {}
+  bool valid() const override { return pos_ < kvs_.size(); }
+  void seek_to_first() override { pos_ = 0; }
+  void seek(std::string_view target) override {
+    pos_ = 0;
+    while (valid() && compare_internal_keys(kvs_[pos_].first, target) < 0) ++pos_;
+  }
+  void next() override { ++pos_; }
+  std::string_view key() const override { return kvs_[pos_].first; }
+  std::string_view value() const override { return kvs_[pos_].second; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kvs_;
+  usize pos_ = 0;
+};
+
+std::string ik(std::string_view user, u64 seq) {
+  std::string s;
+  append_internal_key(&s, user, seq, ValueType::kValue);
+  return s;
+}
+
+TEST(MergingIterator, InterleavesSorted) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VecIter>(
+      std::vector<std::pair<std::string, std::string>>{{ik("a", 1), "1"},
+                                                       {ik("c", 1), "3"}}));
+  children.push_back(std::make_unique<VecIter>(
+      std::vector<std::pair<std::string, std::string>>{{ik("b", 1), "2"},
+                                                       {ik("d", 1), "4"}}));
+  auto merged = new_merging_iterator(std::move(children));
+  std::string got;
+  for (merged->seek_to_first(); merged->valid(); merged->next()) {
+    got += merged->value();
+  }
+  EXPECT_EQ(got, "1234");
+}
+
+TEST(MergingIterator, SameUserKeyNewestFirst) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VecIter>(
+      std::vector<std::pair<std::string, std::string>>{{ik("k", 5), "new"}}));
+  children.push_back(std::make_unique<VecIter>(
+      std::vector<std::pair<std::string, std::string>>{{ik("k", 2), "old"}}));
+  auto merged = new_merging_iterator(std::move(children));
+  merged->seek_to_first();
+  ASSERT_TRUE(merged->valid());
+  EXPECT_EQ(merged->value(), "new");
+  merged->next();
+  ASSERT_TRUE(merged->valid());
+  EXPECT_EQ(merged->value(), "old");
+}
+
+TEST(MergingIterator, EmptyChildren) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VecIter>(
+      std::vector<std::pair<std::string, std::string>>{}));
+  auto merged = new_merging_iterator(std::move(children));
+  merged->seek_to_first();
+  EXPECT_FALSE(merged->valid());
+}
+
+TEST(MergingIterator, SeekAcrossChildren) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VecIter>(
+      std::vector<std::pair<std::string, std::string>>{{ik("a", 1), "1"},
+                                                       {ik("e", 1), "5"}}));
+  children.push_back(std::make_unique<VecIter>(
+      std::vector<std::pair<std::string, std::string>>{{ik("c", 1), "3"}}));
+  auto merged = new_merging_iterator(std::move(children));
+  merged->seek(ik("b", kMaxSequence));
+  ASSERT_TRUE(merged->valid());
+  EXPECT_EQ(merged->value(), "3");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededCompressFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace teeperf::kvs

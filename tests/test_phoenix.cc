@@ -1,0 +1,297 @@
+// Tests for the Phoenix kernel reimplementations: result correctness
+// against closed forms / brute force, and the property that threaded and
+// sequential runs produce identical checksums (TEST_P sweep over thread
+// counts — the Phoenix map/reduce structure must be deterministic).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "phoenix/phoenix.h"
+
+namespace teeperf::phoenix {
+namespace {
+
+TEST(Histogram, CountsEveryPixelOnce) {
+  auto in = gen_histogram(10'000, 1);
+  auto out = run_histogram(in, 3);
+  u64 r = 0, g = 0, b = 0;
+  for (usize i = 0; i < 256; ++i) {
+    r += out.r[i];
+    g += out.g[i];
+    b += out.b[i];
+  }
+  EXPECT_EQ(r, 10'000u);
+  EXPECT_EQ(g, 10'000u);
+  EXPECT_EQ(b, 10'000u);
+}
+
+TEST(Histogram, MatchesBruteForce) {
+  auto in = gen_histogram(5'000, 2);
+  auto out = run_histogram(in, 4);
+  std::array<u64, 256> expect_r{};
+  for (usize p = 0; p < 5'000; ++p) ++expect_r[in.pixels[p * 3]];
+  EXPECT_EQ(out.r, expect_r);
+}
+
+TEST(LinReg, RecoversKnownLine) {
+  auto in = gen_linreg(200'000, 3);
+  auto out = run_linreg(in, 4);
+  // Data is y = 3x + 7 ± 32 uniform noise.
+  EXPECT_NEAR(out.slope, 3.0, 0.01);
+  EXPECT_NEAR(out.intercept, 7.0, 2.0);
+  EXPECT_EQ(out.n, 200'000u);
+}
+
+TEST(StringMatch, FindsPlantedKeys) {
+  auto in = gen_string_match(100'000, 4);
+  auto out = run_string_match(in, 4);
+  u64 expected = 0;
+  for (const auto& w : in.words) {
+    for (const auto& k : in.keys) {
+      if (w == k) {
+        ++expected;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(out.matches, expected);
+  EXPECT_GT(expected, 0u);  // generator plants ~1/512
+  EXPECT_EQ(out.words_scanned, 100'000u);
+}
+
+TEST(WordCount, TotalsMatchInput) {
+  auto in = gen_word_count(50'000, 5);
+  auto out = run_word_count(in, 4);
+  EXPECT_EQ(out.total_words, 50'000u);
+  EXPECT_GT(out.distinct_words, 100u);
+  EXPECT_LE(out.distinct_words, 512u);
+  ASSERT_EQ(out.top.size(), 10u);
+  // Top list is sorted by frequency.
+  for (usize i = 1; i < out.top.size(); ++i) {
+    EXPECT_GE(out.top[i - 1].second, out.top[i].second);
+  }
+}
+
+TEST(WordCount, MatchesBruteForce) {
+  auto in = gen_word_count(5'000, 6);
+  auto out = run_word_count(in, 2);
+  std::map<std::string, u64> brute;
+  std::string word;
+  for (char c : in.text + "\n") {
+    if (c == ' ' || c == '\n') {
+      if (!word.empty()) ++brute[word];
+      word.clear();
+    } else {
+      word.push_back(c);
+    }
+  }
+  EXPECT_EQ(out.distinct_words, brute.size());
+  EXPECT_EQ(out.top[0].second, [&] {
+    u64 best = 0;
+    for (auto& [w, n] : brute) best = std::max(best, n);
+    return best;
+  }());
+}
+
+TEST(MatMul, MatchesNaiveSmall) {
+  auto in = gen_matmul(17, 7);
+  auto out = run_matmul(in, 3);
+  u64 expect = 0;
+  for (usize i = 0; i < 17; ++i) {
+    for (usize j = 0; j < 17; ++j) {
+      i64 acc = 0;
+      for (usize k = 0; k < 17; ++k) {
+        acc += static_cast<i64>(in.a[i * 17 + k]) * in.b[k * 17 + j];
+      }
+      expect += static_cast<u64>(acc);
+    }
+  }
+  EXPECT_EQ(out.checksum_value, expect);
+}
+
+TEST(MatMul, IdentityMatrix) {
+  MatMulInput in;
+  in.n = 8;
+  in.a.assign(64, 0);
+  in.b.assign(64, 0);
+  for (usize i = 0; i < 8; ++i) {
+    in.a[i * 8 + i] = 1;
+    for (usize j = 0; j < 8; ++j) in.b[i * 8 + j] = static_cast<i32>(i * 8 + j);
+  }
+  auto out = run_matmul(in, 2);
+  u64 expect = 0;
+  for (i32 v : in.b) expect += static_cast<u64>(v);
+  EXPECT_EQ(out.checksum_value, expect);
+}
+
+TEST(Kmeans, ConvergesToClusterCenters) {
+  auto in = gen_kmeans(5'000, 3, 4, 8);
+  auto out = run_kmeans(in, 4, 20);
+  EXPECT_GE(out.iterations, 1u);
+  ASSERT_EQ(out.centroids.size(), 4u * 3u);
+  // Generated clusters sit near (c*100, c*100+1, c*100+2) + U[0,10); each
+  // recovered centroid must be close to one true center.
+  for (usize c = 0; c < 4; ++c) {
+    double x = out.centroids[c * 3];
+    bool near_any = false;
+    for (usize t = 0; t < 4; ++t) {
+      if (std::abs(x - (static_cast<double>(t) * 100.0 + 5.0)) < 10.0) near_any = true;
+    }
+    EXPECT_TRUE(near_any) << "centroid " << c << " at " << x;
+  }
+}
+
+TEST(Pca, MeanAndCovarianceCorrect) {
+  // Two perfectly correlated columns: cov matrix known analytically.
+  PcaInput in;
+  in.rows = 100;
+  in.cols = 2;
+  in.data.resize(200);
+  for (usize r = 0; r < 100; ++r) {
+    in.data[r * 2] = static_cast<double>(r);
+    in.data[r * 2 + 1] = 2.0 * static_cast<double>(r) + 1.0;
+  }
+  auto out = run_pca(in, 3);
+  EXPECT_NEAR(out.mean[0], 49.5, 1e-9);
+  EXPECT_NEAR(out.mean[1], 100.0, 1e-9);
+  // var(0..99) = 841.66..; cov(x,2x+1)=2var; var(2x+1)=4var.
+  double var = 0;
+  for (usize r = 0; r < 100; ++r) {
+    var += (static_cast<double>(r) - 49.5) * (static_cast<double>(r) - 49.5);
+  }
+  var /= 99.0;
+  EXPECT_NEAR(out.cov[0], var, 1e-6);
+  EXPECT_NEAR(out.cov[1], 2 * var, 1e-6);
+  EXPECT_NEAR(out.cov[3], 4 * var, 1e-6);
+  EXPECT_DOUBLE_EQ(out.cov[1], out.cov[2]);  // symmetry
+}
+
+TEST(ReverseIndex, IndexesAllLinks) {
+  auto in = gen_reverse_index(200, 10, 21);
+  auto out = run_reverse_index(in, 4);
+  EXPECT_EQ(out.total_links, 200u * 10u);
+  EXPECT_GT(out.distinct_targets, 50u);
+  EXPECT_LE(out.distinct_targets, 256u);
+  ASSERT_EQ(out.top.size(), 10u);
+  for (usize i = 1; i < out.top.size(); ++i) {
+    EXPECT_GE(out.top[i - 1].second, out.top[i].second);
+  }
+}
+
+TEST(ReverseIndex, MatchesBruteForce) {
+  auto in = gen_reverse_index(50, 5, 22);
+  auto out = run_reverse_index(in, 3);
+  u64 brute_links = 0;
+  std::set<std::string> brute_targets;
+  for (const auto& doc : in.documents) {
+    usize pos = 0;
+    while ((pos = doc.find("href=\"", pos)) != std::string::npos) {
+      pos += 6;
+      usize end = doc.find('"', pos);
+      brute_targets.insert(doc.substr(pos, end - pos));
+      ++brute_links;
+      pos = end + 1;
+    }
+  }
+  EXPECT_EQ(out.total_links, brute_links);
+  EXPECT_EQ(out.distinct_targets, brute_targets.size());
+}
+
+// ---- thread-count determinism sweep -----------------------------------------
+
+class ThreadSweep : public ::testing::TestWithParam<usize> {};
+
+TEST_P(ThreadSweep, HistogramDeterministic) {
+  auto in = gen_histogram(50'000, 11);
+  EXPECT_EQ(run_histogram(in, GetParam()).checksum(),
+            run_histogram(in, 1).checksum());
+}
+
+TEST_P(ThreadSweep, LinRegDeterministic) {
+  auto in = gen_linreg(100'000, 12);
+  auto par = run_linreg(in, GetParam());
+  auto seq = run_linreg(in, 1);
+  EXPECT_NEAR(par.slope, seq.slope, 1e-9);
+  EXPECT_NEAR(par.intercept, seq.intercept, 1e-6);
+}
+
+TEST_P(ThreadSweep, StringMatchDeterministic) {
+  auto in = gen_string_match(30'000, 13);
+  EXPECT_EQ(run_string_match(in, GetParam()).checksum(),
+            run_string_match(in, 1).checksum());
+}
+
+TEST_P(ThreadSweep, WordCountDeterministic) {
+  auto in = gen_word_count(20'000, 14);
+  EXPECT_EQ(run_word_count(in, GetParam()).checksum(),
+            run_word_count(in, 1).checksum());
+}
+
+TEST_P(ThreadSweep, MatMulDeterministic) {
+  auto in = gen_matmul(48, 15);
+  EXPECT_EQ(run_matmul(in, GetParam()).checksum(), run_matmul(in, 1).checksum());
+}
+
+TEST_P(ThreadSweep, KmeansDeterministic) {
+  auto in = gen_kmeans(3'000, 4, 4, 16);
+  EXPECT_EQ(run_kmeans(in, GetParam()).checksum(), run_kmeans(in, 1).checksum());
+}
+
+TEST_P(ThreadSweep, ReverseIndexDeterministic) {
+  auto in = gen_reverse_index(300, 8, 23);
+  EXPECT_EQ(run_reverse_index(in, GetParam()).checksum(),
+            run_reverse_index(in, 1).checksum());
+}
+
+TEST_P(ThreadSweep, PcaDeterministic) {
+  auto in = gen_pca(300, 16, 17);
+  EXPECT_EQ(run_pca(in, GetParam()).checksum(), run_pca(in, 1).checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 3, 4, 8));
+
+// ---- suite wrapper -----------------------------------------------------------
+
+TEST(Suite, AllNamesConstructAndRun) {
+  SuiteParams params;
+  params.scale = 1;
+  for (const auto& name : suite_names()) {
+    auto bench = make_benchmark(name);
+    ASSERT_NE(bench, nullptr) << name;
+    EXPECT_EQ(bench->name(), name);
+  }
+}
+
+TEST(Suite, UnknownNameReturnsNull) {
+  EXPECT_EQ(make_benchmark("reverse_index_of_doom"), nullptr);
+}
+
+TEST(Suite, CallDensityOrderingMatchesFigure4) {
+  // Figure 4's shape depends on string_match having by far the highest call
+  // density and linear_regression the lowest.
+  SuiteParams params;
+  std::map<std::string, double> calls_per_unit;
+  for (const auto& name : suite_names()) {
+    auto bench = make_benchmark(name);
+    bench->prepare(params);
+    calls_per_unit[name] = static_cast<double>(bench->approx_calls());
+  }
+  EXPECT_GT(calls_per_unit["string_match"], calls_per_unit["word_count"]);
+  EXPECT_GT(calls_per_unit["word_count"], calls_per_unit["histogram"]);
+  EXPECT_GT(calls_per_unit["histogram"], calls_per_unit["matrix_multiply"]);
+  EXPECT_GT(calls_per_unit["matrix_multiply"], calls_per_unit["linear_regression"]);
+}
+
+TEST(Suite, RunProducesStableChecksum) {
+  SuiteParams params;
+  auto bench = make_benchmark("histogram");
+  bench->prepare(params);
+  u64 a = bench->run(2);
+  u64 b = bench->run(4);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace teeperf::phoenix

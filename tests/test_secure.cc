@@ -1,0 +1,306 @@
+// Tests for the Speicher-lite secure-storage layer: SipHash correctness,
+// trusted-counter semantics (sync vs async, recovery), and the secure WAL's
+// tamper / reorder / replay / rollback detection.
+#include <gtest/gtest.h>
+
+#include "common/fileutil.h"
+#include "common/rng.h"
+#include "kvstore/coding.h"
+#include "kvstore/secure.h"
+#include "tee/enclave.h"
+
+namespace teeperf::kvs::secure {
+namespace {
+
+MacKey test_key() {
+  MacKey k{};
+  for (usize i = 0; i < k.size(); ++i) k[i] = static_cast<u8>(i);
+  return k;
+}
+
+// --- SipHash-2-4 ----------------------------------------------------------------
+
+TEST(SipHash, ReferenceVector) {
+  // Reference vectors from the SipHash paper (key 00..0f). The paper lists
+  // outputs as byte arrays; as little-endian u64s: 63-byte input 00..3e →
+  // bytes "72 45 06 eb 4c 32 8a 95" = 0x958a324ceb064572.
+  MacKey key = test_key();
+  std::string input;
+  for (int i = 0; i < 63; ++i) input.push_back(static_cast<char>(i));
+  EXPECT_EQ(siphash24(key, input), 0x958a324ceb064572ull);
+  // And the empty-input row: 0x726fdb47dd0e0e31.
+  EXPECT_EQ(siphash24(key, ""), 0x726fdb47dd0e0e31ull);
+}
+
+TEST(SipHash, KeyedAndDeterministic) {
+  MacKey a = test_key();
+  MacKey b = test_key();
+  b[0] ^= 1;
+  EXPECT_EQ(siphash24(a, "payload"), siphash24(a, "payload"));
+  EXPECT_NE(siphash24(a, "payload"), siphash24(b, "payload"));
+  EXPECT_NE(siphash24(a, "payload"), siphash24(a, "payloae"));
+}
+
+TEST(SipHash, AllLengthsUpTo64) {
+  MacKey key = test_key();
+  Xorshift64 rng(4);
+  std::set<u64> macs;
+  std::string input;
+  for (int len = 0; len <= 64; ++len) {
+    macs.insert(siphash24(key, input));
+    input.push_back(static_cast<char>(rng.next()));
+  }
+  EXPECT_EQ(macs.size(), 65u);  // no trivial collisions across lengths
+}
+
+// --- trusted counter ---------------------------------------------------------------
+
+class TrustedCounterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = make_temp_dir("teeperf_tc_"); }
+  void TearDown() override { remove_tree(dir_); }
+  std::string dir_;
+};
+
+TEST_F(TrustedCounterTest, SyncStabilizesEveryIncrement) {
+  TrustedCounter c(dir_ + "/ctr", TrustedCounter::Mode::kSync, 0);
+  EXPECT_EQ(c.increment(), 1u);
+  EXPECT_EQ(c.increment(), 2u);
+  EXPECT_EQ(c.stable_value(), 2u);
+  EXPECT_EQ(c.hardware_increments(), 2u);
+}
+
+TEST_F(TrustedCounterTest, AsyncDefersToFlush) {
+  TrustedCounter c(dir_ + "/ctr", TrustedCounter::Mode::kAsync, 0);
+  for (int i = 0; i < 100; ++i) c.increment();
+  EXPECT_EQ(c.value(), 100u);
+  EXPECT_EQ(c.stable_value(), 0u);
+  EXPECT_EQ(c.hardware_increments(), 0u);
+  ASSERT_TRUE(c.flush().is_ok());
+  EXPECT_EQ(c.stable_value(), 100u);
+  EXPECT_EQ(c.hardware_increments(), 1u);  // 100 increments, 1 hardware write
+}
+
+TEST_F(TrustedCounterTest, RecoversStableValue) {
+  {
+    TrustedCounter c(dir_ + "/ctr", TrustedCounter::Mode::kAsync, 0);
+    for (int i = 0; i < 7; ++i) c.increment();
+    ASSERT_TRUE(c.flush().is_ok());
+  }
+  TrustedCounter again(dir_ + "/ctr", TrustedCounter::Mode::kAsync, 0);
+  EXPECT_EQ(again.value(), 7u);
+  EXPECT_EQ(again.stable_value(), 7u);
+}
+
+TEST_F(TrustedCounterTest, SyncChargesEnclaveCost) {
+  tee::CostModel cm = tee::CostModel::zero();
+  tee::Enclave e(cm);
+  TrustedCounter c(dir_ + "/ctr", TrustedCounter::Mode::kSync,
+                   /*increment_cost_ns=*/500'000);
+  u64 before = e.charged_ns();
+  e.ecall([&] { c.increment(); });
+  EXPECT_GE(e.charged_ns() - before, 500'000u);
+}
+
+// --- secure WAL ---------------------------------------------------------------------
+
+class SecureWalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = make_temp_dir("teeperf_swal_");
+    counter_ = std::make_unique<TrustedCounter>(dir_ + "/ctr",
+                                                TrustedCounter::Mode::kAsync, 0);
+  }
+  void TearDown() override { remove_tree(dir_); }
+
+  // Writes n records "payload_<i>" and flushes.
+  void write_records(int n) {
+    SecureWalWriter w(test_key(), counter_.get());
+    ASSERT_TRUE(w.open(dir_ + "/wal", true).is_ok());
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(w.append("payload_" + std::to_string(i)).is_ok());
+    }
+    ASSERT_TRUE(w.flush().is_ok());
+  }
+
+  std::string dir_;
+  std::unique_ptr<TrustedCounter> counter_;
+};
+
+TEST_F(SecureWalTest, CleanRoundTrip) {
+  write_records(10);
+  auto result = secure_wal_read(dir_ + "/wal", test_key(), *counter_);
+  EXPECT_FALSE(result.tampered);
+  EXPECT_FALSE(result.rolled_back);
+  ASSERT_EQ(result.records.size(), 10u);
+  EXPECT_EQ(result.records[0], "payload_0");
+  EXPECT_EQ(result.records[9], "payload_9");
+  EXPECT_EQ(result.last_counter, 10u);
+}
+
+TEST_F(SecureWalTest, BitFlipDetected) {
+  write_records(6);
+  auto data = read_file(dir_ + "/wal");
+  ASSERT_TRUE(data);
+  std::string bad = *data;
+  bad[bad.size() / 2] ^= 0x01;
+  write_file(dir_ + "/wal", bad);
+  auto result = secure_wal_read(dir_ + "/wal", test_key(), *counter_);
+  // Either the CRC framing or the MAC catches it; either way: tampered or
+  // a short prefix that fails the freshness check.
+  EXPECT_TRUE(result.tampered || result.rolled_back);
+  EXPECT_LT(result.records.size(), 6u);
+}
+
+TEST_F(SecureWalTest, WrongKeyDetected) {
+  write_records(3);
+  MacKey wrong = test_key();
+  wrong[5] ^= 0xff;
+  auto result = secure_wal_read(dir_ + "/wal", wrong, *counter_);
+  EXPECT_TRUE(result.tampered);
+  EXPECT_TRUE(result.records.empty());
+}
+
+TEST_F(SecureWalTest, RollbackDetected) {
+  // First epoch: 4 records, flushed (stable counter = 4). Keep the file.
+  write_records(4);
+  auto old_file = read_file(dir_ + "/wal");
+  ASSERT_TRUE(old_file);
+
+  // Second epoch: append 4 more through a new writer session.
+  {
+    SecureWalWriter w(test_key(), counter_.get());
+    ASSERT_TRUE(w.open(dir_ + "/wal", true).is_ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(w.append("epoch2_" + std::to_string(i)).is_ok());
+    }
+    ASSERT_TRUE(w.flush().is_ok());
+  }
+
+  // Attack: restore the old (validly MAC'd) file. MACs check out, but the
+  // trusted counter says the world moved on.
+  write_file(dir_ + "/wal", *old_file);
+  auto result = secure_wal_read(dir_ + "/wal", test_key(), *counter_);
+  EXPECT_FALSE(result.tampered);
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(result.last_counter, 4u);
+  EXPECT_EQ(counter_->stable_value(), 12u);
+}
+
+TEST_F(SecureWalTest, TruncationDetectedAsRollback) {
+  write_records(10);
+  auto data = read_file(dir_ + "/wal");
+  ASSERT_TRUE(data);
+  // Drop the last ~3 records (cut at a plausible frame boundary is not
+  // required; the CRC framing discards the torn tail).
+  write_file(dir_ + "/wal", std::string_view(*data).substr(0, data->size() / 2));
+  auto result = secure_wal_read(dir_ + "/wal", test_key(), *counter_);
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_LT(result.last_counter, 10u);
+}
+
+TEST_F(SecureWalTest, ReorderingDetected) {
+  write_records(4);
+  // Swap two full records by re-framing: simplest robust approach — read
+  // raw frames via WalReader, swap, rewrite with fresh CRC framing.
+  std::vector<std::string> raw;
+  ASSERT_TRUE(WalReader::read_all(dir_ + "/wal", &raw).is_ok());
+  ASSERT_EQ(raw.size(), 4u);
+  std::swap(raw[1], raw[2]);
+  WalWriter w;
+  ASSERT_TRUE(w.open(dir_ + "/wal", true).is_ok());
+  for (auto& r : raw) ASSERT_TRUE(w.append(r).is_ok());
+  w.close();
+
+  auto result = secure_wal_read(dir_ + "/wal", test_key(), *counter_);
+  EXPECT_TRUE(result.tampered);  // chained MAC breaks at the swap
+  EXPECT_LE(result.records.size(), 1u);
+}
+
+TEST_F(SecureWalTest, AsyncCounterAmortizesHardwareWrites) {
+  SecureWalWriter w(test_key(), counter_.get());
+  ASSERT_TRUE(w.open(dir_ + "/wal", true).is_ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(w.append("x").is_ok());
+  }
+  ASSERT_TRUE(w.flush().is_ok());
+  EXPECT_EQ(counter_->hardware_increments(), 1u);
+
+  TrustedCounter sync_counter(dir_ + "/ctr2", TrustedCounter::Mode::kSync, 0);
+  SecureWalWriter w2(test_key(), &sync_counter);
+  ASSERT_TRUE(w2.open(dir_ + "/wal2", true).is_ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(w2.append("x").is_ok());
+  }
+  EXPECT_EQ(sync_counter.hardware_increments(), 50u);
+}
+
+// --- sealed tables ---------------------------------------------------------------
+
+class SealTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = make_temp_dir("teeperf_seal_");
+    write_file(dir_ + "/t.sst", "pretend this is an sstable payload");
+  }
+  void TearDown() override { remove_tree(dir_); }
+  std::string dir_;
+};
+
+TEST_F(SealTest, SealVerifyRoundTrip) {
+  TrustedCounter c(dir_ + "/ctr", TrustedCounter::Mode::kSync, 0);
+  c.increment();
+  ASSERT_TRUE(secure_table_seal(dir_ + "/t.sst", test_key(), c).is_ok());
+  auto verdict = secure_table_verify(dir_ + "/t.sst", test_key(), 1);
+  EXPECT_TRUE(verdict.ok);
+  EXPECT_EQ(verdict.epoch, 1u);
+}
+
+TEST_F(SealTest, ModifiedFileDetected) {
+  TrustedCounter c(dir_ + "/ctr", TrustedCounter::Mode::kSync, 0);
+  ASSERT_TRUE(secure_table_seal(dir_ + "/t.sst", test_key(), c).is_ok());
+  append_file(dir_ + "/t.sst", "!");
+  auto verdict = secure_table_verify(dir_ + "/t.sst", test_key());
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_TRUE(verdict.tampered);
+}
+
+TEST_F(SealTest, MissingSidecarIsTampered) {
+  auto verdict = secure_table_verify(dir_ + "/t.sst", test_key());
+  EXPECT_TRUE(verdict.tampered);
+}
+
+TEST_F(SealTest, StaleEpochDetected) {
+  TrustedCounter c(dir_ + "/ctr", TrustedCounter::Mode::kSync, 0);
+  c.increment();  // epoch 1
+  ASSERT_TRUE(secure_table_seal(dir_ + "/t.sst", test_key(), c).is_ok());
+  auto old_sidecar = read_file(dir_ + "/t.sst.mac");
+  auto old_table = read_file(dir_ + "/t.sst");
+
+  // A newer sealing happens (epoch 2); the manifest now requires >= 2.
+  c.increment();
+  write_file(dir_ + "/t.sst", "new table contents");
+  ASSERT_TRUE(secure_table_seal(dir_ + "/t.sst", test_key(), c).is_ok());
+
+  // Attack: restore the old (validly sealed) pair.
+  write_file(dir_ + "/t.sst", *old_table);
+  write_file(dir_ + "/t.sst.mac", *old_sidecar);
+  auto verdict = secure_table_verify(dir_ + "/t.sst", test_key(), 2);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_FALSE(verdict.tampered);  // the MAC is valid...
+  EXPECT_TRUE(verdict.stale);      // ...but the epoch is behind
+}
+
+TEST_F(SealTest, SwappedSidecarDetected) {
+  TrustedCounter c(dir_ + "/ctr", TrustedCounter::Mode::kSync, 0);
+  write_file(dir_ + "/other.sst", "a different table");
+  ASSERT_TRUE(secure_table_seal(dir_ + "/t.sst", test_key(), c).is_ok());
+  ASSERT_TRUE(secure_table_seal(dir_ + "/other.sst", test_key(), c).is_ok());
+  // Cross-wire the sidecars.
+  auto other_mac = read_file(dir_ + "/other.sst.mac");
+  write_file(dir_ + "/t.sst.mac", *other_mac);
+  EXPECT_TRUE(secure_table_verify(dir_ + "/t.sst", test_key()).tampered);
+}
+
+}  // namespace
+}  // namespace teeperf::kvs::secure

@@ -1,0 +1,323 @@
+// Tests for the SPDK substrate: tick chain (and its trap behaviour inside
+// enclaves), cached ticks/pid optimizations, NVMe device + qpair I/O
+// correctness, env init, and short perf-tool runs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "spdk/env.h"
+#include "spdk/nvme.h"
+#include "spdk/perf_tool.h"
+#include "spdk/ticks.h"
+#include "tee/enclave.h"
+#include "tee/sysapi.h"
+
+namespace teeperf::spdk {
+namespace {
+
+using tee::CostModel;
+using tee::Enclave;
+
+TEST(Ticks, Monotone) {
+  u64 a = get_ticks();
+  u64 b = get_ticks();
+  EXPECT_GE(b, a);
+}
+
+TEST(Ticks, HzPlausible) {
+  u64 hz = get_ticks_hz();
+  EXPECT_GT(hz, 1'000'000u);  // at least 1 MHz for any real time source
+}
+
+TEST(Ticks, TrapsInsideEnclave) {
+  CostModel cm = CostModel::zero();
+  cm.rdtsc_trap_ns = 100;  // SGX-like: rdtsc is illegal inside
+  Enclave e(cm);
+  u64 before = e.counters().rdtsc_traps.load();
+  e.ecall([] { get_ticks(); });
+  EXPECT_EQ(e.counters().rdtsc_traps.load(), before + 1);
+}
+
+TEST(CachedTicksTest, CorrectsEveryInterval) {
+  CachedTicks cached(10);
+  for (int i = 0; i < 100; ++i) cached.get();
+  EXPECT_EQ(cached.calls(), 100u);
+  EXPECT_EQ(cached.corrections(), 10u);
+}
+
+TEST(CachedTicksTest, MonotoneAndRoughlyTracksRealTicks) {
+  CachedTicks cached(16);
+  u64 prev = cached.get();
+  for (int i = 0; i < 1000; ++i) {
+    u64 now = cached.get();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  // After many corrections, the cached clock must be within 50% of real.
+  u64 real = get_ticks();
+  u64 approx = cached.get();
+  double rel = std::abs(static_cast<double>(real) - static_cast<double>(approx)) /
+               static_cast<double>(real);
+  EXPECT_LT(rel, 0.5);
+}
+
+TEST(CachedTicksTest, ReducesTrapsInsideEnclave) {
+  CostModel cm = CostModel::zero();
+  cm.rdtsc_trap_ns = 100;
+  Enclave e(cm);
+  e.ecall([&] {
+    CachedTicks cached(64);
+    for (int i = 0; i < 640; ++i) cached.get();
+  });
+  // 640 calls at interval 64 → 10 real reads, not 640.
+  EXPECT_EQ(e.counters().rdtsc_traps.load(), 10u);
+}
+
+// --- env --------------------------------------------------------------------
+
+TEST(Env, InitIsIdempotent) {
+  env_reset_for_test();
+  EXPECT_FALSE(env_initialized());
+  EnvConfig cfg;
+  cfg.hugepage_count = 2;
+  cfg.per_hugepage_map_ns = 1000;
+  env_init(cfg);
+  EXPECT_TRUE(env_initialized());
+  env_init(cfg);  // no crash, still initialized
+  EXPECT_TRUE(env_initialized());
+}
+
+// --- nvme device + qpair ------------------------------------------------------
+
+class NvmeTest : public ::testing::Test {
+ protected:
+  NvmeTest() : device_(make_config()), qpair_(&device_, SpdkMode{}) {
+    device_.initialize();
+  }
+
+  static NvmeDeviceConfig make_config() {
+    NvmeDeviceConfig cfg;
+    cfg.block_count = 64;
+    cfg.completion_latency_ns = 0;  // complete on next poll
+    cfg.submit_cost_ns = 0;
+    cfg.complete_cost_ns = 0;
+    return cfg;
+  }
+
+  void pump_until_complete() {
+    while (qpair_.outstanding() > 0) qpair_.process_completions();
+  }
+
+  NvmeDevice device_;
+  NvmeQPair qpair_;
+};
+
+TEST_F(NvmeTest, WriteThenReadRoundTrip) {
+  std::vector<u8> wbuf(4096), rbuf(4096, 0);
+  for (usize i = 0; i < wbuf.size(); ++i) wbuf[i] = static_cast<u8>(i * 7);
+
+  bool write_done = false;
+  ASSERT_TRUE(qpair_.write(wbuf.data(), 5, 1,
+                           [](bool ok, void* ctx) {
+                             EXPECT_TRUE(ok);
+                             *static_cast<bool*>(ctx) = true;
+                           },
+                           &write_done));
+  pump_until_complete();
+  EXPECT_TRUE(write_done);
+
+  bool read_done = false;
+  ASSERT_TRUE(qpair_.read(rbuf.data(), 5, 1,
+                          [](bool ok, void* ctx) {
+                            EXPECT_TRUE(ok);
+                            *static_cast<bool*>(ctx) = true;
+                          },
+                          &read_done));
+  pump_until_complete();
+  EXPECT_TRUE(read_done);
+  EXPECT_EQ(std::memcmp(wbuf.data(), rbuf.data(), 4096), 0);
+}
+
+TEST_F(NvmeTest, MultiBlockIo) {
+  std::vector<u8> wbuf(4 * 4096, 0xab), rbuf(4 * 4096, 0);
+  qpair_.write(wbuf.data(), 10, 4, nullptr, nullptr);
+  pump_until_complete();
+  qpair_.read(rbuf.data(), 10, 4, nullptr, nullptr);
+  pump_until_complete();
+  EXPECT_EQ(wbuf, rbuf);
+}
+
+TEST_F(NvmeTest, LbaWrapsNamespace) {
+  std::vector<u8> buf(4096, 0x11);
+  qpair_.write(buf.data(), 64 + 3, 1, nullptr, nullptr);  // wraps to lba 3
+  pump_until_complete();
+  EXPECT_EQ(device_.block_data(3)[0], 0x11);
+}
+
+TEST_F(NvmeTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(qpair_.read(nullptr, 0, 1, nullptr, nullptr));
+  std::vector<u8> buf(4096);
+  EXPECT_FALSE(qpair_.read(buf.data(), 0, 0, nullptr, nullptr));
+}
+
+TEST_F(NvmeTest, RequiresInitializedDevice) {
+  NvmeDevice raw(make_config());
+  NvmeQPair qp(&raw, SpdkMode{});
+  std::vector<u8> buf(4096);
+  EXPECT_FALSE(qp.read(buf.data(), 0, 1, nullptr, nullptr));
+}
+
+TEST_F(NvmeTest, QueueDepthBounded) {
+  NvmeDeviceConfig cfg = make_config();
+  cfg.max_queue_depth = 4;
+  cfg.completion_latency_ns = 1'000'000'000;  // nothing completes during test
+  NvmeDevice dev(cfg);
+  dev.initialize();
+  NvmeQPair qp(&dev, SpdkMode{});
+  std::vector<u8> buf(4096);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(qp.read(buf.data(), 0, 1, nullptr, nullptr));
+  }
+  EXPECT_FALSE(qp.read(buf.data(), 0, 1, nullptr, nullptr));  // pool exhausted
+  EXPECT_EQ(qp.outstanding(), 4u);
+}
+
+TEST_F(NvmeTest, CompletionLatencyHonored) {
+  NvmeDeviceConfig cfg = make_config();
+  cfg.completion_latency_ns = 50'000'000;  // 50 ms
+  NvmeDevice dev(cfg);
+  dev.initialize();
+  NvmeQPair qp(&dev, SpdkMode{});
+  std::vector<u8> buf(4096);
+  qp.read(buf.data(), 0, 1, nullptr, nullptr);
+  EXPECT_EQ(qp.process_completions(), 0u);  // immediately: not ready
+  EXPECT_EQ(qp.outstanding(), 1u);
+  while (qp.outstanding()) qp.process_completions();
+  EXPECT_EQ(qp.completed(), 1u);
+}
+
+TEST_F(NvmeTest, CountersTrackTraffic) {
+  std::vector<u8> buf(4096);
+  for (int i = 0; i < 10; ++i) qpair_.read(buf.data(), 0, 1, nullptr, nullptr);
+  pump_until_complete();
+  EXPECT_EQ(qpair_.submitted(), 10u);
+  EXPECT_EQ(qpair_.completed(), 10u);
+  EXPECT_EQ(qpair_.outstanding(), 0u);
+}
+
+TEST_F(NvmeTest, PidLookupPerAllocationWithoutCache) {
+  auto& traps = tee::sys::thread_trap_counts();
+  u64 before = traps.getpid;
+  std::vector<u8> buf(4096);
+  for (int i = 0; i < 5; ++i) {
+    qpair_.read(buf.data(), 0, 1, nullptr, nullptr);
+    pump_until_complete();
+  }
+  EXPECT_EQ(traps.getpid, before + 5);
+}
+
+TEST_F(NvmeTest, CachedPidLooksUpOnce) {
+  SpdkMode mode;
+  mode.cache_pid = true;
+  NvmeQPair qp(&device_, mode);
+  auto& traps = tee::sys::thread_trap_counts();
+  u64 before = traps.getpid;
+  std::vector<u8> buf(4096);
+  for (int i = 0; i < 5; ++i) {
+    qp.read(buf.data(), 0, 1, nullptr, nullptr);
+    while (qp.outstanding()) qp.process_completions();
+  }
+  EXPECT_EQ(traps.getpid, before + 1);
+}
+
+// --- perf tool -----------------------------------------------------------------
+
+PerfConfig short_config() {
+  PerfConfig cfg;
+  cfg.duration_ns = 120'000'000;  // 120 ms
+  cfg.queue_depth = 8;
+  cfg.lba_space = 1024;
+  return cfg;
+}
+
+NvmeDeviceConfig fast_device() {
+  NvmeDeviceConfig cfg;
+  cfg.block_count = 1024;
+  cfg.completion_latency_ns = 50'000;
+  cfg.submit_cost_ns = 500;
+  cfg.complete_cost_ns = 500;
+  return cfg;
+}
+
+TEST(PerfTool, TicksToUsSane) {
+  // One million ticks at any plausible frequency is 100 us .. 10 ms.
+  double us = ticks_to_us(1'000'000);
+  EXPECT_GT(us, 10.0);
+  EXPECT_LT(us, 1e6);
+  EXPECT_DOUBLE_EQ(ticks_to_us(0), 0.0);
+}
+
+TEST(PerfTool, LatencySummaryFormats) {
+  PerfResult r;
+  r.latency_ticks.add(1000);
+  r.latency_ticks.add(2000);
+  std::string s = latency_summary_us(r);
+  EXPECT_NE(s.find("lat(us):"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(PerfTool, NativeRunProducesIops) {
+  NvmeDevice dev(fast_device());
+  auto result = run_perf_tool(dev, short_config(), SpdkMode{});
+  EXPECT_GT(result.ios, 100u);
+  EXPECT_GT(result.iops, 0.0);
+  EXPECT_GT(result.throughput_mib_s, 0.0);
+  EXPECT_GT(result.seconds, 0.1);
+  // ~80/20 mix.
+  double read_frac = static_cast<double>(result.reads) /
+                     static_cast<double>(result.reads + result.writes);
+  EXPECT_GT(read_frac, 0.7);
+  EXPECT_LT(read_frac, 0.9);
+  EXPECT_EQ(result.latency_ticks.count(), result.ios);
+}
+
+TEST(PerfTool, EnclaveRunSlowerThanNative) {
+  NvmeDevice dev(fast_device());
+  auto native = run_perf_tool(dev, short_config(), SpdkMode{});
+
+  CostModel cm = CostModel::zero();
+  cm.syscall_ocall_ns = 30'000;
+  cm.rdtsc_trap_ns = 5'000;
+  Enclave enclave(cm);
+  NvmeDevice dev2(fast_device());
+  auto naive = enclave.ecall(
+      [&] { return run_perf_tool(dev2, short_config(), SpdkMode{}); });
+
+  EXPECT_LT(naive.iops, native.iops * 0.5)
+      << "trapped getpid/rdtsc must hurt enclave IOPS";
+}
+
+TEST(PerfTool, OptimizationsRecoverPerformance) {
+  CostModel cm = CostModel::zero();
+  cm.syscall_ocall_ns = 30'000;
+  cm.rdtsc_trap_ns = 5'000;
+
+  Enclave e1(cm);
+  NvmeDevice dev1(fast_device());
+  auto naive = e1.ecall(
+      [&] { return run_perf_tool(dev1, short_config(), SpdkMode{}); });
+
+  Enclave e2(cm);
+  NvmeDevice dev2(fast_device());
+  SpdkMode optimized;
+  optimized.cache_pid = true;
+  optimized.cache_ticks = true;
+  auto opt = e2.ecall(
+      [&] { return run_perf_tool(dev2, short_config(), optimized); });
+
+  EXPECT_GT(opt.iops, naive.iops * 2.0);
+  EXPECT_EQ(opt.pid_lookups, 0u);  // cached path never counts lookups
+}
+
+}  // namespace
+}  // namespace teeperf::spdk

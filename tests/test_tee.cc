@@ -1,0 +1,244 @@
+// Tests for the TEE simulator: world tracking, transition/OCALL costs and
+// counters, syscall/rdtsc trapping, EPC paging, MEE charges.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/spin.h"
+#include "tee/enclave.h"
+#include "tee/epc.h"
+#include "tee/sysapi.h"
+
+namespace teeperf::tee {
+namespace {
+
+TEST(Enclave, WorldFlagTracksEcall) {
+  Enclave e(CostModel::zero());
+  EXPECT_FALSE(Enclave::inside());
+  e.ecall([&] {
+    EXPECT_TRUE(Enclave::inside());
+    EXPECT_EQ(Enclave::current(), &e);
+  });
+  EXPECT_FALSE(Enclave::inside());
+  EXPECT_EQ(Enclave::current(), nullptr);
+}
+
+TEST(Enclave, EcallReturnsValue) {
+  Enclave e(CostModel::zero());
+  int v = e.ecall([] { return 41 + 1; });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(Enclave, OcallLeavesAndReenters) {
+  Enclave e(CostModel::zero());
+  e.ecall([&] {
+    EXPECT_TRUE(Enclave::inside());
+    int out = e.ocall([] {
+      EXPECT_FALSE(Enclave::inside());
+      return 7;
+    });
+    EXPECT_EQ(out, 7);
+    EXPECT_TRUE(Enclave::inside());
+  });
+  EXPECT_EQ(e.counters().ocalls.load(), 1u);
+}
+
+TEST(Enclave, OcallOutsideIsFreePassthrough) {
+  Enclave e;
+  int out = e.ocall([] { return 3; });
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(e.counters().ocalls.load(), 0u);
+}
+
+TEST(Enclave, TransitionsChargeRealTime) {
+  CostModel cm = CostModel::zero();
+  cm.ecall_ns = 200'000;
+  cm.eexit_ns = 200'000;
+  Enclave e(cm);
+  u64 t0 = monotonic_ns();
+  e.ecall([] {});
+  u64 elapsed = monotonic_ns() - t0;
+  EXPECT_GE(elapsed, 150'000u);  // generous: preemption tolerance
+  EXPECT_EQ(e.counters().ecalls.load(), 1u);
+  EXPECT_GE(e.charged_ns(), 400'000u);
+}
+
+TEST(Enclave, NestedEcallsRestorePreviousWorld) {
+  Enclave outer(CostModel::zero());
+  Enclave inner(CostModel::zero());
+  outer.ecall([&] {
+    inner.ecall([&] { EXPECT_EQ(Enclave::current(), &inner); });
+    EXPECT_EQ(Enclave::current(), &outer);
+  });
+}
+
+TEST(Enclave, WorldFlagIsPerThread) {
+  Enclave e(CostModel::zero());
+  e.ecall([&] {
+    std::thread other([] { EXPECT_FALSE(Enclave::inside()); });
+    other.join();
+  });
+}
+
+TEST(Enclave, MeeChargeScalesWithBytes) {
+  CostModel cm = CostModel::zero();
+  cm.mee_cacheline_ns = 100;
+  Enclave e(cm);
+  e.ecall([&] {
+    u64 before = e.charged_ns();
+    e.charge_mee(64 * 100, /*random=*/true);  // 100 lines
+    EXPECT_GE(e.charged_ns() - before, 100u * 100u);
+  });
+  u64 mid = e.charged_ns();
+  e.ecall([&] { e.charge_mee(64 * 800, /*random=*/false); });  // sequential: /8
+  // Sequential pays ~1/8 per line: 800 lines → 100 charged units.
+  EXPECT_GE(e.charged_ns() - mid, 100u * 100u);
+  EXPECT_LT(e.charged_ns() - mid, 100u * 300u + 2 * 0);  // far below 800 lines
+}
+
+// --- sysapi -----------------------------------------------------------------
+
+TEST(SysApi, GetpidOutsideIsUntrapped) {
+  auto& counts = sys::thread_trap_counts();
+  u64 before = counts.getpid;
+  u64 pid = sys::getpid();
+  EXPECT_GT(pid, 0u);
+  EXPECT_EQ(counts.getpid, before + 1);
+}
+
+TEST(SysApi, SyscallsTrappedInsideEnclave) {
+  CostModel cm = CostModel::zero();
+  cm.syscall_ocall_ns = 50'000;
+  Enclave e(cm);
+  u64 before_traps = e.counters().trapped_syscalls.load();
+  u64 t0 = monotonic_ns();
+  e.ecall([] {
+    sys::getpid();
+    sys::clock_gettime_ns();
+  });
+  u64 elapsed = monotonic_ns() - t0;
+  EXPECT_EQ(e.counters().trapped_syscalls.load(), before_traps + 2);
+  EXPECT_GE(elapsed, 70'000u);  // two 50 µs traps, preemption-tolerant bound
+}
+
+TEST(SysApi, RdtscTrappedInsideOnly) {
+  CostModel cm = CostModel::zero();
+  cm.rdtsc_trap_ns = 10'000;
+  Enclave e(cm);
+  sys::rdtsc();  // outside: no trap
+  EXPECT_EQ(e.counters().rdtsc_traps.load(), 0u);
+  e.ecall([] { sys::rdtsc(); });
+  EXPECT_EQ(e.counters().rdtsc_traps.load(), 1u);
+}
+
+TEST(SysApi, RdtscMonotone) {
+  u64 a = sys::rdtsc();
+  u64 b = sys::rdtsc();
+  EXPECT_GE(b, a);
+}
+
+TEST(SysApi, ClockAdvances) {
+  u64 a = sys::clock_gettime_ns();
+  spin_for_ns(100'000);
+  EXPECT_GT(sys::clock_gettime_ns(), a);
+}
+
+TEST(SysApi, WriteOutCountsAndCharges) {
+  CostModel cm = CostModel::zero();
+  cm.syscall_ocall_ns = 1000;
+  Enclave e(cm);
+  char buf[256] = {};
+  u64 before = e.counters().trapped_syscalls.load();
+  e.ecall([&] { EXPECT_EQ(sys::write_out(buf, sizeof buf), sizeof buf); });
+  EXPECT_EQ(e.counters().trapped_syscalls.load(), before + 1);
+}
+
+// --- EPC --------------------------------------------------------------------
+
+TEST(Epc, AllocationAndTouch) {
+  Enclave e(CostModel::zero());
+  EpcAllocator epc(&e, /*resident_limit=*/8);
+  auto buf = epc.allocate(3 * kEpcPageSize);
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(buf->size(), 3 * kEpcPageSize);
+  EXPECT_EQ(buf->resident_pages(), 0u);
+
+  u8* p = buf->touch(0, 10, /*write=*/true);
+  ASSERT_NE(p, nullptr);
+  p[0] = 42;
+  EXPECT_EQ(buf->resident_pages(), 1u);
+  EXPECT_EQ(buf->raw()[0], 42);
+}
+
+TEST(Epc, TouchSpanningPages) {
+  Enclave e(CostModel::zero());
+  EpcAllocator epc(&e, 8);
+  auto buf = epc.allocate(4 * kEpcPageSize);
+  buf->touch(kEpcPageSize - 10, 20, true);  // straddles pages 0 and 1
+  EXPECT_EQ(buf->resident_pages(), 2u);
+}
+
+TEST(Epc, TouchOutOfRange) {
+  Enclave e(CostModel::zero());
+  EpcAllocator epc(&e, 8);
+  auto buf = epc.allocate(kEpcPageSize);
+  EXPECT_EQ(buf->touch(2 * kEpcPageSize, 1, false), nullptr);
+}
+
+TEST(Epc, EvictionKeepsResidencyBounded) {
+  Enclave e(CostModel::zero());
+  EpcAllocator epc(&e, /*resident_limit=*/4);
+  auto buf = epc.allocate(16 * kEpcPageSize);
+  for (usize p = 0; p < 16; ++p) buf->touch(p * kEpcPageSize, 1, true);
+  EXPECT_LE(epc.resident_count(), 4u);
+  EXPECT_EQ(epc.page_ins(), 16u);
+  EXPECT_GE(epc.page_outs(), 12u);
+}
+
+TEST(Epc, ResidentPageIsFreeToRetouch) {
+  Enclave e(CostModel::zero());
+  EpcAllocator epc(&e, 4);
+  auto buf = epc.allocate(kEpcPageSize);
+  buf->touch(0, 1, true);
+  u64 ins = epc.page_ins();
+  for (int i = 0; i < 10; ++i) buf->touch(0, 1, false);
+  EXPECT_EQ(epc.page_ins(), ins);  // no further page-ins
+}
+
+TEST(Epc, PagingChargesTimeInsideEnclave) {
+  CostModel cm = CostModel::zero();
+  cm.epc_page_in_ns = 100'000;
+  Enclave e(cm);
+  EpcAllocator epc(&e, 16);
+  auto buf = epc.allocate(4 * kEpcPageSize);
+  u64 t0 = monotonic_ns();
+  e.ecall([&] {
+    for (usize p = 0; p < 4; ++p) buf->touch(p * kEpcPageSize, 1, true);
+  });
+  EXPECT_GE(monotonic_ns() - t0, 300'000u);  // 4 × 100 µs, generous bound
+}
+
+TEST(Epc, ReleaseFreesResidency) {
+  Enclave e(CostModel::zero());
+  EpcAllocator epc(&e, 8);
+  {
+    auto buf = epc.allocate(4 * kEpcPageSize);
+    for (usize p = 0; p < 4; ++p) buf->touch(p * kEpcPageSize, 1, true);
+    EXPECT_EQ(epc.resident_count(), 4u);
+  }
+  EXPECT_EQ(epc.resident_count(), 0u);
+}
+
+TEST(Epc, WorkingSetWithinLimitNeverEvicts) {
+  Enclave e(CostModel::zero());
+  EpcAllocator epc(&e, 64);
+  auto buf = epc.allocate(32 * kEpcPageSize);
+  for (int round = 0; round < 5; ++round) {
+    for (usize p = 0; p < 32; ++p) buf->touch(p * kEpcPageSize, 1, false);
+  }
+  EXPECT_EQ(epc.page_ins(), 32u);
+  EXPECT_EQ(epc.page_outs(), 0u);
+}
+
+}  // namespace
+}  // namespace teeperf::tee

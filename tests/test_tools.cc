@@ -1,0 +1,184 @@
+// Exercises the CLI binaries end to end by exec'ing them: argument
+// validation, record→analyze round trips, every analyzer output mode, the
+// selective filter and dynamic-activation wrapper flags. Binary locations
+// come from TEEPERF_BIN_DIR (set by CMake).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/fileutil.h"
+
+namespace teeperf {
+namespace {
+
+std::string bin_dir() {
+  const char* d = std::getenv("TEEPERF_BIN_DIR");
+  return d ? d : "build";
+}
+
+// Runs a command line, captures combined stdout+stderr into *output,
+// returns the exit code (or -1 on spawn failure).
+int run_cmd(const std::vector<std::string>& args, std::string* output) {
+  std::string out_file = make_temp_dir("teeperf_cli_") + "/out";
+  std::string cmd;
+  for (const auto& a : args) {
+    cmd += "'" + a + "' ";
+  }
+  cmd += "> " + out_file + " 2>&1";
+  int status = std::system(cmd.c_str());
+  if (auto text = read_file(out_file)) *output = *text;
+  remove_tree(out_file.substr(0, out_file.rfind('/')));
+  if (status < 0) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+class ToolsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = make_temp_dir("teeperf_tools_");
+    record_ = bin_dir() + "/tools/teeperf_record";
+    analyze_ = bin_dir() + "/tools/teeperf_analyze";
+    flamegraph_ = bin_dir() + "/tools/teeperf_flamegraph";
+    app_ = bin_dir() + "/examples/instrumented_app";
+  }
+  void TearDown() override { remove_tree(dir_); }
+
+  // Records one run of the instrumented app; returns the dump prefix.
+  std::string record_run(const std::vector<std::string>& extra = {}) {
+    std::string prefix = dir_ + "/run";
+    std::vector<std::string> args{record_, "-o", prefix, "-n", "262144"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    args.push_back("--");
+    args.push_back(app_);
+    args.push_back(dir_ + "/appout");
+    std::string out;
+    EXPECT_EQ(run_cmd(args, &out), 0) << out;
+    return prefix;
+  }
+
+  std::string dir_, record_, analyze_, flamegraph_, app_;
+};
+
+TEST_F(ToolsTest, RecordRejectsBadArgs) {
+  std::string out;
+  EXPECT_EQ(run_cmd({record_}, &out), 2);                       // no command
+  EXPECT_EQ(run_cmd({record_, "--bogus", "--", "true"}, &out), 2);
+  EXPECT_EQ(run_cmd({record_, "-c", "sundial", "--", "true"}, &out), 2);
+}
+
+TEST_F(ToolsTest, AnalyzeRejectsMissingPrefix) {
+  std::string out;
+  EXPECT_EQ(run_cmd({analyze_}, &out), 2);
+  EXPECT_EQ(run_cmd({analyze_, dir_ + "/nonexistent"}, &out), 1);
+}
+
+TEST_F(ToolsTest, RecordAnalyzeAllOutputModes) {
+  std::string prefix = record_run();
+  ASSERT_TRUE(file_exists(prefix + ".log"));
+  ASSERT_TRUE(file_exists(prefix + ".sym"));
+
+  std::string out;
+  ASSERT_EQ(run_cmd({analyze_, prefix, "--top", "10", "--callgraph",
+                     "--threads", "--tree", "--gprof", "--hottest",
+                     "--validate"},
+                    &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("fibonacci"), std::string::npos);
+  EXPECT_NE(out.find("Flat profile"), std::string::npos);
+  EXPECT_NE(out.find("hottest stack"), std::string::npos);
+  EXPECT_NE(out.find("validation: clean"), std::string::npos);
+  EXPECT_NE(out.find("<all threads>"), std::string::npos);
+
+  // File-producing modes.
+  ASSERT_EQ(run_cmd({analyze_, prefix, "--csv", dir_ + "/o.csv", "--folded",
+                     dir_ + "/o.folded", "--svg", dir_ + "/o.svg",
+                     "--timeline", dir_ + "/o.tl.csv", "--timeline-svg",
+                     dir_ + "/o.tl.svg", "--chrome", dir_ + "/o.json"},
+                    &out),
+            0)
+      << out;
+  for (const char* f : {"/o.csv", "/o.folded", "/o.svg", "/o.tl.csv",
+                        "/o.tl.svg", "/o.json"}) {
+    auto content = read_file(dir_ + f);
+    ASSERT_TRUE(content.has_value()) << f;
+    EXPECT_FALSE(content->empty()) << f;
+  }
+  EXPECT_NE(read_file(dir_ + "/o.json")->find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(ToolsTest, AnalyzeMethodQueryAndMerge) {
+  std::string p1 = record_run();
+  // Second run under a different prefix for the merge.
+  std::string p2 = dir_ + "/run2";
+  std::string out;
+  ASSERT_EQ(run_cmd({record_, "-o", p2, "--", app_, dir_ + "/appout2"}, &out), 0);
+
+  ASSERT_EQ(run_cmd({analyze_, p1, "--method", "fibonacci"}, &out), 0) << out;
+  EXPECT_NE(out.find("invocations matching"), std::string::npos);
+  EXPECT_NE(out.find("by caller:"), std::string::npos);
+
+  ASSERT_EQ(run_cmd({analyze_, p1, "--merge", p2}, &out), 0) << out;
+  EXPECT_NE(out.find("merged 2 dumps"), std::string::npos);
+}
+
+TEST_F(ToolsTest, RecordInactiveStaysEmpty) {
+  std::string prefix = record_run({"--inactive"});
+  std::string out;
+  ASSERT_EQ(run_cmd({analyze_, prefix}, &out), 0);
+  EXPECT_NE(out.find("entries=0"), std::string::npos);
+}
+
+TEST_F(ToolsTest, RecordCallsOnlyHalvesEvents) {
+  std::string full = record_run();
+  std::string calls_prefix = dir_ + "/calls";
+  std::string out;
+  ASSERT_EQ(run_cmd({record_, "-o", calls_prefix, "--calls-only", "--", app_,
+                     dir_ + "/x"},
+                    &out),
+            0);
+  auto full_log = read_file(full + ".log");
+  auto calls_log = read_file(calls_prefix + ".log");
+  ASSERT_TRUE(full_log && calls_log);
+  // Same workload, returns dropped: roughly half the entries.
+  EXPECT_LT(calls_log->size(), full_log->size() * 3 / 4);
+}
+
+TEST_F(ToolsTest, FlamegraphToolRoundTrip) {
+  std::string prefix = record_run();
+  std::string out;
+  ASSERT_EQ(run_cmd({analyze_, prefix, "--folded", dir_ + "/f.folded"}, &out), 0);
+  ASSERT_EQ(run_cmd({flamegraph_, dir_ + "/f.folded", dir_ + "/f.svg",
+                     "--title", "cli test", "--width", "900"},
+                    &out),
+            0)
+      << out;
+  auto svg = read_file(dir_ + "/f.svg");
+  ASSERT_TRUE(svg.has_value());
+  EXPECT_NE(svg->find("cli test"), std::string::npos);
+  EXPECT_NE(svg->find("width=\"900\""), std::string::npos);
+}
+
+TEST_F(ToolsTest, FlamegraphToolRejectsGarbage) {
+  write_file(dir_ + "/garbage", "not folded stacks at all");
+  std::string out;
+  EXPECT_EQ(run_cmd({flamegraph_, dir_ + "/garbage", dir_ + "/out.svg"}, &out), 1);
+  EXPECT_EQ(run_cmd({flamegraph_, dir_ + "/missing", dir_ + "/out.svg"}, &out), 1);
+}
+
+TEST_F(ToolsTest, DiffBetweenTwoRuns) {
+  std::string p1 = record_run();
+  std::string p2 = dir_ + "/second";
+  std::string out;
+  ASSERT_EQ(run_cmd({record_, "-o", p2, "--", app_, dir_ + "/y"}, &out), 0);
+  ASSERT_EQ(run_cmd({analyze_, p1, "--diff", p2}, &out), 0) << out;
+  EXPECT_NE(out.find("delta(ms)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace teeperf

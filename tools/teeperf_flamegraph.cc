@@ -1,0 +1,52 @@
+// Stage #4 as a CLI: folded stacks → standalone SVG flame graph. Input is
+// the flamegraph.pl format, so this also renders folded files produced by
+// other tools.
+//
+//   teeperf_flamegraph <in.folded> <out.svg> [--title T] [--width W]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/fileutil.h"
+#include "flamegraph/flamegraph.h"
+
+using namespace teeperf;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: teeperf_flamegraph <in.folded> <out.svg> [--title T] "
+                 "[--width W]\n");
+    return 2;
+  }
+  auto folded_text = read_file(argv[1]);
+  if (!folded_text) {
+    std::fprintf(stderr, "cannot read %s\n", argv[1]);
+    return 1;
+  }
+  flamegraph::SvgOptions opts;
+  opts.title = argv[1];
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--title") == 0 && i + 1 < argc) {
+      opts.title = argv[++i];
+    } else if (std::strcmp(argv[i], "--width") == 0 && i + 1 < argc) {
+      opts.width = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto stacks = flamegraph::parse_folded_text(*folded_text);
+  if (stacks.empty()) {
+    std::fprintf(stderr, "no stacks parsed from %s\n", argv[1]);
+    return 1;
+  }
+  if (!write_file(argv[2], flamegraph::render_svg(stacks, opts))) {
+    std::fprintf(stderr, "cannot write %s\n", argv[2]);
+    return 1;
+  }
+  std::printf("wrote %s (%zu stacks)\n", argv[2], stacks.size());
+  return 0;
+}

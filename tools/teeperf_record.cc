@@ -1,0 +1,231 @@
+// The recorder wrapper as its own host process (§II-B stage #2) — the
+// paper's command-line workflow:
+//
+//   teeperf_record -o run -- ./my_instrumented_app args...
+//
+// The wrapper creates the shared-memory log, optionally runs the software
+// counter (in this process, on the host — the TEE never needs a timer),
+// launches the application with TEEPERF_SHM/TEEPERF_COUNTER/TEEPERF_SYM
+// set, waits for it, and persists "run.log". The application (anything
+// linking teeperf_core, instrumented via -finstrument-functions or
+// TEEPERF_SCOPE) self-attaches before main() and writes "run.sym" at exit.
+//
+// Options:
+//   -o <prefix>    output prefix                (default: teeperf)
+//   -n <entries>   log capacity                 (default: 1048576)
+//   -c <counter>   tsc | software | steady_clock (default: tsc)
+//   --inactive     start with measurement off (flip on later via the log
+//                  header flags — dynamic activation)
+//   --calls-only / --returns-only   restrict recorded event kinds
+//   --filter allow:<names>|deny:<names>   selective profiling in the app
+//   --start-after-ms N   activate measurement N ms into the run (implies
+//                        --inactive) — the wrapper flips the header flag
+//                        while the application executes (§II-B)
+//   --stop-after-ms N    deactivate measurement after N ms
+//   --ring               ring mode: overwrite oldest entries when full
+//                        (keep the newest window of a long run)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <cstring>
+
+#include "common/fileutil.h"
+#include "common/stringutil.h"
+#include "core/counter.h"
+#include "core/log_format.h"
+#include "core/shm.h"
+
+using namespace teeperf;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: teeperf_record [-o prefix] [-n entries] [-c tsc|software|"
+               "steady_clock] [--inactive] [--calls-only|--returns-only] -- "
+               "<command> [args...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string prefix = "teeperf";
+  u64 max_entries = 1u << 20;
+  std::string counter = "tsc";
+  bool active = true;
+  bool calls = true, returns = true;
+  std::string filter_spec;
+  long start_after_ms = -1, stop_after_ms = -1;
+  bool ring = false;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--") {
+      ++i;
+      break;
+    } else if (arg == "-o" && i + 1 < argc) {
+      prefix = argv[++i];
+    } else if (arg == "-n" && i + 1 < argc) {
+      max_entries = static_cast<u64>(std::atoll(argv[++i]));
+    } else if (arg == "-c" && i + 1 < argc) {
+      counter = argv[++i];
+    } else if (arg == "--inactive") {
+      active = false;
+    } else if (arg == "--calls-only") {
+      returns = false;
+    } else if (arg == "--returns-only") {
+      calls = false;
+    } else if (arg == "--ring") {
+      ring = true;
+    } else if (arg == "--filter" && i + 1 < argc) {
+      filter_spec = argv[++i];
+    } else if (arg == "--start-after-ms" && i + 1 < argc) {
+      start_after_ms = std::atol(argv[++i]);
+      active = false;
+    } else if (arg == "--stop-after-ms" && i + 1 < argc) {
+      stop_after_ms = std::atol(argv[++i]);
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (i >= argc || max_entries == 0) {
+    usage();
+    return 2;
+  }
+
+  CounterMode mode = CounterMode::kTsc;
+  if (counter == "software") mode = CounterMode::kSoftware;
+  else if (counter == "steady_clock") mode = CounterMode::kSteadyClock;
+  else if (counter != "tsc") {
+    usage();
+    return 2;
+  }
+
+  // Shared-memory log, owned by this wrapper.
+  std::string shm_name = str_format("/teeperf.%d", getpid());
+  SharedMemoryRegion shm;
+  usize bytes = ProfileLog::bytes_for(max_entries);
+  if (!shm.create(shm_name, bytes)) {
+    std::fprintf(stderr, "teeperf_record: shm_open(%s, %zu bytes) failed\n",
+                 shm_name.c_str(), bytes);
+    return 1;
+  }
+  ProfileLog log;
+  u64 flags = log_flags::kMultithread;
+  if (ring) flags |= log_flags::kRingBuffer;
+  if (active) flags |= log_flags::kActive;
+  if (calls) flags |= log_flags::kRecordCalls;
+  if (returns) flags |= log_flags::kRecordReturns;
+  if (!log.init(shm.data(), bytes, 0, flags)) {
+    std::fprintf(stderr, "teeperf_record: log init failed\n");
+    return 1;
+  }
+  log.header()->counter_mode = static_cast<u32>(mode);
+
+  // The software counter runs here, on the host — the measured application
+  // only ever reads the header word.
+  std::unique_ptr<SoftwareCounter> sw;
+  if (mode == CounterMode::kSoftware) {
+    sw = std::make_unique<SoftwareCounter>(log.header(), /*yield_every=*/4096);
+    sw->start();
+  }
+
+  pid_t child = fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (child == 0) {
+    setenv("TEEPERF_SHM", shm_name.c_str(), 1);
+    setenv("TEEPERF_COUNTER", counter.c_str(), 1);
+    setenv("TEEPERF_SYM", (prefix + ".sym").c_str(), 1);
+    if (!filter_spec.empty()) setenv("TEEPERF_FILTER", filter_spec.c_str(), 1);
+    execvp(argv[i], argv + i);
+    std::perror("execvp");
+    _exit(127);
+  }
+
+  // Dynamic activation (§II-B): the flags word is atomic in shared memory,
+  // so the wrapper can toggle measurement while the application runs.
+  std::atomic<bool> child_done{false};
+  std::thread toggler([&] {
+    auto wait_ms = [&](long ms) {
+      for (long waited = 0; waited < ms && !child_done.load(); waited += 10) {
+        usleep(10'000);
+      }
+    };
+    if (start_after_ms >= 0) {
+      wait_ms(start_after_ms);
+      if (!child_done.load()) log.set_active(true);
+    }
+    if (stop_after_ms >= 0) {
+      wait_ms(stop_after_ms - (start_after_ms > 0 ? start_after_ms : 0));
+      if (!child_done.load()) log.set_active(false);
+    }
+  });
+
+  int status = 0;
+  waitpid(child, &status, 0);
+  child_done.store(true);
+  toggler.join();
+  log.header()->pid = static_cast<u64>(child);
+
+  // Measure tick rate before the counter stops, then persist.
+  log.header()->ns_per_tick = counter_ns_per_tick(mode, log.header());
+  if (sw) sw->stop();
+  log.set_active(false);
+
+  u64 tail = log.header()->tail.load(std::memory_order_acquire);
+  u64 n = tail < max_entries ? tail : max_entries;
+  if (ring && tail > max_entries) {
+    // Normalize the wrapped window so offline loaders see plain order.
+    std::vector<LogEntry> ordered;
+    log.snapshot_ordered(&ordered);
+    LogHeader header_copy;
+    std::memcpy(&header_copy, log.header(), sizeof(LogHeader));
+    header_copy.tail.store(ordered.size(), std::memory_order_relaxed);
+    header_copy.flags.store(log.flags() & ~log_flags::kRingBuffer,
+                            std::memory_order_relaxed);
+    std::string out(reinterpret_cast<const char*>(&header_copy),
+                    sizeof(LogHeader));
+    out.append(reinterpret_cast<const char*>(ordered.data()),
+               ordered.size() * sizeof(LogEntry));
+    if (!write_file(prefix + ".log", out)) {
+      std::fprintf(stderr, "teeperf_record: writing %s.log failed\n",
+                   prefix.c_str());
+      return 1;
+    }
+  } else {
+    usize out_bytes = sizeof(LogHeader) + static_cast<usize>(n) * sizeof(LogEntry);
+    if (!write_file(prefix + ".log",
+                    std::string_view(static_cast<const char*>(shm.data()),
+                                     out_bytes))) {
+      std::fprintf(stderr, "teeperf_record: writing %s.log failed\n",
+                   prefix.c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr,
+               "teeperf_record: %llu entries (%llu attempted), counter=%s, "
+               "wrote %s.log%s\n",
+               static_cast<unsigned long long>(n),
+               static_cast<unsigned long long>(tail), counter.c_str(),
+               prefix.c_str(),
+               file_exists(prefix + ".sym") ? (" + " + prefix + ".sym").c_str()
+                                            : " (no .sym — did the app link "
+                                              "teeperf_core?)");
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return 1;
+}
