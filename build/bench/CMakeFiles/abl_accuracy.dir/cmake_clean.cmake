@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_accuracy.dir/abl_accuracy.cc.o"
+  "CMakeFiles/abl_accuracy.dir/abl_accuracy.cc.o.d"
+  "abl_accuracy"
+  "abl_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

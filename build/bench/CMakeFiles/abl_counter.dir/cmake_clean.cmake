@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_counter.dir/abl_counter.cc.o"
+  "CMakeFiles/abl_counter.dir/abl_counter.cc.o.d"
+  "abl_counter"
+  "abl_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_epc_paging.dir/abl_epc_paging.cc.o"
+  "CMakeFiles/abl_epc_paging.dir/abl_epc_paging.cc.o.d"
+  "abl_epc_paging"
+  "abl_epc_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_epc_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

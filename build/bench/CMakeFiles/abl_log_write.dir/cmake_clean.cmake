@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_log_write.dir/abl_log_write.cc.o"
+  "CMakeFiles/abl_log_write.dir/abl_log_write.cc.o.d"
+  "abl_log_write"
+  "abl_log_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_log_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multi_tee.dir/abl_multi_tee.cc.o"
+  "CMakeFiles/abl_multi_tee.dir/abl_multi_tee.cc.o.d"
+  "abl_multi_tee"
+  "abl_multi_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multi_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

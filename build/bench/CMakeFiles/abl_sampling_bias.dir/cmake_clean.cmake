@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sampling_bias.dir/abl_sampling_bias.cc.o"
+  "CMakeFiles/abl_sampling_bias.dir/abl_sampling_bias.cc.o.d"
+  "abl_sampling_bias"
+  "abl_sampling_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sampling_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_secure_wal.dir/abl_secure_wal.cc.o"
+  "CMakeFiles/abl_secure_wal.dir/abl_secure_wal.cc.o.d"
+  "abl_secure_wal"
+  "abl_secure_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_secure_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_selective.dir/abl_selective.cc.o"
+  "CMakeFiles/abl_selective.dir/abl_selective.cc.o.d"
+  "abl_selective"
+  "abl_selective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_selective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

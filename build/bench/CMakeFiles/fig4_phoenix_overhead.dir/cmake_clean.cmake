@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_phoenix_overhead.dir/fig4_phoenix_overhead.cc.o"
+  "CMakeFiles/fig4_phoenix_overhead.dir/fig4_phoenix_overhead.cc.o.d"
+  "fig4_phoenix_overhead"
+  "fig4_phoenix_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_phoenix_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_kvstore_flamegraph.dir/fig5_kvstore_flamegraph.cc.o"
+  "CMakeFiles/fig5_kvstore_flamegraph.dir/fig5_kvstore_flamegraph.cc.o.d"
+  "fig5_kvstore_flamegraph"
+  "fig5_kvstore_flamegraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_kvstore_flamegraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

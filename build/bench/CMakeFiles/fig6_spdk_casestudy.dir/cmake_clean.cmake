@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_spdk_casestudy.dir/fig6_spdk_casestudy.cc.o"
+  "CMakeFiles/fig6_spdk_casestudy.dir/fig6_spdk_casestudy.cc.o.d"
+  "fig6_spdk_casestudy"
+  "fig6_spdk_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_spdk_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_spdk_casestudy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_profilers.dir/compare_profilers.cpp.o"
+  "CMakeFiles/compare_profilers.dir/compare_profilers.cpp.o.d"
+  "compare_profilers"
+  "compare_profilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_profilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclave_io.dir/enclave_io.cpp.o"
+  "CMakeFiles/enclave_io.dir/enclave_io.cpp.o.d"
+  "enclave_io"
+  "enclave_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclave_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumented_app.dir/instrumented_app.cpp.o"
+  "CMakeFiles/instrumented_app.dir/instrumented_app.cpp.o.d"
+  "instrumented_app"
+  "instrumented_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumented_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_kvstore.dir/profile_kvstore.cpp.o"
+  "CMakeFiles/profile_kvstore.dir/profile_kvstore.cpp.o.d"
+  "profile_kvstore"
+  "profile_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_tour.dir/query_tour.cpp.o"
+  "CMakeFiles/query_tour.dir/query_tour.cpp.o.d"
+  "query_tour"
+  "query_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speicher_demo.dir/speicher_demo.cpp.o"
+  "CMakeFiles/speicher_demo.dir/speicher_demo.cpp.o.d"
+  "speicher_demo"
+  "speicher_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speicher_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

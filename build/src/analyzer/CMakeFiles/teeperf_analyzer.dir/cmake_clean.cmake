@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_analyzer.dir/profile.cc.o"
+  "CMakeFiles/teeperf_analyzer.dir/profile.cc.o.d"
+  "CMakeFiles/teeperf_analyzer.dir/query.cc.o"
+  "CMakeFiles/teeperf_analyzer.dir/query.cc.o.d"
+  "CMakeFiles/teeperf_analyzer.dir/report.cc.o"
+  "CMakeFiles/teeperf_analyzer.dir/report.cc.o.d"
+  "libteeperf_analyzer.a"
+  "libteeperf_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_common.dir/crc32c.cc.o"
+  "CMakeFiles/teeperf_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/teeperf_common.dir/fileutil.cc.o"
+  "CMakeFiles/teeperf_common.dir/fileutil.cc.o.d"
+  "CMakeFiles/teeperf_common.dir/histogram.cc.o"
+  "CMakeFiles/teeperf_common.dir/histogram.cc.o.d"
+  "CMakeFiles/teeperf_common.dir/spin.cc.o"
+  "CMakeFiles/teeperf_common.dir/spin.cc.o.d"
+  "CMakeFiles/teeperf_common.dir/stringutil.cc.o"
+  "CMakeFiles/teeperf_common.dir/stringutil.cc.o.d"
+  "libteeperf_common.a"
+  "libteeperf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

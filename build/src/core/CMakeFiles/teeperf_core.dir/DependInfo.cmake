@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auto_attach.cc" "src/core/CMakeFiles/teeperf_core.dir/auto_attach.cc.o" "gcc" "src/core/CMakeFiles/teeperf_core.dir/auto_attach.cc.o.d"
+  "/root/repo/src/core/counter.cc" "src/core/CMakeFiles/teeperf_core.dir/counter.cc.o" "gcc" "src/core/CMakeFiles/teeperf_core.dir/counter.cc.o.d"
+  "/root/repo/src/core/filter.cc" "src/core/CMakeFiles/teeperf_core.dir/filter.cc.o" "gcc" "src/core/CMakeFiles/teeperf_core.dir/filter.cc.o.d"
+  "/root/repo/src/core/log_format.cc" "src/core/CMakeFiles/teeperf_core.dir/log_format.cc.o" "gcc" "src/core/CMakeFiles/teeperf_core.dir/log_format.cc.o.d"
+  "/root/repo/src/core/recorder.cc" "src/core/CMakeFiles/teeperf_core.dir/recorder.cc.o" "gcc" "src/core/CMakeFiles/teeperf_core.dir/recorder.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/teeperf_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/teeperf_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/shm.cc" "src/core/CMakeFiles/teeperf_core.dir/shm.cc.o" "gcc" "src/core/CMakeFiles/teeperf_core.dir/shm.cc.o.d"
+  "/root/repo/src/core/symbol_dump.cc" "src/core/CMakeFiles/teeperf_core.dir/symbol_dump.cc.o" "gcc" "src/core/CMakeFiles/teeperf_core.dir/symbol_dump.cc.o.d"
+  "/root/repo/src/core/symbol_registry.cc" "src/core/CMakeFiles/teeperf_core.dir/symbol_registry.cc.o" "gcc" "src/core/CMakeFiles/teeperf_core.dir/symbol_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/teeperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_core.dir/auto_attach.cc.o"
+  "CMakeFiles/teeperf_core.dir/auto_attach.cc.o.d"
+  "CMakeFiles/teeperf_core.dir/counter.cc.o"
+  "CMakeFiles/teeperf_core.dir/counter.cc.o.d"
+  "CMakeFiles/teeperf_core.dir/filter.cc.o"
+  "CMakeFiles/teeperf_core.dir/filter.cc.o.d"
+  "CMakeFiles/teeperf_core.dir/log_format.cc.o"
+  "CMakeFiles/teeperf_core.dir/log_format.cc.o.d"
+  "CMakeFiles/teeperf_core.dir/recorder.cc.o"
+  "CMakeFiles/teeperf_core.dir/recorder.cc.o.d"
+  "CMakeFiles/teeperf_core.dir/runtime.cc.o"
+  "CMakeFiles/teeperf_core.dir/runtime.cc.o.d"
+  "CMakeFiles/teeperf_core.dir/shm.cc.o"
+  "CMakeFiles/teeperf_core.dir/shm.cc.o.d"
+  "CMakeFiles/teeperf_core.dir/symbol_dump.cc.o"
+  "CMakeFiles/teeperf_core.dir/symbol_dump.cc.o.d"
+  "CMakeFiles/teeperf_core.dir/symbol_registry.cc.o"
+  "CMakeFiles/teeperf_core.dir/symbol_registry.cc.o.d"
+  "libteeperf_core.a"
+  "libteeperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_cyg.dir/cyg_hooks.cc.o"
+  "CMakeFiles/teeperf_cyg.dir/cyg_hooks.cc.o.d"
+  "libteeperf_cyg.a"
+  "libteeperf_cyg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_cyg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

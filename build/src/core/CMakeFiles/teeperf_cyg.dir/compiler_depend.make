@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for teeperf_cyg.
+# This may be replaced when dependencies are built.

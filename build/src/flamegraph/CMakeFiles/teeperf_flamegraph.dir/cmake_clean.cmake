@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_flamegraph.dir/flamegraph.cc.o"
+  "CMakeFiles/teeperf_flamegraph.dir/flamegraph.cc.o.d"
+  "libteeperf_flamegraph.a"
+  "libteeperf_flamegraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_flamegraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/arena.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/arena.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/arena.cc.o.d"
+  "/root/repo/src/kvstore/bloom.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/bloom.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/bloom.cc.o.d"
+  "/root/repo/src/kvstore/compress.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/compress.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/compress.cc.o.d"
+  "/root/repo/src/kvstore/db.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/db.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/db.cc.o.d"
+  "/root/repo/src/kvstore/db_bench.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/db_bench.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/db_bench.cc.o.d"
+  "/root/repo/src/kvstore/memtable.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/memtable.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/memtable.cc.o.d"
+  "/root/repo/src/kvstore/merging_iterator.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/merging_iterator.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/merging_iterator.cc.o.d"
+  "/root/repo/src/kvstore/secure.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/secure.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/secure.cc.o.d"
+  "/root/repo/src/kvstore/sstable.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/sstable.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/sstable.cc.o.d"
+  "/root/repo/src/kvstore/version.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/version.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/version.cc.o.d"
+  "/root/repo/src/kvstore/wal.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/wal.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/wal.cc.o.d"
+  "/root/repo/src/kvstore/write_batch.cc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/write_batch.cc.o" "gcc" "src/kvstore/CMakeFiles/teeperf_kvstore.dir/write_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/teeperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/teeperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/teeperf_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

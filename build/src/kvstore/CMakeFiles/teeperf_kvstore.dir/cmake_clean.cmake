@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_kvstore.dir/arena.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/arena.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/bloom.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/bloom.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/compress.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/compress.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/db.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/db.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/db_bench.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/db_bench.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/memtable.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/memtable.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/merging_iterator.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/merging_iterator.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/secure.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/secure.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/sstable.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/sstable.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/version.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/version.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/wal.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/wal.cc.o.d"
+  "CMakeFiles/teeperf_kvstore.dir/write_batch.cc.o"
+  "CMakeFiles/teeperf_kvstore.dir/write_batch.cc.o.d"
+  "libteeperf_kvstore.a"
+  "libteeperf_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

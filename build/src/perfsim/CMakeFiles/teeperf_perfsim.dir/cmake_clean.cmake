@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_perfsim.dir/sampler.cc.o"
+  "CMakeFiles/teeperf_perfsim.dir/sampler.cc.o.d"
+  "libteeperf_perfsim.a"
+  "libteeperf_perfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_perfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phoenix/histogram.cc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/histogram.cc.o" "gcc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/histogram.cc.o.d"
+  "/root/repo/src/phoenix/kmeans.cc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/kmeans.cc.o" "gcc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/kmeans.cc.o.d"
+  "/root/repo/src/phoenix/linear_regression.cc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/linear_regression.cc.o" "gcc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/linear_regression.cc.o.d"
+  "/root/repo/src/phoenix/matrix_multiply.cc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/matrix_multiply.cc.o" "gcc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/matrix_multiply.cc.o.d"
+  "/root/repo/src/phoenix/pca.cc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/pca.cc.o" "gcc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/pca.cc.o.d"
+  "/root/repo/src/phoenix/reverse_index.cc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/reverse_index.cc.o" "gcc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/reverse_index.cc.o.d"
+  "/root/repo/src/phoenix/string_match.cc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/string_match.cc.o" "gcc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/string_match.cc.o.d"
+  "/root/repo/src/phoenix/suite.cc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/suite.cc.o" "gcc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/suite.cc.o.d"
+  "/root/repo/src/phoenix/word_count.cc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/word_count.cc.o" "gcc" "src/phoenix/CMakeFiles/teeperf_phoenix.dir/word_count.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/teeperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/teeperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

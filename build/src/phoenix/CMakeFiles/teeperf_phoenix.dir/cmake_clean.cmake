@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_phoenix.dir/histogram.cc.o"
+  "CMakeFiles/teeperf_phoenix.dir/histogram.cc.o.d"
+  "CMakeFiles/teeperf_phoenix.dir/kmeans.cc.o"
+  "CMakeFiles/teeperf_phoenix.dir/kmeans.cc.o.d"
+  "CMakeFiles/teeperf_phoenix.dir/linear_regression.cc.o"
+  "CMakeFiles/teeperf_phoenix.dir/linear_regression.cc.o.d"
+  "CMakeFiles/teeperf_phoenix.dir/matrix_multiply.cc.o"
+  "CMakeFiles/teeperf_phoenix.dir/matrix_multiply.cc.o.d"
+  "CMakeFiles/teeperf_phoenix.dir/pca.cc.o"
+  "CMakeFiles/teeperf_phoenix.dir/pca.cc.o.d"
+  "CMakeFiles/teeperf_phoenix.dir/reverse_index.cc.o"
+  "CMakeFiles/teeperf_phoenix.dir/reverse_index.cc.o.d"
+  "CMakeFiles/teeperf_phoenix.dir/string_match.cc.o"
+  "CMakeFiles/teeperf_phoenix.dir/string_match.cc.o.d"
+  "CMakeFiles/teeperf_phoenix.dir/suite.cc.o"
+  "CMakeFiles/teeperf_phoenix.dir/suite.cc.o.d"
+  "CMakeFiles/teeperf_phoenix.dir/word_count.cc.o"
+  "CMakeFiles/teeperf_phoenix.dir/word_count.cc.o.d"
+  "libteeperf_phoenix.a"
+  "libteeperf_phoenix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_phoenix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spdk/env.cc" "src/spdk/CMakeFiles/teeperf_spdk.dir/env.cc.o" "gcc" "src/spdk/CMakeFiles/teeperf_spdk.dir/env.cc.o.d"
+  "/root/repo/src/spdk/nvme.cc" "src/spdk/CMakeFiles/teeperf_spdk.dir/nvme.cc.o" "gcc" "src/spdk/CMakeFiles/teeperf_spdk.dir/nvme.cc.o.d"
+  "/root/repo/src/spdk/perf_tool.cc" "src/spdk/CMakeFiles/teeperf_spdk.dir/perf_tool.cc.o" "gcc" "src/spdk/CMakeFiles/teeperf_spdk.dir/perf_tool.cc.o.d"
+  "/root/repo/src/spdk/ticks.cc" "src/spdk/CMakeFiles/teeperf_spdk.dir/ticks.cc.o" "gcc" "src/spdk/CMakeFiles/teeperf_spdk.dir/ticks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/teeperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/teeperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/teeperf_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_spdk.dir/env.cc.o"
+  "CMakeFiles/teeperf_spdk.dir/env.cc.o.d"
+  "CMakeFiles/teeperf_spdk.dir/nvme.cc.o"
+  "CMakeFiles/teeperf_spdk.dir/nvme.cc.o.d"
+  "CMakeFiles/teeperf_spdk.dir/perf_tool.cc.o"
+  "CMakeFiles/teeperf_spdk.dir/perf_tool.cc.o.d"
+  "CMakeFiles/teeperf_spdk.dir/ticks.cc.o"
+  "CMakeFiles/teeperf_spdk.dir/ticks.cc.o.d"
+  "libteeperf_spdk.a"
+  "libteeperf_spdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_spdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

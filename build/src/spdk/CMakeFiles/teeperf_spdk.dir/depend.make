@@ -1,0 +1,2 @@
+# Empty dependencies file for teeperf_spdk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_tee.dir/enclave.cc.o"
+  "CMakeFiles/teeperf_tee.dir/enclave.cc.o.d"
+  "CMakeFiles/teeperf_tee.dir/epc.cc.o"
+  "CMakeFiles/teeperf_tee.dir/epc.cc.o.d"
+  "CMakeFiles/teeperf_tee.dir/sysapi.cc.o"
+  "CMakeFiles/teeperf_tee.dir/sysapi.cc.o.d"
+  "libteeperf_tee.a"
+  "libteeperf_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flamegraph.dir/test_flamegraph.cc.o"
+  "CMakeFiles/test_flamegraph.dir/test_flamegraph.cc.o.d"
+  "test_flamegraph"
+  "test_flamegraph.pdb"
+  "test_flamegraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flamegraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

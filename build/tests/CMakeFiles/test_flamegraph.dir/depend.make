@@ -1,0 +1,2 @@
+# Empty dependencies file for test_flamegraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvstore_components.dir/test_kvstore_components.cc.o"
+  "CMakeFiles/test_kvstore_components.dir/test_kvstore_components.cc.o.d"
+  "test_kvstore_components"
+  "test_kvstore_components.pdb"
+  "test_kvstore_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvstore_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

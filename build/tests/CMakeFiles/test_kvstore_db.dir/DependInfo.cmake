@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kvstore_db.cc" "tests/CMakeFiles/test_kvstore_db.dir/test_kvstore_db.cc.o" "gcc" "tests/CMakeFiles/test_kvstore_db.dir/test_kvstore_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvstore/CMakeFiles/teeperf_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/teeperf_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/teeperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/teeperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

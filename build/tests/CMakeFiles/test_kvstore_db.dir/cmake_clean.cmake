@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvstore_db.dir/test_kvstore_db.cc.o"
+  "CMakeFiles/test_kvstore_db.dir/test_kvstore_db.cc.o.d"
+  "test_kvstore_db"
+  "test_kvstore_db.pdb"
+  "test_kvstore_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvstore_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

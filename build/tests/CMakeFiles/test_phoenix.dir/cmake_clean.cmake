@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phoenix.dir/test_phoenix.cc.o"
+  "CMakeFiles/test_phoenix.dir/test_phoenix.cc.o.d"
+  "test_phoenix"
+  "test_phoenix.pdb"
+  "test_phoenix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phoenix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

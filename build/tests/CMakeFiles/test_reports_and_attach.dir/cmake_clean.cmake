@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reports_and_attach.dir/test_reports_and_attach.cc.o"
+  "CMakeFiles/test_reports_and_attach.dir/test_reports_and_attach.cc.o.d"
+  "test_reports_and_attach"
+  "test_reports_and_attach.pdb"
+  "test_reports_and_attach[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reports_and_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_secure.dir/test_secure.cc.o"
+  "CMakeFiles/test_secure.dir/test_secure.cc.o.d"
+  "test_secure"
+  "test_secure.pdb"
+  "test_secure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

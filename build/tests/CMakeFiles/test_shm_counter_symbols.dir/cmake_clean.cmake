@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shm_counter_symbols.dir/test_shm_counter_symbols.cc.o"
+  "CMakeFiles/test_shm_counter_symbols.dir/test_shm_counter_symbols.cc.o.d"
+  "test_shm_counter_symbols"
+  "test_shm_counter_symbols.pdb"
+  "test_shm_counter_symbols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shm_counter_symbols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

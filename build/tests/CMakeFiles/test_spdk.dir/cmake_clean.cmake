@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spdk.dir/test_spdk.cc.o"
+  "CMakeFiles/test_spdk.dir/test_spdk.cc.o.d"
+  "test_spdk"
+  "test_spdk.pdb"
+  "test_spdk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

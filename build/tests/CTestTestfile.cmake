@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_log[1]_include.cmake")
+include("/root/repo/build/tests/test_shm_counter_symbols[1]_include.cmake")
+include("/root/repo/build/tests/test_recorder[1]_include.cmake")
+include("/root/repo/build/tests/test_analyzer[1]_include.cmake")
+include("/root/repo/build/tests/test_flamegraph[1]_include.cmake")
+include("/root/repo/build/tests/test_tee[1]_include.cmake")
+include("/root/repo/build/tests/test_perfsim[1]_include.cmake")
+include("/root/repo/build/tests/test_phoenix[1]_include.cmake")
+include("/root/repo/build/tests/test_kvstore_components[1]_include.cmake")
+include("/root/repo/build/tests/test_kvstore_db[1]_include.cmake")
+include("/root/repo/build/tests/test_spdk[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_reports_and_attach[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_secure[1]_include.cmake")
+add_test(cross_process_record "/root/repo/tests/cross_process_test.sh" "/root/repo/build")
+set_tests_properties(cross_process_record PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")

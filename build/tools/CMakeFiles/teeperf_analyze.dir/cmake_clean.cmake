@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_analyze.dir/teeperf_analyze.cc.o"
+  "CMakeFiles/teeperf_analyze.dir/teeperf_analyze.cc.o.d"
+  "teeperf_analyze"
+  "teeperf_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

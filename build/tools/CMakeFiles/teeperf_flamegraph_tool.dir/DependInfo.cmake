@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/teeperf_flamegraph.cc" "tools/CMakeFiles/teeperf_flamegraph_tool.dir/teeperf_flamegraph.cc.o" "gcc" "tools/CMakeFiles/teeperf_flamegraph_tool.dir/teeperf_flamegraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flamegraph/CMakeFiles/teeperf_flamegraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/teeperf_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/teeperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/teeperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_flamegraph_tool.dir/teeperf_flamegraph.cc.o"
+  "CMakeFiles/teeperf_flamegraph_tool.dir/teeperf_flamegraph.cc.o.d"
+  "teeperf_flamegraph"
+  "teeperf_flamegraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_flamegraph_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

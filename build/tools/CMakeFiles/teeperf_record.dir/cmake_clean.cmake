@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teeperf_record.dir/teeperf_record.cc.o"
+  "CMakeFiles/teeperf_record.dir/teeperf_record.cc.o.d"
+  "teeperf_record"
+  "teeperf_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teeperf_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
