@@ -4,9 +4,65 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/fileutil.h"
 #include "common/stringutil.h"
 
 namespace teeperf::analyzer {
+
+namespace {
+
+// Count occurrences of `"event":"<name>"` in the JSON-lines journal — a
+// full JSON parser is overkill for counting well-known event types the
+// exporter itself emitted.
+usize count_events(const std::string& jsonl, const char* name) {
+  std::string needle = str_format("\"event\":\"%s\"", name);
+  usize n = 0;
+  for (usize at = jsonl.find(needle); at != std::string::npos;
+       at = jsonl.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string health_report(const std::string& prefix) {
+  auto health = read_file(prefix + ".health");
+  auto events = read_file(prefix + ".events.jsonl");
+  if (!health && !events) return "";
+
+  std::string out = "recorder health (" + prefix + ".health):\n";
+  if (events) {
+    // Degradation warnings first — the numbers below only mean what they
+    // claim when the recorder itself was healthy.
+    struct Check {
+      const char* event;
+      const char* warning;
+    };
+    static const Check kChecks[] = {
+        {"counter_stall", "software counter stalled mid-run; timestamps "
+                          "within stalls carry zero duration"},
+        {"counter_drift", "counter rate drifted from its calibrated "
+                          "baseline; tick→ns conversion is approximate"},
+        {"log_saturated", "log filled up; entries past capacity were "
+                          "dropped (non-ring mode)"},
+        {"torn_tail", "reserved-but-unwritten entries at the log tail "
+                      "(threads killed mid-append?)"},
+        {"ring_wrap", "ring buffer wrapped; oldest entries overwritten"},
+        {"epc_pressure", "EPC paging pressure during the run"},
+    };
+    usize warned = 0;
+    for (const Check& c : kChecks) {
+      if (usize n = count_events(*events, c.event)) {
+        out += str_format("  WARNING: %s (%zux): %s\n", c.event, n, c.warning);
+        ++warned;
+      }
+    }
+    if (!warned) out += "  no degradation events recorded\n";
+  }
+  if (health) out += *health;
+  return out;
+}
 
 std::string method_report(const Profile& profile, usize limit) {
   auto stats = profile.method_stats();

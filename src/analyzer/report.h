@@ -46,6 +46,14 @@ std::string timeline_csv(const Profile& profile);
 // chrome://tracing or Perfetto. Uses the profile's tick→ns conversion.
 std::string chrome_trace_json(const Profile& profile);
 
+// Recorder-health section: folds the "<prefix>.health" snapshot and
+// "<prefix>.events.jsonl" journal sidecars (written by the recorder's
+// self-telemetry at dump time) into the report, with degradation warnings
+// distilled from the event stream (counter stalls/drift, log saturation,
+// torn tails, EPC pressure). Empty string when no sidecars exist, so
+// callers can print it unconditionally.
+std::string health_report(const std::string& prefix);
+
 // gprof-style flat profile (the related-work §V comparison): %time,
 // cumulative/self seconds, calls, per-call costs, name.
 std::string gprof_flat_report(const Profile& profile, usize limit = 30);

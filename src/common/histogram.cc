@@ -7,19 +7,43 @@
 
 namespace teeperf {
 
-usize LatencyHistogram::bucket_for(u64 v) {
+namespace hist {
+
+usize bucket_for(u64 v) {
   if (v == 0) return 0;
-  return static_cast<usize>(64 - std::countl_zero(v));
+  usize b = static_cast<usize>(64 - std::countl_zero(v));
+  return b < kLogBuckets ? b : kLogBuckets - 1;
 }
 
-u64 LatencyHistogram::bucket_low(usize b) { return b == 0 ? 0 : (1ull << (b - 1)); }
+u64 bucket_low(usize b) { return b == 0 ? 0 : (1ull << (b - 1)); }
 
-u64 LatencyHistogram::bucket_high(usize b) {
-  return b == 0 ? 0 : ((1ull << b) - 1);
+u64 bucket_high(usize b) { return b == 0 ? 0 : ((1ull << b) - 1); }
+
+double percentile(const u64* buckets, usize n, u64 count, u64 lo, u64 hi,
+                  double p) {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double target = p / 100.0 * static_cast<double>(count);
+  u64 seen = 0;
+  for (usize b = 0; b < n; ++b) {
+    if (buckets[b] == 0) continue;
+    if (static_cast<double>(seen + buckets[b]) >= target) {
+      double within = (target - static_cast<double>(seen)) /
+                      static_cast<double>(buckets[b]);
+      double blo = static_cast<double>(bucket_low(b));
+      double bhi = static_cast<double>(bucket_high(b));
+      double v = blo + within * (bhi - blo);
+      return std::clamp(v, static_cast<double>(lo), static_cast<double>(hi));
+    }
+    seen += buckets[b];
+  }
+  return static_cast<double>(hi);
 }
+
+}  // namespace hist
 
 void LatencyHistogram::add(u64 value) {
-  usize b = bucket_for(value);
+  usize b = hist::bucket_for(value);
   if (b >= kBuckets) b = kBuckets - 1;
   ++buckets_[b];
   ++count_;
@@ -43,23 +67,7 @@ double LatencyHistogram::mean() const {
 }
 
 double LatencyHistogram::percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  double target = p / 100.0 * static_cast<double>(count_);
-  u64 seen = 0;
-  for (usize b = 0; b < kBuckets; ++b) {
-    if (buckets_[b] == 0) continue;
-    if (static_cast<double>(seen + buckets_[b]) >= target) {
-      double within = (target - static_cast<double>(seen)) /
-                      static_cast<double>(buckets_[b]);
-      double lo = static_cast<double>(bucket_low(b));
-      double hi = static_cast<double>(bucket_high(b));
-      double v = lo + within * (hi - lo);
-      return std::clamp(v, static_cast<double>(min()), static_cast<double>(max_));
-    }
-    seen += buckets_[b];
-  }
-  return static_cast<double>(max_);
+  return hist::percentile(buckets_.data(), kBuckets, count_, min(), max_, p);
 }
 
 std::string LatencyHistogram::summary(const char* unit) const {

@@ -9,6 +9,20 @@
 
 namespace teeperf {
 
+// Shared power-of-two bucket math, used by LatencyHistogram below and by the
+// shared-memory metric histograms in src/obs (which cannot use this class
+// directly because their buckets must be atomics in a fixed shm layout).
+namespace hist {
+inline constexpr usize kLogBuckets = 64;
+usize bucket_for(u64 v);
+u64 bucket_low(usize b);
+u64 bucket_high(usize b);
+// Linear interpolation within the matched bucket over an externally held
+// bucket array; p in [0, 100]. `lo`/`hi` clamp the result to observed bounds.
+double percentile(const u64* buckets, usize n, u64 count, u64 lo, u64 hi,
+                  double p);
+}  // namespace hist
+
 class LatencyHistogram {
  public:
   LatencyHistogram() = default;
@@ -27,10 +41,7 @@ class LatencyHistogram {
   std::string summary(const char* unit = "ns") const;
 
  private:
-  static constexpr usize kBuckets = 64;
-  static usize bucket_for(u64 v);
-  static u64 bucket_low(usize b);
-  static u64 bucket_high(usize b);
+  static constexpr usize kBuckets = hist::kLogBuckets;
 
   std::array<u64, kBuckets> buckets_{};
   u64 count_ = 0;

@@ -1,0 +1,84 @@
+#include "common/shm.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace teeperf {
+
+SharedMemoryRegion& SharedMemoryRegion::operator=(SharedMemoryRegion&& other) noexcept {
+  if (this != &other) {
+    close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    name_ = std::exchange(other.name_, {});
+    owns_name_ = std::exchange(other.owns_name_, false);
+  }
+  return *this;
+}
+
+bool SharedMemoryRegion::create(const std::string& name, usize size) {
+  close();
+  int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return false;
+  if (ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    shm_unlink(name.c_str());
+    return false;
+  }
+  void* p = mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) {
+    shm_unlink(name.c_str());
+    return false;
+  }
+  data_ = p;
+  size_ = size;
+  name_ = name;
+  owns_name_ = true;
+  return true;
+}
+
+bool SharedMemoryRegion::open(const std::string& name) {
+  close();
+  int fd = shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return false;
+  struct stat st {};
+  if (fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return false;
+  }
+  usize size = static_cast<usize>(st.st_size);
+  void* p = mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) return false;
+  data_ = p;
+  size_ = size;
+  name_ = name;
+  owns_name_ = false;
+  return true;
+}
+
+bool SharedMemoryRegion::create_anonymous(usize size) {
+  close();
+  void* p = mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) return false;
+  data_ = p;
+  size_ = size;
+  return true;
+}
+
+void SharedMemoryRegion::close() {
+  if (data_) munmap(data_, size_);
+  if (owns_name_ && !name_.empty()) shm_unlink(name_.c_str());
+  data_ = nullptr;
+  size_ = 0;
+  name_.clear();
+  owns_name_ = false;
+}
+
+}  // namespace teeperf

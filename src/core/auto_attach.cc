@@ -1,16 +1,20 @@
 #include "core/auto_attach.h"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/fileutil.h"
+#include "common/shm.h"
 #include "common/stringutil.h"
 #include "core/counter.h"
 #include "core/filter.h"
 #include "core/runtime.h"
-#include "core/shm.h"
 #include "core/symbol_dump.h"
+#include "obs/session.h"
 
 namespace teeperf {
 namespace {
@@ -26,6 +30,14 @@ ProfileLog& env_log() {
   return log;
 }
 bool g_env_attached = false;
+
+// The wrapper's telemetry region (TEEPERF_OBS), shared by both processes:
+// the wrapper's watchdog publishes counter/log health into it while this
+// process bumps its per-thread entry counters. Immortal like env_region().
+std::unique_ptr<obs::SelfTelemetry>& env_telemetry() {
+  static std::unique_ptr<obs::SelfTelemetry> t;
+  return t;
+}
 
 CounterMode parse_mode(const char* s) {
   if (s && std::strcmp(s, "software") == 0) return CounterMode::kSoftware;
@@ -71,6 +83,14 @@ bool try_attach_from_env() {
     env_region().close();
     return false;
   }
+  if (const char* obs_name = std::getenv("TEEPERF_OBS"); obs_name && *obs_name) {
+    env_telemetry() = obs::SelfTelemetry::open(obs_name);
+    if (env_telemetry()) {
+      obs::install(env_telemetry().get());
+      env_telemetry()->journal().record(obs::EventType::kAttach,
+                                        static_cast<u64>(getpid()), 0, "app");
+    }
+  }
   g_env_attached = true;
   std::atexit(detach_env_session);
   return true;
@@ -82,6 +102,12 @@ void detach_env_session() {
   if (!g_env_attached) return;
   runtime::detach();
   g_env_attached = false;
+  if (env_telemetry()) {
+    env_telemetry()->journal().record(obs::EventType::kDetach,
+                                      env_log().size(), env_log().dropped(),
+                                      "app");
+    obs::uninstall(env_telemetry().get());
+  }
   // Symbolization must happen here, in the profiled address space: the
   // wrapper process cannot dladdr our function pointers. TEEPERF_SYM names
   // the sidecar file the wrapper will pair with its ".log".

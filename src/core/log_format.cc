@@ -98,4 +98,19 @@ u64 ProfileLog::flags() const {
   return header_ ? header_->flags.load(std::memory_order_acquire) : 0;
 }
 
+u64 ProfileLog::count_torn_tail(u64 window) const {
+  u64 n = size();
+  if (n == 0) return 0;
+  u64 start = n > window ? n - window : 0;
+  u64 torn = 0;
+  for (u64 i = start; i < n; ++i) {
+    const LogEntry& e = entries_[i];
+    // A legitimate entry always has a nonzero address; counter 0 with kind
+    // kCall is additionally possible only as the very first event of a
+    // software-counter run, so the pair is a reliable tombstone.
+    if (e.kind_and_counter == 0 && e.addr == 0 && e.tid == 0) ++torn;
+  }
+  return torn;
+}
+
 }  // namespace teeperf

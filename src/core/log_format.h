@@ -128,6 +128,12 @@ class ProfileLog {
   void set_flags(u64 set_mask, u64 clear_mask);
   u64 flags() const;
 
+  // Counts torn entries at the tail: slots that were reserved (tail moved
+  // past them) but never filled in — all-zero words — because a writer died
+  // between the fetch-and-add and the stores. Scans at most the last
+  // `window` written entries; run at dump time, after writers stopped.
+  u64 count_torn_tail(u64 window = 64) const;
+
  private:
   LogHeader* header_ = nullptr;
   LogEntry* entries_ = nullptr;

@@ -18,5 +18,5 @@
 #include "core/recorder.h"    // IWYU pragma: export
 #include "core/runtime.h"     // IWYU pragma: export
 #include "core/scope.h"       // IWYU pragma: export
-#include "core/shm.h"         // IWYU pragma: export
+#include "common/shm.h"         // IWYU pragma: export
 #include "core/symbol_registry.h"  // IWYU pragma: export

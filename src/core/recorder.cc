@@ -9,6 +9,7 @@
 #include "common/fileutil.h"
 #include "core/runtime.h"
 #include "core/symbol_dump.h"
+#include "obs/export.h"
 
 namespace teeperf {
 
@@ -29,10 +30,21 @@ std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
     return nullptr;
   }
   rec->log_.header()->counter_mode = static_cast<u32>(options.counter_mode);
+
+  if (options.telemetry) {
+    obs::TelemetryOptions topts;
+    if (!options.shm_name.empty()) topts.shm_name = options.shm_name + ".obs";
+    rec->telemetry_ = obs::SelfTelemetry::create(topts);
+    // A failed telemetry region (e.g. shm exhaustion) degrades to a blind
+    // session rather than failing the profile.
+  }
   return rec;
 }
 
-Recorder::~Recorder() { detach(); }
+Recorder::~Recorder() {
+  detach();
+  if (telemetry_) obs::uninstall(telemetry_.get());
+}
 
 bool Recorder::attach() {
   if (attached_) return true;
@@ -42,6 +54,32 @@ bool Recorder::attach() {
                                                  options_.software_counter_yield);
     counter_->start();
   }
+  if (telemetry_) {
+    // Publish for the in-process hook instrumentation (runtime.cc), then
+    // start the counter-health watchdog against the live counter and log.
+    obs::install(telemetry_.get());
+    telemetry_->journal().record(obs::EventType::kAttach,
+                                 static_cast<u64>(getpid()), 0,
+                                 counter_mode_name(options_.counter_mode));
+    telemetry_->registry().gauge("log.capacity").set(log_.capacity());
+    obs::WatchdogOptions wopts;
+    wopts.interval_ms = options_.watchdog_interval_ms;
+    LogHeader* header = log_.header();
+    CounterMode mode = options_.counter_mode;
+    watchdog_ = std::make_unique<obs::Watchdog>(
+        &telemetry_->registry(), &telemetry_->journal(),
+        [mode, header] { return read_counter(mode, header); },
+        counter_mode_name(mode), wopts);
+    watchdog_->watch_log([this] {
+      obs::LogSample s;
+      s.tail = log_.header()->tail.load(std::memory_order_relaxed);
+      s.capacity = log_.capacity();
+      s.active = log_.active();
+      s.ring = (log_.flags() & log_flags::kRingBuffer) != 0;
+      return s;
+    });
+    watchdog_->start();
+  }
   attached_ = true;
   return true;
 }
@@ -49,6 +87,14 @@ bool Recorder::attach() {
 void Recorder::detach() {
   if (!attached_) return;
   runtime::detach();
+  if (watchdog_) {
+    watchdog_->stop();
+    watchdog_.reset();
+  }
+  if (telemetry_) {
+    telemetry_->journal().record(obs::EventType::kDetach, log_.size(),
+                                 log_.dropped());
+  }
   if (counter_) {
     counter_->stop();
     counter_.reset();
@@ -56,8 +102,27 @@ void Recorder::detach() {
   attached_ = false;
 }
 
+void Recorder::start() {
+  log_.set_active(true);
+  if (telemetry_) telemetry_->journal().record(obs::EventType::kActivate);
+}
+
+void Recorder::stop() {
+  log_.set_active(false);
+  if (telemetry_) telemetry_->journal().record(obs::EventType::kDeactivate);
+}
+
 Recorder::Stats Recorder::stats() const {
-  return Stats{log_.size(), log_.dropped(), log_.capacity()};
+  Stats s;
+  s.entries = log_.size();
+  s.dropped = log_.dropped();
+  s.capacity = log_.capacity();
+  s.attempted = log_.header()
+                    ? log_.header()->tail.load(std::memory_order_acquire)
+                    : 0;
+  s.torn_tail = log_.count_torn_tail();
+  s.counter_stalled = watchdog_ && watchdog_->stalled();
+  return s;
 }
 
 bool Recorder::dump(const std::string& prefix) {
@@ -85,6 +150,20 @@ bool Recorder::dump(const std::string& prefix) {
     usize bytes = sizeof(LogHeader) + static_cast<usize>(n) * sizeof(LogEntry);
     std::string_view raw(static_cast<const char*>(shm_.data()), bytes);
     if (!write_file(prefix + ".log", raw)) return false;
+  }
+
+  // Self-telemetry sidecars: the health snapshot embedded in analyzer
+  // reports, and the event journal as JSON-lines. A dying writer is the
+  // moment torn tails become detectable, so scan now.
+  if (telemetry_) {
+    if (u64 torn = log_.count_torn_tail()) {
+      telemetry_->journal().record(obs::EventType::kTornTail, torn);
+      telemetry_->registry().gauge("log.torn_tail").set(torn);
+    }
+    write_file(prefix + ".health",
+               obs::health_text(telemetry_->registry(), telemetry_->journal()));
+    write_file(prefix + ".events.jsonl",
+               obs::events_jsonl(telemetry_->journal()));
   }
 
   // Symbol file: every registered symbol, then dladdr resolutions for raw

@@ -6,11 +6,13 @@
 #include <memory>
 #include <string>
 
+#include "common/shm.h"
 #include "common/types.h"
 #include "core/counter.h"
 #include "core/filter.h"
 #include "core/log_format.h"
-#include "core/shm.h"
+#include "obs/session.h"
+#include "obs/watchdog.h"
 
 namespace teeperf {
 
@@ -42,6 +44,13 @@ struct RecorderOptions {
 
   // Selective profiling filter; must outlive the recorder. May be null.
   const Filter* filter = nullptr;
+
+  // Self-telemetry (src/obs): a shared-memory metrics/events region named
+  // "<shm_name>.obs" (anonymous for anonymous sessions) that a host process
+  // can scrape live with tools/teeperf_stats, plus a counter-health
+  // watchdog thread that runs while the session is attached.
+  bool telemetry = true;
+  u64 watchdog_interval_ms = 50;
 };
 
 class Recorder {
@@ -59,9 +68,9 @@ class Recorder {
   void detach();
 
   // Dynamic de/activation (§II-B: flags are changed atomically while the
-  // application executes).
-  void start() { log_.set_active(true); }
-  void stop() { log_.set_active(false); }
+  // application executes). Toggles are journaled as telemetry events.
+  void start();
+  void stop();
 
   ProfileLog& log() { return log_; }
   const ProfileLog& log() const { return log_; }
@@ -70,8 +79,15 @@ class Recorder {
     u64 entries = 0;
     u64 dropped = 0;
     u64 capacity = 0;
+    u64 attempted = 0;       // appends tried, including dropped/wrapped
+    u64 torn_tail = 0;       // tombstone slots found at the written tail
+    bool counter_stalled = false;  // watchdog's live verdict (false when
+                                   // telemetry is off or not attached)
   };
   Stats stats() const;
+
+  // The live telemetry region (null when options.telemetry is false).
+  obs::SelfTelemetry* telemetry() { return telemetry_.get(); }
 
   // Writes "<prefix>.log" (raw header + entries, with ns_per_tick measured
   // and stored into the header) and "<prefix>.sym" (registered symbols plus
@@ -86,6 +102,8 @@ class Recorder {
   SharedMemoryRegion shm_;
   ProfileLog log_;
   std::unique_ptr<SoftwareCounter> counter_;
+  std::unique_ptr<obs::SelfTelemetry> telemetry_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
   bool attached_ = false;
 };
 

@@ -1,5 +1,8 @@
 #include "core/runtime.h"
 
+#include "common/stringutil.h"
+#include "obs/session.h"
+
 namespace teeperf::runtime {
 namespace {
 
@@ -21,6 +24,28 @@ TEEPERF_NO_INSTRUMENT ThreadState& thread_state() {
 TEEPERF_NO_INSTRUMENT u64 tid_of(ThreadState& t) {
   if (t.tid == ~0ull) t.tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
   return t.tid;
+}
+
+// Per-thread telemetry counter, registered on this thread's first recorded
+// event and cached as a raw shm-cell pointer — after that, telemetry on the
+// hot path is one relaxed fetch_add on a line no other thread touches.
+// High tids share one overflow counter so the registry cannot be exhausted
+// by thread churn.
+TEEPERF_NO_INSTRUMENT std::atomic<u64>* obs_entry_cell(ThreadState& t) {
+  u64 epoch = obs::telemetry_epoch();
+  if (t.obs_epoch != epoch) {
+    t.obs_epoch = epoch;
+    t.obs_entries = nullptr;
+    if (obs::SelfTelemetry* tel = obs::telemetry()) {
+      u64 tid = tid_of(t);
+      std::string name = tid < 32
+                             ? str_format("app.thread.%llu.entries",
+                                          static_cast<unsigned long long>(tid))
+                             : "app.thread.other.entries";
+      t.obs_entries = tel->registry().counter(name).cell();
+    }
+  }
+  return t.obs_entries;
 }
 
 }  // namespace
@@ -76,6 +101,9 @@ void on_enter(u64 addr) {
       (!g_session.filter || g_session.filter->passes(addr))) {
     log->append(EventKind::kCall, addr, tid_of(t),
                 read_counter(g_session.mode, log->header()));
+    if (std::atomic<u64>* cell = obs_entry_cell(t)) {
+      cell->fetch_add(1, std::memory_order_relaxed);
+    }
   }
   t.in_hook = false;
 }
@@ -95,6 +123,9 @@ void on_exit(u64 addr) {
       (!g_session.filter || g_session.filter->passes(addr))) {
     log->append(EventKind::kReturn, addr, tid_of(t),
                 read_counter(g_session.mode, log->header()));
+    if (std::atomic<u64>* cell = obs_entry_cell(t)) {
+      cell->fetch_add(1, std::memory_order_relaxed);
+    }
   }
   t.in_hook = false;
 }
@@ -116,6 +147,8 @@ void reset_thread_for_test() {
   ThreadState& t = thread_state();
   t.tid = ~0ull;
   t.in_hook = false;
+  t.obs_entries = nullptr;
+  t.obs_epoch = 0;
   t.stack.depth.store(0, std::memory_order_release);
 }
 

@@ -30,6 +30,11 @@ struct ShadowStack {
 struct ThreadState {
   u64 tid = ~0ull;
   bool in_hook = false;  // reentrancy guard
+  // Cached per-thread telemetry counter (entries appended by this thread),
+  // pointing straight at its shm cell. `obs_epoch` detects that the cached
+  // pointer belongs to a torn-down telemetry region (see obs/session.h).
+  std::atomic<u64>* obs_entries = nullptr;
+  u64 obs_epoch = 0;
   ShadowStack stack;
 };
 

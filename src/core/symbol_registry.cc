@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/stringutil.h"
+#include "obs/session.h"
 
 namespace teeperf {
 
@@ -22,6 +23,9 @@ u64 SymbolRegistry::intern(std::string_view name) {
   u64 id = kRegisteredBit | static_cast<u64>(names_.size());
   names_.push_back(key);
   by_name_.emplace(std::move(key), id);
+  if (obs::SelfTelemetry* tel = obs::telemetry()) {
+    tel->registry().gauge("symbols.registered").set(names_.size());
+  }
   return id;
 }
 

@@ -1,0 +1,169 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/stringutil.h"
+
+namespace teeperf::obs {
+namespace {
+
+// Metric names and event details are profiler-chosen identifiers, but the
+// JSON must stay valid even if one sneaks in a quote or control byte.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      out += str_format("\\u%04x", c);
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+struct ScalarRow {
+  std::string name;
+  MetricType type;
+  u64 value;
+};
+
+struct HistRow {
+  std::string name;
+  u64 count, sum, min, max;
+  u64 buckets[kHistBuckets];
+};
+
+void collect(const MetricsRegistry& registry, std::vector<ScalarRow>* scalars,
+             std::vector<HistRow>* hists) {
+  registry.visit_scalars([&](const MetricSlot& s) {
+    scalars->push_back({s.name, static_cast<MetricType>(s.type),
+                        s.value.load(std::memory_order_relaxed)});
+  });
+  registry.visit_histograms([&](const HistogramSlot& s) {
+    HistRow r;
+    r.name = s.name;
+    r.count = s.count.load(std::memory_order_relaxed);
+    r.sum = s.sum.load(std::memory_order_relaxed);
+    r.min = s.min.load(std::memory_order_relaxed);
+    r.max = s.max.load(std::memory_order_relaxed);
+    for (usize b = 0; b < kHistBuckets; ++b) {
+      r.buckets[b] = s.buckets[b].load(std::memory_order_relaxed);
+    }
+    hists->push_back(std::move(r));
+  });
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(scalars->begin(), scalars->end(), by_name);
+  std::sort(hists->begin(), hists->end(), by_name);
+}
+
+double hist_p(const HistRow& r, double p) {
+  u64 lo = r.count ? r.min : 0;
+  return hist::percentile(r.buckets, kHistBuckets, r.count, lo, r.max, p);
+}
+
+}  // namespace
+
+std::string metrics_text(const MetricsRegistry& registry) {
+  std::vector<ScalarRow> scalars;
+  std::vector<HistRow> hists;
+  collect(registry, &scalars, &hists);
+  std::string out;
+  for (const auto& s : scalars) {
+    out += str_format("  %-36s %s %llu\n", s.name.c_str(),
+                      s.type == MetricType::kCounter ? "counter" : "gauge  ",
+                      static_cast<unsigned long long>(s.value));
+  }
+  for (const auto& h : hists) {
+    double mean = h.count ? static_cast<double>(h.sum) / h.count : 0.0;
+    out += str_format(
+        "  %-36s hist    count=%llu min=%llu mean=%.1f p50=%.0f p99=%.0f "
+        "max=%llu\n",
+        h.name.c_str(), static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.count ? h.min : 0), mean,
+        hist_p(h, 50), hist_p(h, 99), static_cast<unsigned long long>(h.max));
+  }
+  if (out.empty()) out = "  (no metrics registered)\n";
+  return out;
+}
+
+std::string metrics_jsonl(const MetricsRegistry& registry) {
+  std::vector<ScalarRow> scalars;
+  std::vector<HistRow> hists;
+  collect(registry, &scalars, &hists);
+  std::string out;
+  for (const auto& s : scalars) {
+    out += str_format("{\"metric\":\"%s\",\"type\":\"%s\",\"value\":%llu}\n",
+                      json_escape(s.name.c_str()).c_str(),
+                      s.type == MetricType::kCounter ? "counter" : "gauge",
+                      static_cast<unsigned long long>(s.value));
+  }
+  for (const auto& h : hists) {
+    double mean = h.count ? static_cast<double>(h.sum) / h.count : 0.0;
+    out += str_format(
+        "{\"metric\":\"%s\",\"type\":\"histogram\",\"count\":%llu,"
+        "\"min\":%llu,\"mean\":%.1f,\"p50\":%.0f,\"p99\":%.0f,\"max\":%llu}\n",
+        json_escape(h.name.c_str()).c_str(),
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.count ? h.min : 0), mean,
+        hist_p(h, 50), hist_p(h, 99), static_cast<unsigned long long>(h.max));
+  }
+  return out;
+}
+
+std::string events_text(const EventJournal& journal, usize limit) {
+  auto events = journal.snapshot();
+  u64 total = journal.total();
+  std::string out;
+  if (total > events.size()) {
+    out += str_format("  (%llu older events lost to journal wrap)\n",
+                      static_cast<unsigned long long>(total - events.size()));
+  }
+  usize start = events.size() > limit ? events.size() - limit : 0;
+  u64 epoch = journal.epoch_ns();
+  for (usize i = start; i < events.size(); ++i) {
+    const Event& e = events[i];
+    double rel_s = e.t_ns >= epoch ? (e.t_ns - epoch) / 1e9 : 0.0;
+    out += str_format("  [%8.3fs] #%-4llu %-15s", rel_s,
+                      static_cast<unsigned long long>(e.seq),
+                      event_type_name(e.type));
+    if (e.detail[0]) out += str_format(" %s", e.detail);
+    out += str_format(" arg0=%llu arg1=%llu\n",
+                      static_cast<unsigned long long>(e.arg0),
+                      static_cast<unsigned long long>(e.arg1));
+  }
+  if (out.empty()) out = "  (no events)\n";
+  return out;
+}
+
+std::string events_jsonl(const EventJournal& journal) {
+  std::string out;
+  for (const Event& e : journal.snapshot()) {
+    out += str_format(
+        "{\"seq\":%llu,\"t_ns\":%llu,\"event\":\"%s\",\"tid\":%u,"
+        "\"arg0\":%llu,\"arg1\":%llu,\"detail\":\"%s\"}\n",
+        static_cast<unsigned long long>(e.seq),
+        static_cast<unsigned long long>(e.t_ns), event_type_name(e.type),
+        e.tid, static_cast<unsigned long long>(e.arg0),
+        static_cast<unsigned long long>(e.arg1),
+        json_escape(e.detail).c_str());
+  }
+  return out;
+}
+
+std::string health_text(const MetricsRegistry& registry,
+                        const EventJournal& journal) {
+  std::string out = "recorder health metrics:\n";
+  out += metrics_text(registry);
+  out += str_format("recorder events (%llu total):\n",
+                    static_cast<unsigned long long>(journal.total()));
+  out += events_text(journal);
+  return out;
+}
+
+}  // namespace teeperf::obs

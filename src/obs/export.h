@@ -1,0 +1,35 @@
+// Snapshot exporters for the telemetry region: human text (teeperf_stats,
+// the analyzer's recorder-health section) and JSON-lines (one object per
+// metric / event, greppable and trivially machine-parsed).
+#pragma once
+
+#include <string>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace teeperf::obs {
+
+// One "name value" line per scalar, then one summary line per histogram,
+// sorted by name.
+std::string metrics_text(const MetricsRegistry& registry);
+
+// {"metric":"...","type":"counter|gauge","value":N} and
+// {"metric":"...","type":"histogram","count":..,"min":..,"mean":..,
+//  "p50":..,"p99":..,"max":..} — one object per line.
+std::string metrics_jsonl(const MetricsRegistry& registry);
+
+// Newest-last listing of up to `limit` journal records with timestamps
+// relative to region creation.
+std::string events_text(const EventJournal& journal, usize limit = 32);
+
+// {"seq":N,"t_ns":N,"event":"...","tid":N,"arg0":N,"arg1":N,"detail":"..."}
+// per line, oldest first.
+std::string events_jsonl(const EventJournal& journal);
+
+// The combined "recorder health" snapshot persisted next to a dump
+// ("<prefix>.health") and embedded in analyzer reports.
+std::string health_text(const MetricsRegistry& registry,
+                        const EventJournal& journal);
+
+}  // namespace teeperf::obs

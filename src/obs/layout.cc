@@ -1,0 +1,65 @@
+#include "obs/layout.h"
+
+#include <new>
+
+#include "common/spin.h"
+
+namespace teeperf::obs {
+
+static ObsLayout resolve(void* buffer, const ObsHeader* h) {
+  ObsLayout l;
+  u8* p = static_cast<u8*>(buffer);
+  l.header = reinterpret_cast<ObsHeader*>(p);
+  p += sizeof(ObsHeader);
+  l.scalars = reinterpret_cast<MetricSlot*>(p);
+  p += h->scalar_capacity * sizeof(MetricSlot);
+  l.histograms = reinterpret_cast<HistogramSlot*>(p);
+  p += h->histogram_capacity * sizeof(HistogramSlot);
+  l.events = reinterpret_cast<EventRecord*>(p);
+  return l;
+}
+
+bool ObsLayout::format(void* buffer, usize size, u32 scalars, u32 histograms,
+                       u32 journal, u64 pid, ObsLayout* out) {
+  if (!buffer || journal == 0 || size < bytes_for(scalars, histograms, journal)) {
+    return false;
+  }
+  auto* h = new (buffer) ObsHeader();
+  h->version = kObsVersion;
+  h->pid = pid;
+  h->created_ns = monotonic_ns();
+  h->scalar_capacity = scalars;
+  h->histogram_capacity = histograms;
+  h->journal_capacity = journal;
+  u8* p = static_cast<u8*>(buffer) + sizeof(ObsHeader);
+  for (u32 i = 0; i < scalars; ++i) new (p + i * sizeof(MetricSlot)) MetricSlot();
+  p += scalars * sizeof(MetricSlot);
+  for (u32 i = 0; i < histograms; ++i) {
+    auto* hs = new (p + i * sizeof(HistogramSlot)) HistogramSlot();
+    for (usize b = 0; b < kHistBuckets; ++b) {
+      hs->buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+  p += histograms * sizeof(HistogramSlot);
+  for (u32 i = 0; i < journal; ++i) new (p + i * sizeof(EventRecord)) EventRecord();
+  // Publish the magic last: a concurrently-attaching scraper either sees a
+  // fully formatted region or refuses to map it.
+  std::atomic_thread_fence(std::memory_order_release);
+  h->magic = kObsMagic;
+  *out = resolve(buffer, h);
+  return true;
+}
+
+bool ObsLayout::map(void* buffer, usize size, ObsLayout* out) {
+  if (!buffer || size < sizeof(ObsHeader)) return false;
+  auto* h = reinterpret_cast<ObsHeader*>(buffer);
+  if (h->magic != kObsMagic || h->version != kObsVersion) return false;
+  if (bytes_for(h->scalar_capacity, h->histogram_capacity, h->journal_capacity) >
+      size) {
+    return false;
+  }
+  *out = resolve(buffer, h);
+  return true;
+}
+
+}  // namespace teeperf::obs

@@ -1,0 +1,126 @@
+// Shared-memory layout of the self-telemetry region (the "obs" region).
+//
+// TEEMon (PAPERS.md) scrapes TEE performance metrics continuously from
+// *outside* the enclave; this region reproduces that property for the
+// profiler itself: every metric and event record lives in plain shared
+// memory (host memory from the TEE's point of view), so an untrusted
+// scraper process (tools/teeperf_stats) can observe a live session without
+// entering the "enclave" or stopping the workload.
+//
+// The region is a fixed-size header followed by three fixed-size arrays:
+//
+//   ObsHeader | MetricSlot[scalar_capacity] | HistogramSlot[histogram_capacity]
+//             | EventRecord[journal_capacity]
+//
+// Every mutable word is a std::atomic in shared memory; there are no locks
+// anywhere in the region, so a writer dying mid-update can never wedge a
+// reader (the same argument the log format makes in core/log_format.h).
+#pragma once
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace teeperf::obs {
+
+inline constexpr u64 kObsMagic = 0x544545504f425331ull;  // "TEEPOBS1"
+inline constexpr u32 kObsVersion = 1;
+inline constexpr usize kMetricNameLen = 40;
+inline constexpr usize kHistBuckets = 64;  // matches common/histogram.h
+
+enum class MetricType : u32 {
+  kCounter = 1,    // monotonic; merged by summing
+  kGauge = 2,      // last-write-wins instantaneous value
+  kHistogram = 3,  // log2-bucketed distribution
+};
+
+// Slot claiming protocol (lock-free registration): a slot starts kFree; a
+// registering thread CASes it to kClaiming, writes name/type, then releases
+// it to kLive. Readers and name-matchers treat kClaiming as "retry".
+enum SlotState : u32 {
+  kSlotFree = 0,
+  kSlotClaiming = 1,
+  kSlotLive = 2,
+};
+
+// One scalar metric. Exactly one cache line so independent metrics (in
+// particular the per-thread entry counters bumped on the hook hot path)
+// never false-share.
+struct MetricSlot {
+  std::atomic<u32> state{kSlotFree};
+  u32 type = 0;
+  char name[kMetricNameLen] = {};
+  std::atomic<u64> value{0};
+  u64 reserved = 0;
+};
+static_assert(sizeof(MetricSlot) == 64);
+
+// One histogram metric: count/sum/min/max plus power-of-two buckets
+// (bucket math shared with common/histogram.h).
+struct HistogramSlot {
+  std::atomic<u32> state{kSlotFree};
+  u32 reserved0 = 0;
+  char name[kMetricNameLen] = {};
+  std::atomic<u64> count{0};
+  std::atomic<u64> sum{0};
+  std::atomic<u64> min{~0ull};
+  std::atomic<u64> max{0};
+  std::atomic<u64> buckets[kHistBuckets];
+};
+static_assert(sizeof(HistogramSlot) == 48 + 4 * 8 + kHistBuckets * 8);
+
+// One journal record, fixed 64 bytes. `seq` doubles as the commit marker:
+// writers fill every other field first and publish the (1-based) sequence
+// number last with release order, so a reader never observes a half-written
+// record as valid — it sees either the old record or seq==0.
+struct EventRecord {
+  std::atomic<u64> seq{0};
+  u64 t_ns = 0;  // CLOCK_MONOTONIC at the event
+  u32 type = 0;  // EventType (events.h)
+  u32 tid = 0;   // profiler thread id, or 0 for process-level events
+  u64 arg0 = 0;
+  u64 arg1 = 0;
+  char detail[24] = {};
+};
+static_assert(sizeof(EventRecord) == 64);
+
+struct ObsHeader {
+  u64 magic = 0;
+  u32 version = 0;
+  u32 reserved0 = 0;
+  u64 pid = 0;         // process that formatted the region
+  u64 created_ns = 0;  // CLOCK_MONOTONIC at init (event timestamps are
+                       // reported relative to this)
+  u32 scalar_capacity = 0;
+  u32 histogram_capacity = 0;
+  u32 journal_capacity = 0;
+  u32 reserved1 = 0;
+  std::atomic<u64> journal_seq{0};  // total events ever recorded
+  u8 pad[128 - 7 * 8];              // entries start cache-aligned
+};
+static_assert(sizeof(ObsHeader) == 128);
+
+// Resolved pointers into a formatted region. Cheap to copy; does not own.
+struct ObsLayout {
+  ObsHeader* header = nullptr;
+  MetricSlot* scalars = nullptr;
+  HistogramSlot* histograms = nullptr;
+  EventRecord* events = nullptr;
+
+  bool valid() const { return header != nullptr; }
+
+  static usize bytes_for(u32 scalars, u32 histograms, u32 journal) {
+    return sizeof(ObsHeader) + scalars * sizeof(MetricSlot) +
+           histograms * sizeof(HistogramSlot) + journal * sizeof(EventRecord);
+  }
+
+  // Formats `buffer` as an empty region. False if it cannot hold the layout.
+  static bool format(void* buffer, usize size, u32 scalars, u32 histograms,
+                     u32 journal, u64 pid, ObsLayout* out);
+
+  // Adopts an already-formatted region (the scraper side). False on magic /
+  // version / size mismatch.
+  static bool map(void* buffer, usize size, ObsLayout* out);
+};
+
+}  // namespace teeperf::obs

@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include <cstring>
+
+#include "common/histogram.h"
+
+namespace teeperf::obs {
+namespace {
+
+// Copies `name` into a slot's fixed name field (truncating, always
+// NUL-terminated so exporters can treat it as a C string).
+void write_name(char* dst, std::string_view name) {
+  usize n = name.size() < kMetricNameLen - 1 ? name.size() : kMetricNameLen - 1;
+  std::memcpy(dst, name.data(), n);
+  dst[n] = '\0';
+}
+
+bool name_matches(const char* slot_name, std::string_view name) {
+  usize n = name.size() < kMetricNameLen - 1 ? name.size() : kMetricNameLen - 1;
+  return std::strncmp(slot_name, name.data(), n) == 0 && slot_name[n] == '\0';
+}
+
+// Claims a free slot or finds a live one with this name. The state word is
+// the synchronisation point: kClaiming means another thread is mid-write of
+// the name, so spin briefly until it publishes kSlotLive.
+template <typename Slot>
+Slot* find_or_claim(Slot* slots, u32 capacity, std::string_view name,
+                    const std::function<void(Slot*)>& on_claim) {
+  for (u32 i = 0; i < capacity; ++i) {
+    Slot& s = slots[i];
+    u32 state = s.state.load(std::memory_order_acquire);
+    if (state == kSlotFree) {
+      u32 expected = kSlotFree;
+      if (s.state.compare_exchange_strong(expected, kSlotClaiming,
+                                          std::memory_order_acq_rel)) {
+        write_name(s.name, name);
+        on_claim(&s);
+        s.state.store(kSlotLive, std::memory_order_release);
+        return &s;
+      }
+      state = expected;  // somebody else claimed it; fall through and match
+    }
+    while (state == kSlotClaiming) {
+      state = s.state.load(std::memory_order_acquire);
+    }
+    if (state == kSlotLive && name_matches(s.name, name)) return &s;
+  }
+  return nullptr;  // registry full
+}
+
+}  // namespace
+
+void Histogram::add(u64 value) {
+  if (!slot_) return;
+  slot_->buckets[hist::bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
+  slot_->count.fetch_add(1, std::memory_order_relaxed);
+  slot_->sum.fetch_add(value, std::memory_order_relaxed);
+  // min/max via CAS: cold enough (one histogram add is already several
+  // atomics) that the loop does not matter.
+  u64 cur = slot_->min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot_->min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = slot_->max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot_->max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+MetricSlot* MetricsRegistry::scalar_slot(std::string_view name, MetricType type) {
+  if (!layout_.valid()) return nullptr;
+  MetricSlot* slot = find_or_claim<MetricSlot>(
+      layout_.scalars, layout_.header->scalar_capacity, name,
+      [type](MetricSlot* s) { s->type = static_cast<u32>(type); });
+  // A name registered under a different type is a bug in the caller; hand
+  // back an inert handle rather than corrupting the other metric.
+  if (slot && slot->type != static_cast<u32>(type)) return nullptr;
+  return slot;
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name) {
+  if (!layout_.valid()) return Histogram();
+  HistogramSlot* slot = find_or_claim<HistogramSlot>(
+      layout_.histograms, layout_.header->histogram_capacity, name,
+      [](HistogramSlot*) {});
+  return Histogram(slot);
+}
+
+void MetricsRegistry::visit_scalars(
+    const std::function<void(const MetricSlot&)>& fn) const {
+  if (!layout_.valid()) return;
+  for (u32 i = 0; i < layout_.header->scalar_capacity; ++i) {
+    const MetricSlot& s = layout_.scalars[i];
+    if (s.state.load(std::memory_order_acquire) == kSlotLive) fn(s);
+  }
+}
+
+void MetricsRegistry::visit_histograms(
+    const std::function<void(const HistogramSlot&)>& fn) const {
+  if (!layout_.valid()) return;
+  for (u32 i = 0; i < layout_.header->histogram_capacity; ++i) {
+    const HistogramSlot& s = layout_.histograms[i];
+    if (s.state.load(std::memory_order_acquire) == kSlotLive) fn(s);
+  }
+}
+
+usize MetricsRegistry::scalar_count() const {
+  usize n = 0;
+  visit_scalars([&n](const MetricSlot&) { ++n; });
+  return n;
+}
+
+usize MetricsRegistry::histogram_count() const {
+  usize n = 0;
+  visit_histograms([&n](const HistogramSlot&) { ++n; });
+  return n;
+}
+
+}  // namespace teeperf::obs

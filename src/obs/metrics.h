@@ -1,0 +1,103 @@
+// Lock-free metrics registry over the shared-memory obs region.
+//
+// Registration is find-or-create by name with a CAS claiming protocol
+// (layout.h); after registration every update is a single relaxed atomic on
+// a dedicated cache line, cheap enough for the recorder's hot paths. All
+// handles are null-safe: when the registry is full or no telemetry region
+// is installed, handles are inert and updates are no-ops, so instrumented
+// code never needs to branch on "is telemetry on".
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "common/types.h"
+#include "obs/layout.h"
+
+namespace teeperf::obs {
+
+// Monotonic counter handle.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(MetricSlot* slot) : slot_(slot) {}
+  void add(u64 n) { if (slot_) slot_->value.fetch_add(n, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  u64 value() const {
+    return slot_ ? slot_->value.load(std::memory_order_relaxed) : 0;
+  }
+  bool valid() const { return slot_ != nullptr; }
+  // The raw shm cell, for hot paths that cache the pointer (runtime.cc).
+  std::atomic<u64>* cell() { return slot_ ? &slot_->value : nullptr; }
+
+ private:
+  MetricSlot* slot_ = nullptr;
+};
+
+// Instantaneous gauge handle (last write wins).
+class Gauge {
+ public:
+  Gauge() = default;
+  explicit Gauge(MetricSlot* slot) : slot_(slot) {}
+  void set(u64 v) { if (slot_) slot_->value.store(v, std::memory_order_relaxed); }
+  u64 value() const {
+    return slot_ ? slot_->value.load(std::memory_order_relaxed) : 0;
+  }
+  bool valid() const { return slot_ != nullptr; }
+
+ private:
+  MetricSlot* slot_ = nullptr;
+};
+
+// Log2-bucketed histogram handle (bucket math from common/histogram.h).
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(HistogramSlot* slot) : slot_(slot) {}
+  void add(u64 value);
+  u64 count() const {
+    return slot_ ? slot_->count.load(std::memory_order_relaxed) : 0;
+  }
+  bool valid() const { return slot_ != nullptr; }
+  const HistogramSlot* slot() const { return slot_; }
+
+ private:
+  HistogramSlot* slot_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  explicit MetricsRegistry(const ObsLayout& layout) : layout_(layout) {}
+
+  bool valid() const { return layout_.valid(); }
+
+  // Find-or-create. Returns an inert handle when the registry is full or a
+  // slot with the same name was registered as a different type.
+  Counter counter(std::string_view name) {
+    return Counter(scalar_slot(name, MetricType::kCounter));
+  }
+  Gauge gauge(std::string_view name) {
+    return Gauge(scalar_slot(name, MetricType::kGauge));
+  }
+  Histogram histogram(std::string_view name);
+
+  // Snapshot iteration (scraper / exporter side). Visits live slots in slot
+  // order — registration order for a single writer.
+  void visit_scalars(
+      const std::function<void(const MetricSlot&)>& fn) const;
+  void visit_histograms(
+      const std::function<void(const HistogramSlot&)>& fn) const;
+
+  usize scalar_count() const;
+  usize histogram_count() const;
+
+  const ObsLayout& layout() const { return layout_; }
+
+ private:
+  MetricSlot* scalar_slot(std::string_view name, MetricType type);
+
+  ObsLayout layout_;
+};
+
+}  // namespace teeperf::obs

@@ -1,0 +1,70 @@
+#include "obs/session.h"
+
+#include <unistd.h>
+
+#include <atomic>
+
+namespace teeperf::obs {
+
+std::unique_ptr<SelfTelemetry> SelfTelemetry::create(
+    const TelemetryOptions& options) {
+  auto t = std::unique_ptr<SelfTelemetry>(new SelfTelemetry());
+  usize bytes = ObsLayout::bytes_for(options.scalar_capacity,
+                                     options.histogram_capacity,
+                                     options.journal_capacity);
+  bool ok = options.shm_name.empty() ? t->shm_.create_anonymous(bytes)
+                                     : t->shm_.create(options.shm_name, bytes);
+  if (!ok) return nullptr;
+  ObsLayout layout;
+  if (!ObsLayout::format(t->shm_.data(), bytes, options.scalar_capacity,
+                         options.histogram_capacity, options.journal_capacity,
+                         static_cast<u64>(getpid()), &layout)) {
+    return nullptr;
+  }
+  t->registry_ = MetricsRegistry(layout);
+  t->journal_ = EventJournal(layout);
+  return t;
+}
+
+std::unique_ptr<SelfTelemetry> SelfTelemetry::open(const std::string& shm_name) {
+  auto t = std::unique_ptr<SelfTelemetry>(new SelfTelemetry());
+  if (!t->shm_.open(shm_name)) return nullptr;
+  ObsLayout layout;
+  if (!ObsLayout::map(t->shm_.data(), t->shm_.size(), &layout)) return nullptr;
+  t->registry_ = MetricsRegistry(layout);
+  t->journal_ = EventJournal(layout);
+  return t;
+}
+
+namespace {
+std::atomic<SelfTelemetry*> g_telemetry{nullptr};
+std::atomic<u64> g_epoch{0};
+}  // namespace
+
+void install(SelfTelemetry* t) {
+  g_telemetry.store(t, std::memory_order_release);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void uninstall(SelfTelemetry* t) {
+  // Only the installer may uninstall: a second Recorder created while the
+  // first is live does not get to tear down the first one's telemetry.
+  SelfTelemetry* expected = t;
+  if (g_telemetry.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel)) {
+    g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+SelfTelemetry* telemetry() { return g_telemetry.load(std::memory_order_acquire); }
+
+u64 telemetry_epoch() { return g_epoch.load(std::memory_order_acquire); }
+
+void journal_event(EventType type, u64 arg0, u64 arg1, std::string_view detail,
+                   u32 tid) {
+  if (SelfTelemetry* t = telemetry()) {
+    t->journal().record(type, arg0, arg1, detail, tid);
+  }
+}
+
+}  // namespace teeperf::obs

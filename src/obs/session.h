@@ -1,0 +1,68 @@
+// SelfTelemetry: ownership of one obs shared-memory region, and the
+// process-global installation point instrumented code reads from.
+//
+// The region is created by whoever owns the profiling session (Recorder, or
+// the teeperf_record wrapper) and — when named — scraped live by
+// tools/teeperf_stats or opened by the profiled child process, which bumps
+// its per-thread counters directly into the shared region. Mirrors the
+// split the log itself uses (core/shm + core/log_format).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/shm.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace teeperf::obs {
+
+struct TelemetryOptions {
+  // Named POSIX shm when set (cross-process scraping); anonymous otherwise.
+  std::string shm_name;
+  u32 scalar_capacity = 128;
+  u32 histogram_capacity = 16;
+  u32 journal_capacity = 256;
+};
+
+class SelfTelemetry {
+ public:
+  // Creates and formats a fresh region. Null on shm failure.
+  static std::unique_ptr<SelfTelemetry> create(const TelemetryOptions& options);
+
+  // Opens an existing named region (scraper / profiled child). Null if the
+  // region is missing or not a valid obs region.
+  static std::unique_ptr<SelfTelemetry> open(const std::string& shm_name);
+
+  SelfTelemetry(const SelfTelemetry&) = delete;
+  SelfTelemetry& operator=(const SelfTelemetry&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  EventJournal& journal() { return journal_; }
+  const EventJournal& journal() const { return journal_; }
+  const std::string& shm_name() const { return shm_.name(); }
+
+ private:
+  SelfTelemetry() = default;
+
+  SharedMemoryRegion shm_;
+  MetricsRegistry registry_;
+  EventJournal journal_;
+};
+
+// Process-global telemetry sink. install() publishes `t` (not owned; must
+// outlive the matching uninstall()); instrumented code null-checks
+// telemetry() on every use. Each install/uninstall bumps an epoch so hot
+// paths that cache slot pointers (runtime.cc's per-thread entry counters)
+// can detect that their cached pointer belongs to a dead region.
+void install(SelfTelemetry* t);
+void uninstall(SelfTelemetry* t);
+SelfTelemetry* telemetry();
+u64 telemetry_epoch();
+
+// Convenience: journal an event iff telemetry is installed.
+void journal_event(EventType type, u64 arg0 = 0, u64 arg1 = 0,
+                   std::string_view detail = {}, u32 tid = 0);
+
+}  // namespace teeperf::obs

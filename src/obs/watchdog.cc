@@ -1,0 +1,175 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/spin.h"
+
+namespace teeperf::obs {
+
+// ns/tick is published in picoseconds so sub-nanosecond tick rates (a fast
+// software counter on an idle core) survive the integer gauge.
+static u64 to_pico(double ns_per_tick) {
+  double p = ns_per_tick * 1000.0;
+  return p > 0 ? static_cast<u64>(p) : 0;
+}
+
+Watchdog::Watchdog(MetricsRegistry* registry, EventJournal* journal,
+                   std::function<u64()> read_counter, std::string mode_name,
+                   WatchdogOptions options)
+    : registry_(registry),
+      journal_(journal),
+      read_counter_(std::move(read_counter)),
+      mode_name_(std::move(mode_name)),
+      options_(options) {
+  wd_ticks_ = registry_->counter("watchdog.ticks");
+  stall_events_ = registry_->counter("watchdog.stall_events");
+  drift_events_ = registry_->counter("watchdog.drift_events");
+  g_ns_per_tick_ = registry_->gauge("counter.ns_per_tick_pico");
+  g_stalled_ = registry_->gauge("counter.stalled");
+  g_drifting_ = registry_->gauge("counter.drifting");
+  h_ns_per_tick_ = registry_->histogram("counter.ns_per_tick_pico");
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::watch_log(std::function<LogSample()> sample_log) {
+  sample_log_ = std::move(sample_log);
+  g_tail_ = registry_->gauge("log.tail");
+  g_occupancy_ = registry_->gauge("log.occupancy_permille");
+  g_rate_ = registry_->gauge("log.entry_rate_per_s");
+  g_peak_rate_ = registry_->gauge("log.entry_rate_peak_per_s");
+  g_dropped_ = registry_->gauge("log.dropped");
+  g_wraps_ = registry_->gauge("log.ring_wraps");
+  g_active_ = registry_->gauge("log.active");
+}
+
+void Watchdog::start() {
+  if (running_) return;
+  stop_requested_ = false;
+  last_counter_ = read_counter_ ? read_counter_() : 0;
+  last_ns_ = monotonic_ns();
+  last_tail_ns_ = last_ns_;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Watchdog::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
+    if (stop_requested_) break;
+    u64 now = monotonic_ns();
+    observe_counter(now);
+    observe_log();
+    wd_ticks_.inc();
+  }
+}
+
+void Watchdog::observe_counter(u64 now_ns) {
+  if (!read_counter_) return;
+  u64 c = read_counter_();
+  u64 dc = c - last_counter_;
+  u64 dt = now_ns - last_ns_;
+  last_counter_ = c;
+  last_ns_ = now_ns;
+  if (dt == 0) return;
+
+  if (dc == 0) {
+    if (zero_windows_ == 0) stall_start_ns_ = now_ns - dt;
+    ++zero_windows_;
+    if (!stalled_ && zero_windows_ >= options_.stall_windows) {
+      stalled_ = true;
+      g_stalled_.set(1);
+      stall_events_.inc();
+      journal_->record(EventType::kCounterStall, c, now_ns - stall_start_ns_,
+                       mode_name_);
+    }
+    return;
+  }
+
+  if (stalled_) {
+    stalled_ = false;
+    g_stalled_.set(0);
+    journal_->record(EventType::kCounterRecover, c, now_ns - stall_start_ns_,
+                     mode_name_);
+  }
+  zero_windows_ = 0;
+
+  ns_per_tick_ = static_cast<double>(dt) / static_cast<double>(dc);
+  g_ns_per_tick_.set(to_pico(ns_per_tick_));
+  h_ns_per_tick_.add(to_pico(ns_per_tick_));
+
+  if (baseline_samples_ < options_.calibration_windows) {
+    // Running mean over the calibration windows.
+    baseline_ = (baseline_ * baseline_samples_ + ns_per_tick_) /
+                (baseline_samples_ + 1);
+    ++baseline_samples_;
+    return;
+  }
+  double deviation = std::abs(ns_per_tick_ - baseline_) / baseline_;
+  if (deviation > options_.drift_threshold) {
+    if (!drifting_) {
+      // One event per drift episode; the gauge carries the live state.
+      drifting_ = true;
+      g_drifting_.set(1);
+      drift_events_.inc();
+      journal_->record(EventType::kCounterDrift, to_pico(ns_per_tick_),
+                       to_pico(baseline_), mode_name_);
+    }
+  } else if (drifting_) {
+    drifting_ = false;
+    g_drifting_.set(0);
+  }
+}
+
+void Watchdog::observe_log() {
+  if (!sample_log_) return;
+  LogSample s = sample_log_();
+  u64 now = monotonic_ns();
+  u64 written = s.tail < s.capacity ? s.tail : s.capacity;
+  g_tail_.set(s.tail);
+  g_active_.set(s.active ? 1 : 0);
+  if (s.capacity > 0) g_occupancy_.set(written * 1000 / s.capacity);
+
+  if (now > last_tail_ns_ && s.tail >= last_tail_) {
+    double rate = static_cast<double>(s.tail - last_tail_) * 1e9 /
+                  static_cast<double>(now - last_tail_ns_);
+    g_rate_.set(static_cast<u64>(rate));
+    if (rate > peak_rate_) {
+      peak_rate_ = rate;
+      g_peak_rate_.set(static_cast<u64>(rate));
+    }
+  }
+  last_tail_ = s.tail;
+  last_tail_ns_ = now;
+
+  if (s.capacity == 0 || s.tail <= s.capacity) return;
+  if (s.ring) {
+    u64 wraps = s.tail / s.capacity;
+    if (wraps > wraps_seen_) {
+      wraps_seen_ = wraps;
+      g_wraps_.set(wraps);
+      journal_->record(EventType::kRingWrap, wraps);
+    }
+  } else {
+    g_dropped_.set(s.tail - s.capacity);
+    if (!saturation_reported_) {
+      saturation_reported_ = true;
+      journal_->record(EventType::kLogSaturated, s.tail, s.capacity);
+    }
+  }
+}
+
+}  // namespace teeperf::obs

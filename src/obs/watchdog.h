@@ -1,0 +1,118 @@
+// Counter-health watchdog (Triad's observation, PAPERS.md: untrusted time
+// sources drift and stall, so a TEE profiler must actively health-check its
+// clock). A background thread re-measures ns/tick for the session's counter
+// against CLOCK_MONOTONIC every interval, detects stalls (the counter word
+// not advancing — e.g. the software-counter thread descheduled or dead) and
+// drift beyond a threshold from the calibrated baseline, publishes gauges,
+// and journals alarm events.
+//
+// The watchdog reads the counter and the log through callbacks, so it works
+// for any CounterMode without depending on core (the recorder supplies
+// `read_counter(mode, header)` as the callback).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/types.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace teeperf::obs {
+
+struct WatchdogOptions {
+  u64 interval_ms = 50;
+  // Consecutive zero-delta windows before a stall alarm is raised.
+  u32 stall_windows = 2;
+  // Relative ns/tick deviation from the calibrated baseline that counts as
+  // drift. Generous by default: software-counter rates legitimately wobble
+  // with scheduling; the watchdog flags sustained gross deviation, not jitter.
+  double drift_threshold = 0.5;
+  // Healthy windows averaged into the ns/tick baseline before drift
+  // detection arms.
+  u32 calibration_windows = 4;
+};
+
+// Occupancy/rate sample of the profiling log, provided by the owner.
+struct LogSample {
+  u64 tail = 0;      // entries attempted (monotonic)
+  u64 capacity = 0;  // max entries
+  bool active = false;
+  bool ring = false;
+};
+
+class Watchdog {
+ public:
+  // `read_counter` returns the session counter's current value; `mode_name`
+  // labels events ("software", "tsc", ...). Both metrics and journal must
+  // outlive the watchdog.
+  Watchdog(MetricsRegistry* registry, EventJournal* journal,
+           std::function<u64()> read_counter, std::string mode_name,
+           WatchdogOptions options = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Also publish log occupancy / entry-rate / wrap metrics each tick.
+  // Must be called before start().
+  void watch_log(std::function<LogSample()> sample_log);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  // Exposed for tests: the most recent measured ns/tick (0 before the first
+  // healthy window) and whether the counter is currently considered stalled.
+  double ns_per_tick() const { return ns_per_tick_; }
+  bool stalled() const { return stalled_; }
+  u64 ticks() const { return wd_ticks_.value(); }
+
+ private:
+  void run();
+  void observe_counter(u64 now_ns);
+  void observe_log();
+
+  MetricsRegistry* registry_;
+  EventJournal* journal_;
+  std::function<u64()> read_counter_;
+  std::string mode_name_;
+  WatchdogOptions options_;
+  std::function<LogSample()> sample_log_;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+
+  // Counter-health state (watchdog thread only).
+  u64 last_counter_ = 0;
+  u64 last_ns_ = 0;
+  u64 stall_start_ns_ = 0;
+  u32 zero_windows_ = 0;
+  bool stalled_ = false;
+  bool drifting_ = false;
+  double ns_per_tick_ = 0.0;
+  double baseline_ = 0.0;
+  u32 baseline_samples_ = 0;
+
+  // Log-watch state.
+  u64 last_tail_ = 0;
+  u64 last_tail_ns_ = 0;
+  u64 wraps_seen_ = 0;
+  bool saturation_reported_ = false;
+  double peak_rate_ = 0.0;
+
+  // Published metrics.
+  Counter wd_ticks_, stall_events_, drift_events_;
+  Gauge g_ns_per_tick_, g_stalled_, g_drifting_;
+  Gauge g_tail_, g_occupancy_, g_rate_, g_peak_rate_, g_dropped_, g_wraps_,
+      g_active_;
+  Histogram h_ns_per_tick_;
+};
+
+}  // namespace teeperf::obs

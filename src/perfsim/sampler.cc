@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/runtime.h"
+#include "obs/session.h"
 
 namespace teeperf::perfsim {
 namespace {
@@ -80,6 +81,10 @@ bool SamplingProfiler::start() {
     return false;
   }
   running_ = true;
+  if (obs::SelfTelemetry* tel = obs::telemetry()) {
+    tel->registry().gauge("sampler.frequency_hz").set(options_.frequency_hz);
+    tel->journal().record(obs::EventType::kSamplerStart, options_.frequency_hz);
+  }
   return true;
 }
 
@@ -92,6 +97,13 @@ void SamplingProfiler::stop() {
   sigaction(SIGPROF, &sa, nullptr);
   g_active.store(nullptr, std::memory_order_release);
   running_ = false;
+  if (obs::SelfTelemetry* tel = obs::telemetry()) {
+    obs::MetricsRegistry& reg = tel->registry();
+    reg.gauge("sampler.samples").set(sample_count());
+    reg.gauge("sampler.dropped").set(dropped());
+    tel->journal().record(obs::EventType::kSamplerStop, sample_count(),
+                          dropped());
+  }
 }
 
 bool SamplingProfiler::running() const { return running_; }

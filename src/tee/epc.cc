@@ -1,9 +1,17 @@
 #include "tee/epc.h"
 
 #include "core/scope.h"
+#include "obs/session.h"
 #include "tee/enclave.h"
 
 namespace teeperf::tee {
+
+namespace {
+// One pressure event per power-of-two eviction count: the journal shows
+// that (and roughly when) paging pressure built up without an event per
+// eviction flooding the ring.
+bool is_pow2(u64 v) { return v && (v & (v - 1)) == 0; }
+}  // namespace
 
 EnclaveBuffer::EnclaveBuffer(EpcAllocator* epc, usize size, usize first_page)
     : epc_(epc),
@@ -60,10 +68,31 @@ u64 EpcAllocator::page_outs() const {
   return enclave_->counters().page_outs.load(std::memory_order_relaxed);
 }
 
+void EpcAllocator::refresh_telemetry() {
+  u64 epoch = obs::telemetry_epoch();
+  if (obs_epoch_ == epoch) return;
+  obs_epoch_ = epoch;
+  if (obs::SelfTelemetry* tel = obs::telemetry()) {
+    obs::MetricsRegistry& reg = tel->registry();
+    obs_page_ins_ = reg.counter("epc.page_ins");
+    obs_page_outs_ = reg.counter("epc.page_outs");
+    obs_resident_ = reg.gauge("epc.resident_pages");
+    obs_limit_ = reg.gauge("epc.resident_limit");
+    obs_limit_.set(limit_);
+  } else {
+    obs_page_ins_ = obs::Counter();
+    obs_page_outs_ = obs::Counter();
+    obs_resident_ = obs::Gauge();
+    obs_limit_ = obs::Gauge();
+  }
+}
+
 void EpcAllocator::ensure_resident(usize page) {
   u64 charge_ns = 0;
+  u64 pressure_event = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    refresh_telemetry();
     Page& p = pages_[page];
     if (p.resident) {
       p.referenced = true;
@@ -83,12 +112,19 @@ void EpcAllocator::ensure_resident(usize page) {
       --resident_;
       charge_ns += enclave_->costs().epc_page_out_ns;
       enclave_->counters().page_outs.fetch_add(1, std::memory_order_relaxed);
+      obs_page_outs_.inc();
+      if (is_pow2(++evictions_)) pressure_event = evictions_;
     }
     p.resident = true;
     p.referenced = true;
     ++resident_;
     charge_ns += enclave_->costs().epc_page_in_ns;
     enclave_->counters().page_ins.fetch_add(1, std::memory_order_relaxed);
+    obs_page_ins_.inc();
+    obs_resident_.set(resident_);
+  }
+  if (pressure_event) {
+    obs::journal_event(obs::EventType::kEpcPressure, pressure_event, limit_);
   }
   // Charge outside the lock: the paging latency is per-thread, the metadata
   // is shared. The scope makes secure paging *visible in profiles* — the

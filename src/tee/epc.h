@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace teeperf::tee {
 
@@ -80,6 +81,9 @@ class EpcAllocator {
   // Ensures `page` is resident, charging costs and evicting as needed.
   void ensure_resident(usize page);
   void release_range(usize first, usize count);
+  // Re-binds the cached telemetry handles when the installed region changed
+  // (obs epoch). Called under mu_.
+  void refresh_telemetry();
 
   Enclave* enclave_;
   usize limit_;
@@ -87,6 +91,12 @@ class EpcAllocator {
   std::vector<Page> pages_;
   usize resident_ = 0;
   usize clock_hand_ = 0;
+
+  // Self-telemetry (null-safe handles; inert when no region is installed).
+  u64 obs_epoch_ = ~0ull;
+  u64 evictions_ = 0;
+  obs::Counter obs_page_ins_, obs_page_outs_;
+  obs::Gauge obs_resident_, obs_limit_;
 };
 
 }  // namespace teeperf::tee

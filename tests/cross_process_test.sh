@@ -34,4 +34,55 @@ grep -q "<svg" "$OUT/run.svg" || { echo "FAIL: svg output invalid"; exit 1; }
 grep -q "entries=0" "$OUT/off.out" || {
   echo "FAIL: inactive session recorded entries"; cat "$OUT/off.out"; exit 1; }
 
+# Self-telemetry sidecars: the first run must have produced a health
+# snapshot and an event journal, and the analyzer folds them in.
+test -s "$OUT/run.health" || { echo "FAIL: run.health missing"; exit 1; }
+test -s "$OUT/run.events.jsonl" || { echo "FAIL: run.events.jsonl missing"; exit 1; }
+grep -q "recorder health" "$OUT/analyze.out" || {
+  echo "FAIL: analyze output lacks recorder-health section"
+  cat "$OUT/analyze.out"; exit 1; }
+grep -q '"event":"attach"' "$OUT/run.events.jsonl" || {
+  echo "FAIL: no attach event journaled"; cat "$OUT/run.events.jsonl"; exit 1; }
+
+# Live scraping: hold the session open after the child exits and attach
+# teeperf_stats to the wrapper's obs region by pid.
+"$BIN/tools/teeperf_record" -o "$OUT/live" -c software --hold-ms 3000 -- \
+    "$BIN/examples/instrumented_app" "$OUT/ignored3" > /dev/null 2>&1 &
+REC_PID=$!
+# Retry the attach: under load the wrapper may take a moment to create the
+# obs region (and the hold window is 3s).
+ATTACHED=0
+for attempt in 1 2 3 4 5 6 7 8 9 10; do
+  sleep 0.2
+  if "$BIN/tools/teeperf_stats" "$REC_PID" > "$OUT/stats.out" 2>&1; then
+    if grep -q "app.thread" "$OUT/stats.out"; then ATTACHED=1; break; fi
+  fi
+done
+[ "$ATTACHED" = 1 ] || {
+  echo "FAIL: teeperf_stats could not attach to live session"
+  cat "$OUT/stats.out"; exit 1; }
+wait "$REC_PID"
+grep -q "log.tail" "$OUT/stats.out" || {
+  echo "FAIL: live scrape missing ring metrics"; cat "$OUT/stats.out"; exit 1; }
+TAIL=$(awk '/log.tail/ {print $3}' "$OUT/stats.out")
+RATE=$(awk '/log.entry_rate_peak_per_s/ {print $3}' "$OUT/stats.out")
+[ "${TAIL:-0}" -gt 0 ] || {
+  echo "FAIL: live ring occupancy is zero"; cat "$OUT/stats.out"; exit 1; }
+[ "${RATE:-0}" -gt 0 ] || {
+  echo "FAIL: live entry rate is zero"; cat "$OUT/stats.out"; exit 1; }
+
+# Watchdog fault injection: freezing the software counter mid-hold must
+# surface as a counter_stall event in the journal export and as a warning in
+# the analyzer's health section.
+"$BIN/tools/teeperf_record" -o "$OUT/stall" -c software \
+    --freeze-counter-after-ms 100 --hold-ms 800 -- \
+    "$BIN/examples/instrumented_app" "$OUT/ignored4" > /dev/null 2>&1
+grep -q '"event":"counter_stall"' "$OUT/stall.events.jsonl" || {
+  echo "FAIL: frozen counter produced no stall event"
+  cat "$OUT/stall.events.jsonl"; exit 1; }
+"$BIN/tools/teeperf_analyze" "$OUT/stall" > "$OUT/stall.out"
+grep -q "WARNING: counter_stall" "$OUT/stall.out" || {
+  echo "FAIL: analyze health section lacks stall warning"
+  cat "$OUT/stall.out"; exit 1; }
+
 echo "PASS"

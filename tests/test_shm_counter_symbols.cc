@@ -10,7 +10,7 @@
 #include "common/spin.h"
 #include "core/counter.h"
 #include "core/log_format.h"
-#include "core/shm.h"
+#include "common/shm.h"
 #include "core/symbol_registry.h"
 
 namespace teeperf {

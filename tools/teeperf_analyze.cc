@@ -48,7 +48,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "teeperf_analyze: cannot load %s.log\n", prefix.c_str());
     return 1;
   }
-  std::printf("%s\n\n", recon_summary(*profile).c_str());
+  std::printf("%s\n", recon_summary(*profile).c_str());
+  // Self-telemetry sidecars from the recorder, when present: surfaces
+  // counter stalls, log saturation, and other recorder-side degradation
+  // before any numbers are trusted.
+  std::string health = health_report(prefix);
+  if (!health.empty()) std::printf("\n%s", health.c_str());
+  std::printf("\n");
 
   bool did_something = false;
   i64 tid_filter = -1;

@@ -24,6 +24,21 @@
 //   --stop-after-ms N    deactivate measurement after N ms
 //   --ring               ring mode: overwrite oldest entries when full
 //                        (keep the newest window of a long run)
+//   --no-telemetry       skip the self-telemetry region / watchdog
+//   --hold-ms N          keep the session (shm log, telemetry region,
+//                        watchdog) alive N ms after the child exits — lets
+//                        teeperf_stats scrape a finished-but-held session
+//   --freeze-counter-after-ms N   fault injection: stop the software
+//                        counter thread N ms into the run so the watchdog's
+//                        stall detection can be demonstrated end to end
+//
+// The wrapper also publishes self-telemetry: a second shared-memory region
+// "<shm>.obs" holds live metrics (ring occupancy, entry rates, counter
+// health) plus a structured event journal; a watchdog thread re-measures
+// the counter against CLOCK_MONOTONIC continuously. teeperf_stats attaches
+// to that region by wrapper pid. At exit the wrapper persists
+// "<prefix>.health" (human snapshot) and "<prefix>.events.jsonl", which
+// teeperf_analyze folds into its report as the "recorder health" section.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -33,16 +48,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include <cstring>
-
 #include "common/fileutil.h"
+#include "common/shm.h"
 #include "common/stringutil.h"
 #include "core/counter.h"
 #include "core/log_format.h"
-#include "core/shm.h"
+#include "obs/export.h"
+#include "obs/session.h"
+#include "obs/watchdog.h"
 
 using namespace teeperf;
 
@@ -66,6 +83,8 @@ int main(int argc, char** argv) {
   std::string filter_spec;
   long start_after_ms = -1, stop_after_ms = -1;
   bool ring = false;
+  bool telemetry = true;
+  long hold_ms = 0, freeze_counter_after_ms = -1;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -87,6 +106,12 @@ int main(int argc, char** argv) {
       calls = false;
     } else if (arg == "--ring") {
       ring = true;
+    } else if (arg == "--no-telemetry") {
+      telemetry = false;
+    } else if (arg == "--hold-ms" && i + 1 < argc) {
+      hold_ms = std::atol(argv[++i]);
+    } else if (arg == "--freeze-counter-after-ms" && i + 1 < argc) {
+      freeze_counter_after_ms = std::atol(argv[++i]);
     } else if (arg == "--filter" && i + 1 < argc) {
       filter_spec = argv[++i];
     } else if (arg == "--start-after-ms" && i + 1 < argc) {
@@ -133,12 +158,47 @@ int main(int argc, char** argv) {
   }
   log.header()->counter_mode = static_cast<u32>(mode);
 
+  // Self-telemetry region, scraped live by teeperf_stats and written to by
+  // both this wrapper (watchdog gauges, journal) and the child (per-thread
+  // entry counters).
+  std::unique_ptr<obs::SelfTelemetry> telem;
+  if (telemetry) {
+    obs::TelemetryOptions topts;
+    topts.shm_name = shm_name + ".obs";
+    telem = obs::SelfTelemetry::create(topts);
+    if (!telem) {
+      std::fprintf(stderr, "teeperf_record: telemetry shm failed, continuing "
+                           "without\n");
+    }
+  }
+
   // The software counter runs here, on the host — the measured application
   // only ever reads the header word.
   std::unique_ptr<SoftwareCounter> sw;
   if (mode == CounterMode::kSoftware) {
     sw = std::make_unique<SoftwareCounter>(log.header(), /*yield_every=*/4096);
     sw->start();
+  }
+
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (telem) {
+    telem->journal().record(obs::EventType::kAttach,
+                            static_cast<u64>(getpid()), 0, counter);
+    if (active) telem->journal().record(obs::EventType::kActivate);
+    telem->registry().gauge("log.capacity").set(max_entries);
+    LogHeader* header = log.header();
+    watchdog = std::make_unique<obs::Watchdog>(
+        &telem->registry(), &telem->journal(),
+        [mode, header] { return read_counter(mode, header); }, counter);
+    watchdog->watch_log([&log, max_entries, ring] {
+      obs::LogSample s;
+      s.tail = log.header()->tail.load(std::memory_order_relaxed);
+      s.capacity = max_entries;
+      s.active = log.active();
+      s.ring = ring;
+      return s;
+    });
+    watchdog->start();
   }
 
   pid_t child = fork();
@@ -150,6 +210,7 @@ int main(int argc, char** argv) {
     setenv("TEEPERF_SHM", shm_name.c_str(), 1);
     setenv("TEEPERF_COUNTER", counter.c_str(), 1);
     setenv("TEEPERF_SYM", (prefix + ".sym").c_str(), 1);
+    if (telem) setenv("TEEPERF_OBS", telem->shm_name().c_str(), 1);
     if (!filter_spec.empty()) setenv("TEEPERF_FILTER", filter_spec.c_str(), 1);
     execvp(argv[i], argv + i);
     std::perror("execvp");
@@ -167,18 +228,43 @@ int main(int argc, char** argv) {
     };
     if (start_after_ms >= 0) {
       wait_ms(start_after_ms);
-      if (!child_done.load()) log.set_active(true);
+      if (!child_done.load()) {
+        log.set_active(true);
+        if (telem) telem->journal().record(obs::EventType::kActivate);
+      }
     }
     if (stop_after_ms >= 0) {
       wait_ms(stop_after_ms - (start_after_ms > 0 ? start_after_ms : 0));
-      if (!child_done.load()) log.set_active(false);
+      if (!child_done.load()) {
+        log.set_active(false);
+        if (telem) telem->journal().record(obs::EventType::kDeactivate);
+      }
     }
   });
 
+  // Watchdog fault injection: freezing the software counter mid-run must
+  // surface as a counter_stall event (the acceptance check for the
+  // counter-health path; see DESIGN.md "Observability").
+  std::thread freezer;
+  if (freeze_counter_after_ms >= 0 && sw) {
+    freezer = std::thread([&] {
+      for (long waited = 0; waited < freeze_counter_after_ms; waited += 10) {
+        usleep(10'000);
+      }
+      sw->stop();
+    });
+  }
+
   int status = 0;
   waitpid(child, &status, 0);
+  if (hold_ms > 0) {
+    // Keep the session (and its live telemetry) scrapeable for a while —
+    // demos and tests attach teeperf_stats during this window.
+    usleep(static_cast<useconds_t>(hold_ms) * 1000);
+  }
   child_done.store(true);
   toggler.join();
+  if (freezer.joinable()) freezer.join();
   log.header()->pid = static_cast<u64>(child);
 
   // Measure tick rate before the counter stops, then persist.
@@ -217,15 +303,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Telemetry teardown: final health snapshot + event journal become sidecar
+  // files next to the log, which teeperf_analyze folds into its report.
+  if (telem) {
+    obs::MetricsRegistry& reg = telem->registry();
+    if (u64 torn = log.count_torn_tail()) {
+      reg.gauge("log.torn_tail").set(torn);
+      telem->journal().record(obs::EventType::kTornTail, torn, tail);
+    }
+    if (watchdog) watchdog->stop();
+    telem->journal().record(obs::EventType::kDetach, n,
+                            tail > max_entries && !ring ? tail - max_entries
+                                                        : 0);
+    if (!write_file(prefix + ".health",
+                    obs::health_text(reg, telem->journal()))) {
+      std::fprintf(stderr, "teeperf_record: writing %s.health failed\n",
+                   prefix.c_str());
+    }
+    if (!write_file(prefix + ".events.jsonl",
+                    obs::events_jsonl(telem->journal()))) {
+      std::fprintf(stderr, "teeperf_record: writing %s.events.jsonl failed\n",
+                   prefix.c_str());
+    }
+  }
+
   std::fprintf(stderr,
                "teeperf_record: %llu entries (%llu attempted), counter=%s, "
-               "wrote %s.log%s\n",
+               "wrote %s.log%s%s\n",
                static_cast<unsigned long long>(n),
                static_cast<unsigned long long>(tail), counter.c_str(),
                prefix.c_str(),
                file_exists(prefix + ".sym") ? (" + " + prefix + ".sym").c_str()
                                             : " (no .sym — did the app link "
-                                              "teeperf_core?)");
+                                              "teeperf_core?)",
+               telem ? " + .health + .events.jsonl" : "");
   if (WIFEXITED(status)) return WEXITSTATUS(status);
   return 1;
 }

@@ -1,0 +1,124 @@
+// Live self-telemetry scraper (TEEMon-style): attaches to the obs
+// shared-memory region of a running teeperf_record session (or any Recorder
+// with a named log) from an untrusted host process and prints its health
+// metrics and event journal — without touching the session.
+//
+//   teeperf_stats <pid | shm-name> [options]
+//
+// The positional argument is the recorder wrapper's pid (region
+// "/teeperf.<pid>.obs") or an explicit shm name (".obs" appended when
+// missing).
+//
+// Options:
+//   --json         JSON-lines instead of human text (metrics then events)
+//   --events N     show up to N journal records           (default: 32)
+//   --watch MS     re-print every MS milliseconds until the session goes
+//                  away or interrupted (streaming mode)
+//   --no-events    metrics only
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/stringutil.h"
+#include "obs/export.h"
+#include "obs/session.h"
+
+using namespace teeperf;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: teeperf_stats <pid | shm-name> [--json] [--events N] "
+               "[--watch ms] [--no-events]\n");
+}
+
+bool all_digits(const char* s) {
+  if (!*s) return false;
+  for (; *s; ++s) {
+    if (*s < '0' || *s > '9') return false;
+  }
+  return true;
+}
+
+std::string resolve_name(const char* arg) {
+  if (all_digits(arg)) return str_format("/teeperf.%s.obs", arg);
+  std::string name = arg;
+  if (!ends_with(name, ".obs")) name += ".obs";
+  return name;
+}
+
+void print_snapshot(obs::SelfTelemetry& t, bool json, bool events, usize limit) {
+  if (json) {
+    std::fputs(obs::metrics_jsonl(t.registry()).c_str(), stdout);
+    if (events) std::fputs(obs::events_jsonl(t.journal()).c_str(), stdout);
+  } else {
+    std::printf("session %s (pid %llu): %zu metrics, %llu events\n",
+                t.shm_name().c_str(),
+                static_cast<unsigned long long>(
+                    t.registry().layout().header->pid),
+                t.registry().scalar_count() + t.registry().histogram_count(),
+                static_cast<unsigned long long>(t.journal().total()));
+    std::fputs(obs::metrics_text(t.registry()).c_str(), stdout);
+    if (events) {
+      std::printf("events:\n");
+      std::fputs(obs::events_text(t.journal(), limit).c_str(), stdout);
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  bool json = false, events = true;
+  usize event_limit = 32;
+  long watch_ms = -1;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-events") {
+      events = false;
+    } else if (arg == "--events" && i + 1 < argc) {
+      event_limit = static_cast<usize>(std::atoll(argv[++i]));
+    } else if (arg == "--watch" && i + 1 < argc) {
+      watch_ms = std::atol(argv[++i]);
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  std::string name = resolve_name(argv[1]);
+  auto telemetry = obs::SelfTelemetry::open(name);
+  if (!telemetry) {
+    std::fprintf(stderr,
+                 "teeperf_stats: no telemetry region at %s (is the session "
+                 "running, and was it created with telemetry on?)\n",
+                 name.c_str());
+    return 1;
+  }
+
+  print_snapshot(*telemetry, json, events, event_limit);
+  while (watch_ms > 0) {
+    usleep(static_cast<useconds_t>(watch_ms) * 1000);
+    // Reopen each round: when the owner exits and unlinks the region, the
+    // open fails and streaming ends cleanly.
+    auto again = obs::SelfTelemetry::open(name);
+    if (!again) {
+      std::fprintf(stderr, "teeperf_stats: session ended\n");
+      break;
+    }
+    if (!json) std::printf("---\n");
+    print_snapshot(*again, json, events, event_limit);
+  }
+  return 0;
+}
