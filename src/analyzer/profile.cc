@@ -1,6 +1,8 @@
 #include "analyzer/profile.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <map>
 
 #include "common/fileutil.h"
@@ -9,25 +11,57 @@
 
 namespace teeperf::analyzer {
 
+namespace {
+
+// A serialized dump copied into properly typed, aligned storage. The raw
+// byte buffer guarantees neither alignment nor sanity — reading LogHeader's
+// atomics in place would be undefined, and every header field is attacker-
+// controlled once dumps come from a hostile host.
+struct ParsedDump {
+  std::vector<LogEntry> entries;
+  double ns_per_tick = 0.0;
+};
+
+std::optional<ParsedDump> parse_dump(std::string_view bytes) {
+  if (bytes.size() < sizeof(LogHeader)) return std::nullopt;
+  alignas(LogHeader) unsigned char header_buf[sizeof(LogHeader)];
+  std::memcpy(header_buf, bytes.data(), sizeof(LogHeader));
+  const auto* h = reinterpret_cast<const LogHeader*>(header_buf);
+  if (h->magic != kLogMagic || h->version != kLogVersion) return std::nullopt;
+  ParsedDump d;
+  // Only complete entries present in the buffer are consumed; a log
+  // truncated mid-write simply yields fewer entries (§II-B: the analyzer
+  // dismisses records "which might be wrong at the end of the log"). The
+  // clamp to `available` also defuses a corrupt tail/max_entries.
+  u64 available = (bytes.size() - sizeof(LogHeader)) / sizeof(LogEntry);
+  u64 tail = h->tail.load(std::memory_order_relaxed);
+  u64 n = std::min({available, tail, h->max_entries});
+  d.entries.resize(static_cast<usize>(n));
+  if (n > 0) {
+    std::memcpy(d.entries.data(), bytes.data() + sizeof(LogHeader),
+                static_cast<usize>(n) * sizeof(LogEntry));
+  }
+  d.ns_per_tick = h->ns_per_tick;
+  if (!std::isfinite(d.ns_per_tick) || d.ns_per_tick < 0.0) d.ns_per_tick = 0.0;
+  return d;
+}
+
+}  // namespace
+
+std::optional<Profile> Profile::load_bytes(
+    std::string_view log_bytes, std::unordered_map<u64, std::string> symbols) {
+  auto dump = parse_dump(log_bytes);
+  if (!dump) return std::nullopt;
+  return build(dump->entries.data(), dump->entries.size(), std::move(symbols),
+               dump->ns_per_tick);
+}
+
 std::optional<Profile> Profile::load(const std::string& prefix) {
   auto raw = read_file(prefix + ".log");
-  if (!raw || raw->size() < sizeof(LogHeader)) return std::nullopt;
-  const auto* header = reinterpret_cast<const LogHeader*>(raw->data());
-  if (header->magic != kLogMagic || header->version != kLogVersion) return std::nullopt;
-
-  // Only complete entries present in the file are consumed; a log truncated
-  // mid-write simply yields fewer entries (§II-B: the analyzer dismisses
-  // records "which might be wrong at the end of the log").
-  u64 available = (raw->size() - sizeof(LogHeader)) / sizeof(LogEntry);
-  u64 tail = header->tail.load(std::memory_order_relaxed);
-  u64 n = std::min({available, tail, header->max_entries});
-  const auto* entries =
-      reinterpret_cast<const LogEntry*>(raw->data() + sizeof(LogHeader));
-
+  if (!raw) return std::nullopt;
   std::unordered_map<u64, std::string> symbols;
   if (auto sym = read_file(prefix + ".sym")) symbols = SymbolRegistry::parse(*sym);
-
-  return build(entries, n, std::move(symbols), header->ns_per_tick);
+  return load_bytes(*raw, std::move(symbols));
 }
 
 Profile Profile::from_log(const ProfileLog& log,
@@ -63,6 +97,14 @@ Profile Profile::build(const LogEntry* entries, u64 n,
 
   for (u64 i = 0; i < n; ++i) {
     const LogEntry& e = entries[i];
+    // Skip tombstones: all-zero slots a writer reserved (tail moved past
+    // them) but never filled because it died between the fetch-and-add and
+    // the stores. Treating one as a call would invent a phantom invocation
+    // of method 0 on thread 0.
+    if (e.kind_and_counter == 0 && e.addr == 0 && e.tid == 0 && e.reserved == 0) {
+      ++p.recon_.tombstones;
+      continue;
+    }
     ThreadRecon& t = threads[e.tid];
     t.last_counter = e.counter();
 
@@ -268,6 +310,7 @@ std::optional<Profile> Profile::load_many(const std::vector<std::string>& prefix
     merged.recon_.mismatched_returns += prof->recon_.mismatched_returns;
     merged.recon_.unwound_frames += prof->recon_.unwound_frames;
     merged.recon_.incomplete += prof->recon_.incomplete;
+    merged.recon_.tombstones += prof->recon_.tombstones;
     merged.thread_count_ += prof->thread_count_;
     if (merged.ns_per_tick_ == 0.0) merged.ns_per_tick_ = prof->ns_per_tick_;
   }
@@ -290,17 +333,10 @@ std::vector<ValidationIssue> Profile::validate(const ProfileLog& log) {
 std::optional<std::vector<ValidationIssue>> Profile::validate_file(
     const std::string& prefix) {
   auto raw = read_file(prefix + ".log");
-  if (!raw || raw->size() < sizeof(LogHeader)) return std::nullopt;
-  const auto* header = reinterpret_cast<const LogHeader*>(raw->data());
-  if (header->magic != kLogMagic || header->version != kLogVersion) {
-    return std::nullopt;
-  }
-  u64 available = (raw->size() - sizeof(LogHeader)) / sizeof(LogEntry);
-  u64 tail = header->tail.load(std::memory_order_relaxed);
-  u64 n = std::min({available, tail, header->max_entries});
-  const auto* entries =
-      reinterpret_cast<const LogEntry*>(raw->data() + sizeof(LogHeader));
-  return validate(entries, n);
+  if (!raw) return std::nullopt;
+  auto dump = parse_dump(*raw);
+  if (!dump) return std::nullopt;
+  return validate(dump->entries.data(), dump->entries.size());
 }
 
 std::vector<ValidationIssue> Profile::validate(const LogEntry* log_entries, u64 n) {

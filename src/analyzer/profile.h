@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +47,7 @@ struct ReconstructionStats {
   u64 mismatched_returns = 0;  // return address not on the stack
   u64 unwound_frames = 0;    // frames force-closed to match a return
   u64 incomplete = 0;        // invocations open at end of log
+  u64 tombstones = 0;        // all-zero slots: reserved, never filled (dead writer)
   u64 entries = 0;           // log entries consumed
 };
 
@@ -87,6 +89,16 @@ class Profile {
  public:
   // Loads "<prefix>.log" + "<prefix>.sym" written by Recorder::dump().
   static std::optional<Profile> load(const std::string& prefix);
+
+  // Builds from serialized dump bytes already in memory (the fuzz runner's
+  // entry point, and what load() uses underneath). Never trusts the bytes:
+  // the header is copied out (no alignment or atomic assumptions on the
+  // buffer), entry count is clamped to what the buffer actually holds, and
+  // a non-finite ns_per_tick is discarded. nullopt on a bad magic/version
+  // or a sub-header buffer.
+  static std::optional<Profile> load_bytes(
+      std::string_view log_bytes,
+      std::unordered_map<u64, std::string> symbols = {});
 
   // Loads several dumps into one profile — the multi-process case the log
   // header's PID field exists for (§II-B: "differentiate multiple runs or

@@ -113,14 +113,15 @@ std::string recon_summary(const Profile& profile) {
   const auto& r = profile.recon_stats();
   return str_format(
       "entries=%llu threads=%llu invocations=%zu stray_returns=%llu "
-      "mismatched=%llu unwound=%llu incomplete=%llu",
+      "mismatched=%llu unwound=%llu incomplete=%llu tombstones=%llu",
       static_cast<unsigned long long>(r.entries),
       static_cast<unsigned long long>(profile.thread_count()),
       profile.invocations().size(),
       static_cast<unsigned long long>(r.stray_returns),
       static_cast<unsigned long long>(r.mismatched_returns),
       static_cast<unsigned long long>(r.unwound_frames),
-      static_cast<unsigned long long>(r.incomplete));
+      static_cast<unsigned long long>(r.incomplete),
+      static_cast<unsigned long long>(r.tombstones));
 }
 
 }  // namespace teeperf::analyzer

@@ -7,6 +7,8 @@
 
 #include <utility>
 
+#include "faultsim/fault.h"
+
 namespace teeperf {
 
 SharedMemoryRegion& SharedMemoryRegion::operator=(SharedMemoryRegion&& other) noexcept {
@@ -22,6 +24,8 @@ SharedMemoryRegion& SharedMemoryRegion::operator=(SharedMemoryRegion&& other) no
 
 bool SharedMemoryRegion::create(const std::string& name, usize size) {
   close();
+  // Fault point: shm exhaustion on the host (ENOSPC on /dev/shm).
+  if (fault::fires("shm.create.fail")) return false;
   int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
   if (fd < 0) return false;
   if (ftruncate(fd, static_cast<off_t>(size)) != 0) {
@@ -44,6 +48,9 @@ bool SharedMemoryRegion::create(const std::string& name, usize size) {
 
 bool SharedMemoryRegion::open(const std::string& name) {
   close();
+  // Fault points: the attach side losing the race with an owner that died
+  // (open fails) or mapping a region the owner truncated under it.
+  if (fault::fires("shm.open.fail")) return false;
   int fd = shm_open(name.c_str(), O_RDWR, 0600);
   if (fd < 0) return false;
   struct stat st {};
@@ -52,6 +59,11 @@ bool SharedMemoryRegion::open(const std::string& name) {
     return false;
   }
   usize size = static_cast<usize>(st.st_size);
+  if (fault::fires("shm.open.truncate")) {
+    usize page = 4096;
+    size = size / 2 < page ? page : size / 2;
+    if (size > static_cast<usize>(st.st_size)) size = static_cast<usize>(st.st_size);
+  }
   void* p = mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
   ::close(fd);
   if (p == MAP_FAILED) return false;

@@ -12,6 +12,7 @@
 #include "common/stringutil.h"
 #include "core/counter.h"
 #include "core/filter.h"
+#include "faultsim/fault.h"
 #include "core/runtime.h"
 #include "core/symbol_dump.h"
 #include "obs/session.h"
@@ -72,6 +73,10 @@ bool try_attach_from_env() {
   if (g_env_attached) return true;
   const char* shm_name = std::getenv("TEEPERF_SHM");
   if (!shm_name || !*shm_name) return false;
+  // Fault points travel with the session: a wrapper launched with --faults
+  // exports TEEPERF_FAULTS/TEEPERF_FAULT_SEED so the child's copies of the
+  // instrumented paths (append, dump, counter) arm too.
+  fault::Registry::instance().arm_from_env();
   if (!env_region().open(shm_name)) return false;
   if (!env_log().adopt(env_region().data(), env_region().size())) {
     env_region().close();

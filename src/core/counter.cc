@@ -3,6 +3,7 @@
 #include <sched.h>
 
 #include "common/spin.h"
+#include "faultsim/fault.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <x86intrin.h>
@@ -73,19 +74,33 @@ void SoftwareCounter::run() {
   u64 since_yield = 0;
   // The paper's tight loop: one relaxed store per increment. The stop flag
   // is polled on a coarse stride so the loop body stays one store wide.
+  bool frozen = false;
   while (true) {
-    for (int i = 0; i < 1024; ++i) {
-      header_->counter.store(++local, std::memory_order_relaxed);
+    if (!frozen) {
+      for (int i = 0; i < 1024; ++i) {
+        header_->counter.store(++local, std::memory_order_relaxed);
+      }
+      since_yield += 1024;
+    } else {
+      sched_yield();  // stalled clock: the thread lives, the word does not move
     }
-    since_yield += 1024;
     if (stop_.load(std::memory_order_relaxed)) break;
+    // Fault points, checked once per 1024-increment batch (one relaxed load
+    // when nothing is armed): a stalled counter thread, and a counter word
+    // jumping backwards (a tampered or wrapped time source).
+    if (fault::fires("counter.stall")) frozen = true;
+    if (fault::fires("counter.backjump")) {
+      u64 jump = 4096 + fault::value_below("counter.backjump", 4096);
+      local = local > jump ? local - jump : 0;
+      header_->counter.store(local, std::memory_order_relaxed);
+    }
     if (yield_every_ && since_yield >= yield_every_) {
       since_yield = 0;
       sched_yield();
     }
   }
   u64 t1 = monotonic_ns();
-  if (t1 > t0) {
+  if (t1 > t0 && local > start_value) {  // backjump faults can end below start
     ticks_per_second_ = static_cast<double>(local - start_value) * 1e9 /
                         static_cast<double>(t1 - t0);
   }

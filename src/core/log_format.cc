@@ -1,5 +1,9 @@
 #include "core/log_format.h"
 
+#include <csignal>
+
+#include "faultsim/fault.h"
+
 namespace teeperf {
 
 bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags) {
@@ -24,7 +28,12 @@ bool ProfileLog::adopt(void* buffer, usize size) {
   if (!buffer || size < sizeof(LogHeader)) return false;
   auto* h = reinterpret_cast<LogHeader*>(buffer);
   if (h->magic != kLogMagic || h->version != kLogVersion) return false;
-  if (sizeof(LogHeader) + h->max_entries * sizeof(LogEntry) > size) return false;
+  // Divide rather than multiply: a corrupt max_entries (from a hostile or
+  // truncated region) must not overflow u64 and sneak past the size check.
+  if (h->max_entries == 0 ||
+      h->max_entries > (size - sizeof(LogHeader)) / sizeof(LogEntry)) {
+    return false;
+  }
   header_ = h;
   entries_ = reinterpret_cast<LogEntry*>(static_cast<u8*>(buffer) + sizeof(LogHeader));
   return true;
@@ -43,6 +52,11 @@ bool ProfileLog::append(EventKind kind, u64 addr, u64 tid, u64 counter) {
       return false;
     }
   }
+  // Fault point: the writer dying between reserving the slot and filling it
+  // in — the exact tear the analyzer's tombstone handling exists for. The
+  // site acts out the death itself (SIGKILL, no cleanup) so the torn slot
+  // is produced by the real production code path.
+  if (fault::fires("log.append.die")) raise(SIGKILL);
   LogEntry& e = entries_[slot];
   e.kind_and_counter = LogEntry::pack(kind, counter);
   e.addr = addr;

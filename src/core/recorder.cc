@@ -8,6 +8,7 @@
 
 #include "common/fileutil.h"
 #include "core/runtime.h"
+#include "faultsim/fault.h"
 #include "core/symbol_dump.h"
 #include "obs/export.h"
 
@@ -130,6 +131,9 @@ bool Recorder::dump(const std::string& prefix) {
   log_.header()->ns_per_tick =
       counter_ns_per_tick(options_.counter_mode, log_.header());
 
+  // Fault point: the dump failing outright (disk full, signal mid-exit).
+  if (fault::fires("dump.fail")) return false;
+
   u64 tail = log_.header()->tail.load(std::memory_order_acquire);
   if ((log_.flags() & log_flags::kRingBuffer) && tail > log_.capacity()) {
     // Wrapped ring: persist a normalized file (header + ordered entries)
@@ -144,12 +148,20 @@ bool Recorder::dump(const std::string& prefix) {
     std::string out(reinterpret_cast<const char*>(&header_copy), sizeof(LogHeader));
     out.append(reinterpret_cast<const char*>(ordered.data()),
                ordered.size() * sizeof(LogEntry));
+    fault::apply_byte_faults("dump", &out);
     if (!write_file(prefix + ".log", out)) return false;
   } else {
     u64 n = log_.size();
     usize bytes = sizeof(LogHeader) + static_cast<usize>(n) * sizeof(LogEntry);
     std::string_view raw(static_cast<const char*>(shm_.data()), bytes);
-    if (!write_file(prefix + ".log", raw)) return false;
+    if (fault::Registry::instance().any_armed()) {
+      // Copy so the torn/bit-flip faults mangle the file, not the live log.
+      std::string out(raw);
+      fault::apply_byte_faults("dump", &out);
+      if (!write_file(prefix + ".log", out)) return false;
+    } else if (!write_file(prefix + ".log", raw)) {
+      return false;
+    }
   }
 
   // Self-telemetry sidecars: the health snapshot embedded in analyzer

@@ -4,6 +4,7 @@
 
 #include "common/crc32c.h"
 #include "common/fileutil.h"
+#include "faultsim/fault.h"
 #include "kvstore/bloom.h"
 #include "kvstore/coding.h"
 #include "kvstore/compress.h"
@@ -114,6 +115,14 @@ Status Table::open(const std::string& path, const Options& options,
   auto table = std::unique_ptr<Table>(new Table());
   table->path_ = path;
   table->data_ = std::move(*data);
+  // Fault point: a bit flipped in the table image by the untrusted host.
+  // Some layer of validation (footer range checks, block CRCs) must reject
+  // it with Status::corruption — never an out-of-bounds read.
+  if (!table->data_.empty() && fault::fires("sstable.open.flip")) {
+    u64 bit = fault::value_below("sstable.open.flip", table->data_.size() * 8);
+    table->data_[bit / 8] =
+        static_cast<char>(table->data_[bit / 8] ^ (1u << (bit % 8)));
+  }
   const std::string& d = table->data_;
   const char* footer = d.data() + d.size() - 48;
   u64 index_off = get_fixed64(footer);
@@ -124,7 +133,13 @@ Status Table::open(const std::string& path, const Options& options,
   if (get_fixed64(footer + 40) != kTableMagic) {
     return Status::corruption("bad table magic: " + path);
   }
-  if (index_off + index_len + 4 > d.size() || filter_off + filter_len + 4 > d.size()) {
+  // Range-check without arithmetic that a hostile footer can overflow: each
+  // offset must sit inside the file and leave room for length + 4-byte CRC.
+  auto block_in_file = [&d](u64 off, u64 len) {
+    return off <= d.size() && d.size() - off >= 4 && len <= d.size() - off - 4;
+  };
+  if (!block_in_file(index_off, index_len) ||
+      !block_in_file(filter_off, filter_len)) {
     return Status::corruption("bad table footer: " + path);
   }
 
@@ -149,7 +164,7 @@ Status Table::open(const std::string& path, const Options& options,
     e.offset = get_fixed64(p);
     e.length = get_fixed64(p + 8);
     p += 16;
-    if (e.offset + e.length + 4 > d.size()) {
+    if (!block_in_file(e.offset, e.length)) {
       return Status::corruption("table index range: " + path);
     }
     if (!check_block_crc(std::string_view(d.data() + e.offset, e.length + 4))) {

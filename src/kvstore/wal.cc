@@ -2,6 +2,7 @@
 
 #include "common/crc32c.h"
 #include "common/fileutil.h"
+#include "faultsim/fault.h"
 #include "kvstore/coding.h"
 
 namespace teeperf::kvs {
@@ -21,6 +22,15 @@ Status WalWriter::append(std::string_view record) {
   put_fixed32(&frame, crc32c_mask(crc32c(record.data(), record.size())));
   put_fixed32(&frame, static_cast<u32>(record.size()));
   frame.append(record.data(), record.size());
+  // Fault point: the process dying mid-fwrite — only a prefix of the frame
+  // reaches the file, which recovery must treat as an unacknowledged tear.
+  if (fault::fires("wal.append.torn")) {
+    usize cut = 1 + static_cast<usize>(
+                        fault::value_below("wal.append.torn", frame.size() - 1));
+    std::fwrite(frame.data(), 1, cut, file_);
+    std::fflush(file_);
+    return Status::io_error("wal write torn (fault injection)");
+  }
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::io_error("wal write");
   }
@@ -46,6 +56,13 @@ Status WalReader::read_all(const std::string& path, std::vector<std::string>* re
   if (truncated) *truncated = false;
   auto data = read_file(path);
   if (!data) return Status::ok();  // no WAL yet: empty DB
+
+  // Fault point: untrusted host storage flipping a bit under the reader;
+  // the CRC framing must reject the record, never crash.
+  if (!data->empty() && fault::fires("wal.read.flip")) {
+    u64 bit = fault::value_below("wal.read.flip", data->size() * 8);
+    (*data)[bit / 8] = static_cast<char>((*data)[bit / 8] ^ (1u << (bit % 8)));
+  }
 
   const char* p = data->data();
   const char* limit = p + data->size();

@@ -4,6 +4,8 @@
 
 #include <atomic>
 
+#include "faultsim/fault.h"
+
 namespace teeperf::obs {
 
 std::unique_ptr<SelfTelemetry> SelfTelemetry::create(
@@ -44,6 +46,20 @@ std::atomic<u64> g_epoch{0};
 void install(SelfTelemetry* t) {
   g_telemetry.store(t, std::memory_order_release);
   g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  // Bridge external fault arming through the obs region: an out-of-process
+  // controller (teeperf_stats --arm) sets gauge "fault.arm.<point>" to N and
+  // the watchdog's poll_external() turns that into a local nth=N arm. The
+  // callbacks read through telemetry() so a torn-down region goes inert.
+  fault::Registry::instance().set_external(
+      [](const std::string& name) -> u64 {
+        SelfTelemetry* tel = telemetry();
+        return tel ? tel->registry().gauge("fault.arm." + name).value() : 0;
+      },
+      [](const std::string& name) {
+        if (SelfTelemetry* tel = telemetry()) {
+          tel->registry().gauge("fault.arm." + name).set(0);
+        }
+      });
 }
 
 void uninstall(SelfTelemetry* t) {
@@ -53,6 +69,7 @@ void uninstall(SelfTelemetry* t) {
   if (g_telemetry.compare_exchange_strong(expected, nullptr,
                                           std::memory_order_acq_rel)) {
     g_epoch.fetch_add(1, std::memory_order_acq_rel);
+    fault::Registry::instance().clear_external();
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/spin.h"
+#include "faultsim/fault.h"
 
 namespace teeperf::obs {
 
@@ -73,6 +74,9 @@ void Watchdog::run() {
     u64 now = monotonic_ns();
     observe_counter(now);
     observe_log();
+    // Pick up fault arms published through the obs region by an external
+    // controller (see obs/session.cc). No-op unless a bridge is installed.
+    fault::Registry::instance().poll_external();
     wd_ticks_.inc();
   }
 }

@@ -1,6 +1,7 @@
 #include "tee/epc.h"
 
 #include "core/scope.h"
+#include "faultsim/fault.h"
 #include "obs/session.h"
 #include "tee/enclave.h"
 
@@ -48,6 +49,8 @@ EpcAllocator::EpcAllocator(Enclave* enclave, usize resident_limit)
 
 std::unique_ptr<EnclaveBuffer> EpcAllocator::allocate(usize size) {
   if (size == 0) size = 1;
+  // Fault point: enclave memory allocation failing (EPC + swap exhausted).
+  if (fault::fires("epc.alloc_fail")) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
   usize first = pages_.size();
   usize count = (size + kEpcPageSize - 1) / kEpcPageSize;
@@ -93,6 +96,12 @@ void EpcAllocator::ensure_resident(usize page) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     refresh_telemetry();
+    // Fault point: EPC exhaustion mid-profile — the secure memory shrinks to
+    // a single resident page, so every access from here on pages.
+    if (fault::fires("epc.exhaust")) {
+      limit_ = 1;
+      obs_limit_.set(limit_);
+    }
     Page& p = pages_[page];
     if (p.resident) {
       p.referenced = true;

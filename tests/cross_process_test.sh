@@ -46,7 +46,7 @@ grep -q '"event":"attach"' "$OUT/run.events.jsonl" || {
 
 # Live scraping: hold the session open after the child exits and attach
 # teeperf_stats to the wrapper's obs region by pid.
-"$BIN/tools/teeperf_record" -o "$OUT/live" -c software --hold-ms 3000 -- \
+"$BIN/tools/teeperf_record" -o "$OUT/live" -c software --hold-ms 4000 -- \
     "$BIN/examples/instrumented_app" "$OUT/ignored3" > /dev/null 2>&1 &
 REC_PID=$!
 # Retry the attach: under load the wrapper may take a moment to create the
@@ -61,7 +61,15 @@ done
 [ "$ATTACHED" = 1 ] || {
   echo "FAIL: teeperf_stats could not attach to live session"
   cat "$OUT/stats.out"; exit 1; }
+# External fault arming (TESTING.md): writing the fault.arm gauge from this
+# untrusted scraper must make the session's watchdog freeze its own counter
+# and journal the stall — no signal, no restart.
+"$BIN/tools/teeperf_stats" "$REC_PID" --arm counter.stall=1 --no-events \
+    > /dev/null 2>&1 || { echo "FAIL: --arm against live session failed"; exit 1; }
 wait "$REC_PID"
+grep -q '"event":"counter_stall"' "$OUT/live.events.jsonl" || {
+  echo "FAIL: externally armed counter.stall never surfaced"
+  cat "$OUT/live.events.jsonl"; exit 1; }
 grep -q "log.tail" "$OUT/stats.out" || {
   echo "FAIL: live scrape missing ring metrics"; cat "$OUT/stats.out"; exit 1; }
 TAIL=$(awk '/log.tail/ {print $3}' "$OUT/stats.out")
@@ -84,5 +92,32 @@ grep -q '"event":"counter_stall"' "$OUT/stall.events.jsonl" || {
 grep -q "WARNING: counter_stall" "$OUT/stall.out" || {
   echo "FAIL: analyze health section lacks stall warning"
   cat "$OUT/stall.out"; exit 1; }
+
+# Negative paths: a truncated dump must fail analysis loudly (non-zero
+# exit, diagnostic), and a bad --faults spec must be a usage error.
+head -c 64 "$OUT/run.log" > "$OUT/trunc.log"
+if "$BIN/tools/teeperf_analyze" "$OUT/trunc" > "$OUT/trunc.out" 2>&1; then
+  echo "FAIL: analyze accepted a sub-header dump"; exit 1
+fi
+grep -q "cannot load" "$OUT/trunc.out" || {
+  echo "FAIL: truncated-dump failure lacks diagnostic"; cat "$OUT/trunc.out"; exit 1; }
+if "$BIN/tools/teeperf_record" --faults "nonsense:nth=" -- true \
+    > "$OUT/badfault.out" 2>&1; then
+  echo "FAIL: record accepted malformed --faults"; exit 1
+fi
+grep -q "bad --faults" "$OUT/badfault.out" || {
+  echo "FAIL: bad --faults lacks diagnostic"; cat "$OUT/badfault.out"; exit 1; }
+
+# Fault injection end to end: arm the child's append path so it dies
+# mid-run; the wrapper still persists a dump whose valid prefix analyzes,
+# and the reconstruction summary reports the torn tail as a tombstone.
+if "$BIN/tools/teeperf_record" -o "$OUT/die" -c steady_clock \
+    --faults "log.append.die:nth=40" --fault-seed 3 -- \
+    "$BIN/examples/instrumented_app" "$OUT/ignored5" > /dev/null 2>&1; then
+  echo "FAIL: record exited 0 despite SIGKILLed child"; exit 1
+fi
+test -s "$OUT/die.log" || { echo "FAIL: die.log missing after fault run"; exit 1; }
+"$BIN/tools/teeperf_analyze" "$OUT/die" --validate > "$OUT/die.out" || {
+  echo "FAIL: analyze rejected fault-run dump"; cat "$OUT/die.out"; exit 1; }
 
 echo "PASS"

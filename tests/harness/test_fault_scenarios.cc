@@ -1,0 +1,379 @@
+// End-to-end fault-injection scenarios (see TESTING.md): processes die
+// mid-append, dumps arrive torn or bit-flipped, counters stall or jump
+// backwards, shared memory shrinks, EPC runs out — and every layer above
+// must degrade exactly as designed, deterministically per seed.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analyzer/profile.h"
+#include "common/fileutil.h"
+#include "common/shm.h"
+#include "core/profiler.h"
+#include "faultsim/fault.h"
+#include "tee/enclave.h"
+#include "tee/epc.h"
+
+namespace teeperf {
+namespace {
+
+class FaultScenarioTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::Registry::instance().reset();
+    if (runtime::attached()) runtime::detach();
+    runtime::reset_thread_for_test();
+  }
+};
+
+// A deterministic balanced call/return script for direct log appends.
+struct ScriptEntry {
+  EventKind kind;
+  u64 addr;
+  u64 tid;
+  u64 counter;
+};
+
+std::vector<ScriptEntry> make_script() {
+  std::vector<ScriptEntry> script;
+  u64 c = 100;
+  for (u64 rep = 0; rep < 16; ++rep) {
+    u64 tid = rep % 2;
+    script.push_back({EventKind::kCall, 0xA000 + rep % 3, tid, c += 7});
+    script.push_back({EventKind::kCall, 0xB000, tid, c += 7});
+    script.push_back({EventKind::kReturn, 0xB000, tid, c += 7});
+    script.push_back({EventKind::kReturn, 0xA000 + rep % 3, tid, c += 7});
+  }
+  return script;
+}
+
+// --- kill mid-append --------------------------------------------------------
+
+// A writer SIGKILLed between the tail fetch-and-add and the entry stores —
+// by the production append path itself, at a seeded point — leaves exactly
+// one reserved-but-empty slot. The analyzer must recover the full prefix
+// and account for the tombstone. Deterministic per seed.
+class KillMidAppendTest : public FaultScenarioTest,
+                          public ::testing::WithParamInterface<u64> {};
+
+TEST_P(KillMidAppendTest, AnalyzerRecoversValidPrefix) {
+  const u64 seed = GetParam();
+  const std::vector<ScriptEntry> script = make_script();
+  // The fatal append, derived from the seed: somewhere strictly inside the
+  // script so there is both a prefix to recover and a suffix that is lost.
+  const u64 fatal = 2 + (seed * 17) % (script.size() - 4);
+
+  SharedMemoryRegion shm;
+  ASSERT_TRUE(shm.create_anonymous(ProfileLog::bytes_for(script.size() + 8)));
+  ProfileLog log;
+  ASSERT_TRUE(log.init(shm.data(), shm.size(), 1234,
+                       log_flags::kActive | log_flags::kRecordCalls |
+                           log_flags::kRecordReturns | log_flags::kMultithread));
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: arm the production fault point and replay the script. The
+    // fetch-and-add for append `fatal` (1-based: hit `fatal`) happens, then
+    // the process dies before the entry stores.
+    fault::Spec s;
+    s.mode = fault::Mode::kNth;
+    s.n = fatal;
+    fault::Registry::instance().set_seed(seed);
+    fault::Registry::instance().arm("log.append.die", s);
+    for (const ScriptEntry& e : script) {
+      log.append(e.kind, e.addr, e.tid, e.counter);
+    }
+    _exit(0);  // unreachable if the fault fired
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child should die at append " << fatal;
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The slot was reserved but never filled: tail == fatal, last slot zero.
+  u64 tail = log.header()->tail.load(std::memory_order_acquire);
+  ASSERT_EQ(tail, fatal);
+  const LogEntry& torn = log.entry(fatal - 1);
+  EXPECT_EQ(torn.kind_and_counter, 0u);
+  EXPECT_EQ(torn.addr, 0u);
+  EXPECT_EQ(log.count_torn_tail(), 1u);
+
+  // The complete prefix is byte-identical to the script.
+  for (u64 i = 0; i + 1 < fatal; ++i) {
+    EXPECT_EQ(log.entry(i).addr, script[i].addr) << "entry " << i;
+    EXPECT_EQ(log.entry(i).tid, script[i].tid) << "entry " << i;
+    EXPECT_EQ(log.entry(i).counter(), script[i].counter) << "entry " << i;
+  }
+
+  // The analyzer consumes the prefix and reports the tombstone instead of
+  // inventing a phantom invocation of method 0.
+  auto profile = analyzer::Profile::from_log(log, {}, 1.0);
+  EXPECT_EQ(profile.recon_stats().entries, fatal);
+  EXPECT_EQ(profile.recon_stats().tombstones, 1u);
+
+  // Reference replay: the same prefix appended by a healthy writer yields
+  // an identical reconstruction.
+  SharedMemoryRegion ref_shm;
+  ASSERT_TRUE(ref_shm.create_anonymous(ProfileLog::bytes_for(script.size() + 8)));
+  ProfileLog ref_log;
+  ASSERT_TRUE(ref_log.init(ref_shm.data(), ref_shm.size(), 1234,
+                           log.flags()));
+  for (u64 i = 0; i + 1 < fatal; ++i) {
+    ref_log.append(script[i].kind, script[i].addr, script[i].tid,
+                   script[i].counter);
+  }
+  auto ref = analyzer::Profile::from_log(ref_log, {}, 1.0);
+  ASSERT_EQ(profile.invocations().size(), ref.invocations().size());
+  for (usize i = 0; i < ref.invocations().size(); ++i) {
+    EXPECT_EQ(profile.invocations()[i].method, ref.invocations()[i].method);
+    EXPECT_EQ(profile.invocations()[i].start, ref.invocations()[i].start);
+    EXPECT_EQ(profile.invocations()[i].end, ref.invocations()[i].end);
+    EXPECT_EQ(profile.invocations()[i].tid, ref.invocations()[i].tid);
+  }
+  EXPECT_EQ(profile.recon_stats().incomplete, ref.recon_stats().incomplete);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KillMidAppendTest, ::testing::Values(1, 2, 3));
+
+// --- torn / bit-flipped dumps ----------------------------------------------
+
+TEST_F(FaultScenarioTest, TornDumpLoadsPrefixOrRejectsCleanly) {
+  std::string dir = make_temp_dir("teeperf_torn_");
+  RecorderOptions opts;
+  opts.counter_mode = CounterMode::kSteadyClock;
+  auto rec = Recorder::create(opts);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_TRUE(rec->attach());
+  for (int i = 0; i < 10; ++i) {
+    TEEPERF_SCOPE("torn::outer");
+    TEEPERF_SCOPE("torn::inner");
+  }
+  rec->detach();
+
+  // An intact dump for reference.
+  ASSERT_TRUE(rec->dump(dir + "/ok"));
+  auto intact = analyzer::Profile::load(dir + "/ok");
+  ASSERT_TRUE(intact.has_value());
+  ASSERT_EQ(intact->invocations().size(), 20u);
+
+  // Torn dumps across several seeds: the analyzer loads a strict prefix or
+  // rejects the file — never crashes, never fabricates invocations.
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    fault::Registry::instance().reset();
+    fault::Registry::instance().set_seed(seed);
+    fault::Registry::instance().arm_from_spec("dump.torn:nth=1");
+    std::string prefix = dir + "/torn" + std::to_string(seed);
+    rec->dump(prefix);  // may report failure; the file may be partial
+    fault::Registry::instance().reset();
+    auto loaded = analyzer::Profile::load(prefix);
+    if (loaded) {
+      EXPECT_LE(loaded->invocations().size(), intact->invocations().size());
+      EXPECT_LE(loaded->recon_stats().entries, intact->recon_stats().entries);
+      loaded->method_stats();
+      loaded->folded_stacks();
+    }
+  }
+  remove_tree(dir);
+}
+
+TEST_F(FaultScenarioTest, BitflippedDumpNeverCrashesAnalyzer) {
+  std::string dir = make_temp_dir("teeperf_flip_");
+  RecorderOptions opts;
+  opts.counter_mode = CounterMode::kSteadyClock;
+  auto rec = Recorder::create(opts);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_TRUE(rec->attach());
+  for (int i = 0; i < 8; ++i) {
+    TEEPERF_SCOPE("flip::work");
+  }
+  rec->detach();
+  ASSERT_TRUE(rec->dump(dir + "/base"));
+  auto raw = read_file(dir + "/base.log");
+  ASSERT_TRUE(raw.has_value());
+
+  for (u64 seed = 1; seed <= 32; ++seed) {
+    fault::Registry::instance().reset();
+    fault::Registry::instance().set_seed(seed);
+    fault::Registry::instance().arm_from_spec("dump.bitflip:nth=1");
+    std::string mutant = *raw;
+    ASSERT_TRUE(fault::apply_byte_faults("dump", &mutant));
+    fault::Registry::instance().reset();
+    // Either rejected or analyzed; both are fine, crashing is not.
+    if (auto p = analyzer::Profile::load_bytes(mutant)) {
+      p->method_stats();
+      p->call_edges();
+      p->folded_stacks();
+    }
+  }
+  remove_tree(dir);
+}
+
+TEST_F(FaultScenarioTest, DumpFailFaultFailsDumpGracefully) {
+  std::string dir = make_temp_dir("teeperf_dumpfail_");
+  RecorderOptions opts;
+  opts.counter_mode = CounterMode::kSteadyClock;
+  auto rec = Recorder::create(opts);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_TRUE(rec->attach());
+  { TEEPERF_SCOPE("df::work"); }
+  rec->detach();
+  fault::ScopedFault f("dump.fail:nth=1");
+  EXPECT_FALSE(rec->dump(dir + "/never"));
+  EXPECT_FALSE(file_exists(dir + "/never.log"));
+  remove_tree(dir);
+}
+
+// --- counter faults ---------------------------------------------------------
+
+TEST_F(FaultScenarioTest, CounterStallTripsWatchdog) {
+  // Freeze the software counter on its first batch; the watchdog must raise
+  // the stall alarm that Recorder::stats() surfaces.
+  fault::Registry::instance().arm_from_spec("counter.stall:nth=1");
+  RecorderOptions opts;
+  opts.counter_mode = CounterMode::kSoftware;
+  opts.software_counter_yield = 1024;
+  opts.watchdog_interval_ms = 10;
+  auto rec = Recorder::create(opts);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_TRUE(rec->attach());
+  bool stalled = false;
+  for (int i = 0; i < 200 && !stalled; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stalled = rec->stats().counter_stalled;
+  }
+  rec->detach();
+  EXPECT_TRUE(stalled);
+}
+
+TEST_F(FaultScenarioTest, CounterBackjumpDrivesCounterBackwards) {
+  fault::Registry::instance().arm_from_spec("counter.backjump:nth=2,sticky");
+  LogHeader header;
+  header.counter.store(1'000'000'000ull, std::memory_order_relaxed);
+  SoftwareCounter counter(&header, /*yield_every=*/1024);
+  counter.start();
+  // Sticky backjumps subtract more per batch than the batch adds, so the
+  // shared word trends downwards — observable without racing a single jump.
+  u64 c0 = header.counter.load(std::memory_order_relaxed);
+  u64 c1 = c0;
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    c1 = header.counter.load(std::memory_order_relaxed);
+    if (c1 < c0) break;
+  }
+  counter.stop();
+  EXPECT_LT(c1, c0);
+}
+
+TEST_F(FaultScenarioTest, ValidateFlagsBackwardsCounter) {
+  // The analyzer-side view of the same defect: a backwards counter within a
+  // thread is a validation issue.
+  std::vector<LogEntry> entries(3);
+  entries[0].kind_and_counter = LogEntry::pack(EventKind::kCall, 100);
+  entries[0].addr = 0x1;
+  entries[1].kind_and_counter = LogEntry::pack(EventKind::kCall, 90);  // jump back
+  entries[1].addr = 0x2;
+  entries[2].kind_and_counter = LogEntry::pack(EventKind::kReturn, 95);
+  entries[2].addr = 0x2;
+  auto issues = analyzer::Profile::validate(entries.data(), entries.size());
+  bool found = false;
+  for (const auto& issue : issues) {
+    if (issue.kind == analyzer::ValidationIssue::Kind::kNonMonotonicCounter) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- shared-memory faults ---------------------------------------------------
+
+TEST_F(FaultScenarioTest, ShmCreateFailMakesRecorderCreateFail) {
+  fault::ScopedFault f("shm.create.fail:nth=1");
+  RecorderOptions opts;
+  opts.counter_mode = CounterMode::kSteadyClock;
+  opts.shm_name = "/teeperf_fault_create_" + std::to_string(::getpid());
+  EXPECT_EQ(Recorder::create(opts), nullptr);
+}
+
+TEST_F(FaultScenarioTest, ShmOpenFailAndTruncationAreRejected) {
+  std::string name = "/teeperf_fault_trunc_" + std::to_string(::getpid());
+  SharedMemoryRegion creator;
+  ASSERT_TRUE(creator.create(name, ProfileLog::bytes_for(1024)));
+  ProfileLog log;
+  ASSERT_TRUE(log.init(creator.data(), creator.size(), 42, 0));
+
+  {  // Open failure: reported, not crashed.
+    fault::ScopedFault f("shm.open.fail:nth=1");
+    SharedMemoryRegion view;
+    EXPECT_FALSE(view.open(name));
+  }
+  {  // Truncated mapping: adopt() sees a header whose max_entries no longer
+     // fits the region and must refuse it.
+    fault::ScopedFault f("shm.open.truncate:nth=1");
+    SharedMemoryRegion view;
+    ASSERT_TRUE(view.open(name));
+    ASSERT_LT(view.size(), creator.size());
+    ProfileLog adopted;
+    EXPECT_FALSE(adopted.adopt(view.data(), view.size()));
+  }
+}
+
+TEST_F(FaultScenarioTest, AdoptRejectsOverflowingHeaders) {
+  // Hostile header fields that used to overflow the size check.
+  std::vector<u8> buf(ProfileLog::bytes_for(4));
+  ProfileLog log;
+  ASSERT_TRUE(log.init(buf.data(), buf.size(), 42, 0));
+  auto* header = reinterpret_cast<LogHeader*>(buf.data());
+
+  header->max_entries = 1ull << 61;  // max_entries * 32 wraps u64
+  ProfileLog adopted;
+  EXPECT_FALSE(adopted.adopt(buf.data(), buf.size()));
+
+  header->max_entries = 0;  // would divide-by-zero in ring append
+  EXPECT_FALSE(adopted.adopt(buf.data(), buf.size()));
+
+  header->max_entries = 4;  // restored: adoptable again
+  EXPECT_TRUE(adopted.adopt(buf.data(), buf.size()));
+}
+
+// --- EPC exhaustion ---------------------------------------------------------
+
+TEST_F(FaultScenarioTest, EpcAllocFailReturnsNull) {
+  tee::Enclave e(tee::CostModel::zero());
+  tee::EpcAllocator epc(&e, 8);
+  fault::ScopedFault f("epc.alloc_fail:nth=1");
+  EXPECT_EQ(epc.allocate(2 * tee::kEpcPageSize), nullptr);
+  // One-shot: the next allocation succeeds.
+  EXPECT_NE(epc.allocate(2 * tee::kEpcPageSize), nullptr);
+}
+
+TEST_F(FaultScenarioTest, EpcExhaustionMidProfileEvictsToOnePage) {
+  tee::Enclave e(tee::CostModel::zero());
+  tee::EpcAllocator epc(&e, 64);
+  auto buf = epc.allocate(17 * tee::kEpcPageSize);
+  ASSERT_NE(buf, nullptr);
+  for (usize p = 0; p < 16; ++p) {
+    buf->touch(p * tee::kEpcPageSize, 1, true);
+  }
+  ASSERT_EQ(epc.resident_count(), 16u);
+  u64 outs_before = epc.page_outs();
+
+  // Exhaustion strikes while paging in the 17th page: the resident limit
+  // collapses to a single page and the CLOCK evictor pages everything else
+  // out before admitting it.
+  fault::ScopedFault f("epc.exhaust:nth=1");
+  buf->touch(16 * tee::kEpcPageSize, 1, false);
+  EXPECT_EQ(epc.resident_count(), 1u);
+  EXPECT_GT(epc.page_outs(), outs_before);
+}
+
+}  // namespace
+}  // namespace teeperf

@@ -1,0 +1,242 @@
+// Unit tests for the deterministic fault-injection registry
+// (src/faultsim/fault.h): arming semantics, spec parsing, seeded
+// determinism, env arming, the external-arming bridge, and the generic
+// byte-corruption helpers.
+#include "faultsim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+namespace teeperf::fault {
+namespace {
+
+class FaultsimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().reset();
+    Registry::instance().set_seed(1);
+  }
+  void TearDown() override {
+    Registry::instance().reset();
+    Registry::instance().clear_external();
+  }
+};
+
+TEST_F(FaultsimTest, UnarmedFiresNothing) {
+  EXPECT_FALSE(Registry::instance().any_armed());
+  EXPECT_FALSE(fires("some.point"));
+  EXPECT_EQ(Registry::instance().hits("some.point"), 0u);
+}
+
+TEST_F(FaultsimTest, NthFiresExactlyOnceOnTheNthHit) {
+  Spec s;
+  s.mode = Mode::kNth;
+  s.n = 3;
+  Registry::instance().arm("p", s);
+  EXPECT_TRUE(Registry::instance().any_armed());
+  EXPECT_FALSE(fires("p"));  // hit 1
+  EXPECT_FALSE(fires("p"));  // hit 2
+  EXPECT_TRUE(fires("p"));   // hit 3: fires and disarms
+  EXPECT_FALSE(Registry::instance().any_armed());
+  EXPECT_FALSE(fires("p"));  // disarmed: never again
+  EXPECT_EQ(Registry::instance().fire_count("p"), 1u);
+}
+
+TEST_F(FaultsimTest, StickyNthKeepsFiring) {
+  Spec s;
+  s.mode = Mode::kNth;
+  s.n = 2;
+  s.sticky = true;
+  Registry::instance().arm("p", s);
+  EXPECT_FALSE(fires("p"));
+  EXPECT_TRUE(fires("p"));
+  EXPECT_TRUE(fires("p"));
+  EXPECT_TRUE(fires("p"));
+  EXPECT_TRUE(Registry::instance().any_armed());
+  EXPECT_EQ(Registry::instance().fire_count("p"), 3u);
+}
+
+TEST_F(FaultsimTest, ProbabilityIsSeededAndDeterministic) {
+  auto run = [](u64 seed) {
+    Registry::instance().reset();
+    Registry::instance().set_seed(seed);
+    Spec s;
+    s.mode = Mode::kProbability;
+    s.p = 0.5;
+    Registry::instance().arm("p", s);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(fires("p"));
+    return fired;
+  };
+  auto a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a, b);        // same seed: same decisions
+  EXPECT_NE(a, c);        // different seed: different decisions
+  int count = 0;
+  for (bool f : a) count += f;
+  EXPECT_GT(count, 16);   // p=0.5 over 64 draws: nowhere near 0 or 64
+  EXPECT_LT(count, 48);
+}
+
+TEST_F(FaultsimTest, ProbabilityZeroAndOne) {
+  Spec never;
+  never.mode = Mode::kProbability;
+  never.p = 0.0;
+  Registry::instance().arm("never", never);
+  Spec always;
+  always.mode = Mode::kProbability;
+  always.p = 1.0;
+  Registry::instance().arm("always", always);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(fires("never"));
+    EXPECT_TRUE(fires("always"));
+  }
+}
+
+TEST_F(FaultsimTest, ValueBelowIsDeterministicPerSeedAndName) {
+  Registry::instance().set_seed(42);
+  std::vector<u64> first;
+  for (int i = 0; i < 8; ++i) first.push_back(value_below("x", 1000));
+  Registry::instance().reset();
+  Registry::instance().set_seed(42);
+  std::vector<u64> second;
+  for (int i = 0; i < 8; ++i) second.push_back(value_below("x", 1000));
+  EXPECT_EQ(first, second);
+  for (u64 v : first) EXPECT_LT(v, 1000u);
+  EXPECT_EQ(value_below("anything", 0), 0u);
+  // Different names draw from different streams.
+  Registry::instance().reset();
+  Registry::instance().set_seed(42);
+  EXPECT_NE(value_below("x", 1ull << 62), value_below("y", 1ull << 62));
+}
+
+TEST_F(FaultsimTest, SpecStringParses) {
+  ASSERT_TRUE(Registry::instance().arm_from_spec(
+      "dump.torn:nth=3;wal.read.flip:p=0.5;epc.exhaust:nth=2,sticky;plain"));
+  // plain → nth=1: first hit fires.
+  EXPECT_TRUE(fires("plain"));
+  // nth=3 point waits for its third hit.
+  EXPECT_FALSE(fires("dump.torn"));
+  EXPECT_FALSE(fires("dump.torn"));
+  EXPECT_TRUE(fires("dump.torn"));
+  // sticky nth=2.
+  EXPECT_FALSE(fires("epc.exhaust"));
+  EXPECT_TRUE(fires("epc.exhaust"));
+  EXPECT_TRUE(fires("epc.exhaust"));
+}
+
+TEST_F(FaultsimTest, MalformedSpecArmsNothing) {
+  const char* bad[] = {
+      "",                 // empty
+      "p:nth=0",          // nth must be >= 1
+      "p:nth=abc",        // not a number
+      "p:p=1.5",          // probability out of range
+      "p:bogus=1",        // unknown option
+      ":nth=1",           // empty name
+      "good:nth=1;p:p=x", // malformed tail must not arm the good head
+      "p:sticky",         // sticky without a trigger
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(Registry::instance().arm_from_spec(spec, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+    EXPECT_FALSE(Registry::instance().any_armed()) << spec;
+  }
+}
+
+TEST_F(FaultsimTest, ArmFromEnv) {
+  setenv("TEEPERF_FAULTS", "env.point:nth=2", 1);
+  setenv("TEEPERF_FAULT_SEED", "99", 1);
+  Registry::instance().arm_from_env();
+  unsetenv("TEEPERF_FAULTS");
+  unsetenv("TEEPERF_FAULT_SEED");
+  EXPECT_EQ(Registry::instance().seed(), 99u);
+  EXPECT_FALSE(fires("env.point"));
+  EXPECT_TRUE(fires("env.point"));
+}
+
+TEST_F(FaultsimTest, MalformedEnvSpecIsIgnored) {
+  setenv("TEEPERF_FAULTS", "broken:nth=", 1);
+  Registry::instance().arm_from_env();
+  unsetenv("TEEPERF_FAULTS");
+  EXPECT_FALSE(Registry::instance().any_armed());
+}
+
+TEST_F(FaultsimTest, ExternalArmingViaPoll) {
+  std::map<std::string, u64> pending{{"dump.fail", 2}};
+  std::vector<std::string> cleared;
+  Registry::instance().set_external(
+      [&pending](const std::string& name) -> u64 {
+        auto it = pending.find(name);
+        return it == pending.end() ? 0 : it->second;
+      },
+      [&](const std::string& name) {
+        pending.erase(name);
+        cleared.push_back(name);
+      });
+
+  Registry::instance().poll_external();
+  ASSERT_EQ(cleared.size(), 1u);
+  EXPECT_EQ(cleared[0], "dump.fail");
+  EXPECT_TRUE(Registry::instance().any_armed());
+  EXPECT_FALSE(fires("dump.fail"));
+  EXPECT_TRUE(fires("dump.fail"));  // armed nth=2 counting from the poll
+
+  // A second poll with nothing pending arms nothing new.
+  Registry::instance().poll_external();
+  EXPECT_FALSE(Registry::instance().any_armed());
+}
+
+TEST_F(FaultsimTest, PollWithoutBridgeIsANoOp) {
+  Registry::instance().clear_external();
+  Registry::instance().poll_external();
+  EXPECT_FALSE(Registry::instance().any_armed());
+}
+
+TEST_F(FaultsimTest, ApplyByteFaultsTorn) {
+  Registry::instance().arm_from_spec("dump.torn:nth=1");
+  std::string bytes(256, 'x');
+  EXPECT_TRUE(apply_byte_faults("dump", &bytes));
+  EXPECT_GE(bytes.size(), 1u);
+  EXPECT_LT(bytes.size(), 256u);
+
+  // Deterministic: replaying from the same seed truncates identically.
+  usize first_cut = bytes.size();
+  Registry::instance().reset();
+  Registry::instance().set_seed(1);
+  Registry::instance().arm_from_spec("dump.torn:nth=1");
+  std::string again(256, 'x');
+  apply_byte_faults("dump", &again);
+  EXPECT_EQ(again.size(), first_cut);
+}
+
+TEST_F(FaultsimTest, ApplyByteFaultsBitflip) {
+  Registry::instance().arm_from_spec("dump.bitflip:nth=1");
+  std::string bytes(64, '\0');
+  EXPECT_TRUE(apply_byte_faults("dump", &bytes));
+  EXPECT_EQ(bytes.size(), 64u);
+  int diff_bits = 0;
+  for (char c : bytes) {
+    for (int b = 0; b < 8; ++b) diff_bits += (c >> b) & 1;
+  }
+  EXPECT_EQ(diff_bits, 1);  // exactly one bit flipped
+}
+
+TEST_F(FaultsimTest, ApplyByteFaultsUnarmedIsIdentity) {
+  std::string bytes(64, 'y');
+  EXPECT_FALSE(apply_byte_faults("dump", &bytes));
+  EXPECT_EQ(bytes, std::string(64, 'y'));
+}
+
+TEST_F(FaultsimTest, ScopedFaultResetsOnExit) {
+  {
+    ScopedFault f("scoped.point:nth=1");
+    EXPECT_TRUE(Registry::instance().any_armed());
+  }
+  EXPECT_FALSE(Registry::instance().any_armed());
+}
+
+}  // namespace
+}  // namespace teeperf::fault

@@ -44,6 +44,8 @@ class ToolsTest : public ::testing::Test {
     record_ = bin_dir() + "/tools/teeperf_record";
     analyze_ = bin_dir() + "/tools/teeperf_analyze";
     flamegraph_ = bin_dir() + "/tools/teeperf_flamegraph";
+    stats_ = bin_dir() + "/tools/teeperf_stats";
+    fuzz_ = bin_dir() + "/tools/teeperf_fuzz";
     app_ = bin_dir() + "/examples/instrumented_app";
   }
   void TearDown() override { remove_tree(dir_); }
@@ -61,7 +63,7 @@ class ToolsTest : public ::testing::Test {
     return prefix;
   }
 
-  std::string dir_, record_, analyze_, flamegraph_, app_;
+  std::string dir_, record_, analyze_, flamegraph_, stats_, fuzz_, app_;
 };
 
 TEST_F(ToolsTest, RecordRejectsBadArgs) {
@@ -169,6 +171,81 @@ TEST_F(ToolsTest, FlamegraphToolRejectsGarbage) {
   std::string out;
   EXPECT_EQ(run_cmd({flamegraph_, dir_ + "/garbage", dir_ + "/out.svg"}, &out), 1);
   EXPECT_EQ(run_cmd({flamegraph_, dir_ + "/missing", dir_ + "/out.svg"}, &out), 1);
+}
+
+// --- negative paths (ISSUE: every tool must fail loudly, never crash) -----
+
+TEST_F(ToolsTest, AnalyzeRejectsTruncatedAndCorruptDumps) {
+  std::string prefix = record_run();
+  auto log = read_file(prefix + ".log");
+  ASSERT_TRUE(log.has_value());
+  ASSERT_GT(log->size(), 256u);
+
+  // Sub-header truncation: not even a LogHeader left — hard failure with a
+  // diagnostic naming the file.
+  std::string stub = prefix + "_stub";
+  ASSERT_TRUE(write_file(stub + ".log", log->substr(0, 64)));
+  std::string out;
+  EXPECT_EQ(run_cmd({analyze_, stub}, &out), 1);
+  EXPECT_NE(out.find("cannot load"), std::string::npos) << out;
+
+  // Truncation mid-entries: the valid prefix still analyzes (torn-dump
+  // recovery), exit 0.
+  std::string torn = prefix + "_torn";
+  ASSERT_TRUE(write_file(torn + ".log", log->substr(0, log->size() / 2)));
+  EXPECT_EQ(run_cmd({analyze_, torn}, &out), 0) << out;
+
+  // Corrupt magic: rejected outright.
+  std::string bad = *log;
+  bad[0] ^= 0xff;
+  std::string corrupt = prefix + "_magic";
+  ASSERT_TRUE(write_file(corrupt + ".log", bad));
+  EXPECT_EQ(run_cmd({analyze_, corrupt}, &out), 1);
+  EXPECT_NE(out.find("cannot load"), std::string::npos) << out;
+}
+
+TEST_F(ToolsTest, RecordRejectsBadFaultSpec) {
+  std::string out;
+  EXPECT_EQ(run_cmd({record_, "--faults", "dump.torn:nth=0", "--", "true"},
+                    &out),
+            2);
+  EXPECT_NE(out.find("bad --faults"), std::string::npos) << out;
+  EXPECT_EQ(run_cmd({record_, "--faults", "p:bogus=1", "--", "true"}, &out), 2);
+}
+
+TEST_F(ToolsTest, RecordWithAppendDieFaultStillWritesLoadableDump) {
+  // The armed child SIGKILLs itself mid-append; the wrapper must still
+  // persist the log, and the analyzer must recover the valid prefix.
+  std::string prefix = dir_ + "/faulted";
+  std::string out;
+  EXPECT_EQ(run_cmd({record_, "-o", prefix, "-c", "steady_clock", "--faults",
+                     "log.append.die:nth=40", "--fault-seed", "2", "--", app_,
+                     dir_ + "/fx"},
+                    &out),
+            1)
+      << out;
+  ASSERT_TRUE(file_exists(prefix + ".log"));
+  EXPECT_EQ(run_cmd({analyze_, prefix}, &out), 0) << out;
+}
+
+TEST_F(ToolsTest, StatsRejectsBadArgsAndMissingSession) {
+  std::string out;
+  EXPECT_EQ(run_cmd({stats_}, &out), 2);
+  EXPECT_EQ(run_cmd({stats_, "12345", "--bogus"}, &out), 2);
+  EXPECT_EQ(run_cmd({stats_, "12345", "--arm", "=3"}, &out), 2);
+  EXPECT_NE(out.find("bad --arm"), std::string::npos) << out;
+  // Valid args, but nobody is publishing telemetry under that name.
+  EXPECT_EQ(run_cmd({stats_, "/teeperf.nosuch.session"}, &out), 1);
+  EXPECT_NE(out.find("no telemetry region"), std::string::npos) << out;
+}
+
+TEST_F(ToolsTest, FuzzRejectsBadArgsAndMissingCorpus) {
+  std::string out;
+  EXPECT_EQ(run_cmd({fuzz_, "--bogus"}, &out), 2);
+  EXPECT_EQ(run_cmd({fuzz_, "--corpus"}, &out), 2);  // flag without value
+  EXPECT_EQ(run_cmd({fuzz_, "--corpus", dir_ + "/empty_corpus", "--iters", "1"},
+                    &out),
+            1);  // no corpus files to mutate
 }
 
 TEST_F(ToolsTest, DiffBetweenTwoRuns) {

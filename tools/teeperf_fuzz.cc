@@ -1,0 +1,555 @@
+// Differential fuzzer for the record→analyze pipeline.
+//
+// The analyzer's contract (§II-B) is that it never trusts the log: dumps
+// may arrive truncated, bit-flipped, or actively hostile, and the loader
+// must reject or degrade — never crash, never read out of bounds. This
+// tool enforces that contract mechanically:
+//
+//   1. Mutation fuzzing: every corpus file is mutated (bit flips, torn
+//      tails, header scrambles, entry splices, zero chunks, growth) and fed
+//      through the full analysis surface — load_bytes, reconstruction,
+//      reports, flame graph rendering, validation — inside a forked child,
+//      so a crash or sanitizer abort is contained, detected, minimized,
+//      and saved to the crashers directory as a regression input.
+//
+//   2. Differential checking: a benign mutation — any reordering of
+//      entries that preserves per-thread order, exactly the freedom the
+//      lock-free multi-writer log has (§II-C) — must not change analysis
+//      results. Each corpus file is reordered with seeded interleavings
+//      and the full stats signature (method stats, folded stacks,
+//      reconstruction counters) is compared against the original.
+//
+// Everything derives from --seed, so any failure replays exactly.
+//
+//   teeperf_fuzz --corpus <dir> [--iters N] [--seed S] [--crashers <dir>]
+//   teeperf_fuzz --gen --corpus <dir>     # write the seed corpus and exit
+#include <dirent.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analyzer/profile.h"
+#include "analyzer/query.h"
+#include "analyzer/report.h"
+#include "common/fileutil.h"
+#include "common/rng.h"
+#include "common/stringutil.h"
+#include "core/log_format.h"
+#include "flamegraph/flamegraph.h"
+
+using namespace teeperf;
+
+namespace {
+
+// ------------------------------------------------------------ serializing --
+
+std::string serialize_log(const std::vector<LogEntry>& entries, u64 max_entries,
+                          u64 tail, u64 flags, double ns_per_tick) {
+  LogHeader h;
+  h.magic = kLogMagic;
+  h.version = kLogVersion;
+  h.pid = 4242;
+  h.max_entries = max_entries;
+  h.flags.store(flags, std::memory_order_relaxed);
+  h.tail.store(tail, std::memory_order_relaxed);
+  h.ns_per_tick = ns_per_tick;
+  std::string out(reinterpret_cast<const char*>(&h), sizeof(LogHeader));
+  out.append(reinterpret_cast<const char*>(entries.data()),
+             entries.size() * sizeof(LogEntry));
+  return out;
+}
+
+LogEntry make_entry(EventKind kind, u64 addr, u64 tid, u64 counter) {
+  LogEntry e;
+  e.kind_and_counter = LogEntry::pack(kind, counter);
+  e.addr = addr;
+  e.tid = tid;
+  return e;
+}
+
+// The seed corpus: one file per interesting shape. Deterministic, so a
+// regenerated corpus is byte-identical and diffs stay reviewable.
+std::vector<std::pair<std::string, std::string>> build_seed_corpus() {
+  std::vector<std::pair<std::string, std::string>> corpus;
+  u64 flags = log_flags::kActive | log_flags::kRecordCalls |
+              log_flags::kRecordReturns | log_flags::kMultithread;
+
+  {  // Nested single-thread calls, balanced.
+    std::vector<LogEntry> es;
+    u64 c = 100;
+    for (u64 rep = 0; rep < 8; ++rep) {
+      es.push_back(make_entry(EventKind::kCall, 0x1000, 0, c += 10));
+      es.push_back(make_entry(EventKind::kCall, 0x2000, 0, c += 10));
+      es.push_back(make_entry(EventKind::kCall, 0x3000, 0, c += 10));
+      es.push_back(make_entry(EventKind::kReturn, 0x3000, 0, c += 10));
+      es.push_back(make_entry(EventKind::kReturn, 0x2000, 0, c += 10));
+      es.push_back(make_entry(EventKind::kCall, 0x2000, 0, c += 10));
+      es.push_back(make_entry(EventKind::kReturn, 0x2000, 0, c += 10));
+      es.push_back(make_entry(EventKind::kReturn, 0x1000, 0, c += 10));
+    }
+    corpus.emplace_back("seed_nested.log",
+                        serialize_log(es, 256, es.size(), flags, 2.5));
+  }
+  {  // Four threads interleaved round-robin.
+    std::vector<LogEntry> es;
+    u64 c = 1000;
+    for (u64 rep = 0; rep < 6; ++rep) {
+      for (u64 tid = 0; tid < 4; ++tid) {
+        es.push_back(make_entry(EventKind::kCall, 0x100 * (tid + 1), tid, c += 3));
+      }
+      for (u64 tid = 0; tid < 4; ++tid) {
+        es.push_back(make_entry(EventKind::kCall, 0xAA00 + tid, tid, c += 3));
+        es.push_back(make_entry(EventKind::kReturn, 0xAA00 + tid, tid, c += 3));
+      }
+      for (u64 tid = 0; tid < 4; ++tid) {
+        es.push_back(
+            make_entry(EventKind::kReturn, 0x100 * (tid + 1), tid, c += 3));
+      }
+    }
+    corpus.emplace_back("seed_threads.log",
+                        serialize_log(es, 512, es.size(), flags, 1.0));
+  }
+  {  // Torn tail: tail advanced past two all-zero (tombstone) slots.
+    std::vector<LogEntry> es;
+    u64 c = 50;
+    es.push_back(make_entry(EventKind::kCall, 0x7000, 0, c += 5));
+    es.push_back(make_entry(EventKind::kCall, 0x7100, 0, c += 5));
+    es.push_back(make_entry(EventKind::kReturn, 0x7100, 0, c += 5));
+    es.push_back(LogEntry{});
+    es.push_back(LogEntry{});
+    corpus.emplace_back("seed_torn_tail.log",
+                        serialize_log(es, 64, es.size(), flags, 0.8));
+  }
+  {  // Pathological: stray + mismatched returns, zero addresses, backjumps.
+    std::vector<LogEntry> es;
+    es.push_back(make_entry(EventKind::kReturn, 0x9000, 1, 500));  // stray
+    es.push_back(make_entry(EventKind::kCall, 0x9000, 1, 510));
+    es.push_back(make_entry(EventKind::kReturn, 0x9999, 1, 490));  // mismatch + backjump
+    es.push_back(make_entry(EventKind::kCall, 0, 2, 600));         // null addr
+    es.push_back(make_entry(EventKind::kCall, 0x9100, 1, 620));    // left open
+    corpus.emplace_back("seed_defects.log",
+                        serialize_log(es, 32, es.size(), flags, 1.0));
+  }
+  {  // Deep recursion: one method 40 frames deep.
+    std::vector<LogEntry> es;
+    u64 c = 10;
+    for (int i = 0; i < 40; ++i)
+      es.push_back(make_entry(EventKind::kCall, 0x4000, 0, c += 2));
+    for (int i = 0; i < 40; ++i)
+      es.push_back(make_entry(EventKind::kReturn, 0x4000, 0, c += 2));
+    corpus.emplace_back("seed_recursion.log",
+                        serialize_log(es, 128, es.size(), flags, 1.0));
+  }
+  {  // Empty log: header only, tail 0.
+    corpus.emplace_back("seed_empty.log",
+                        serialize_log({}, 16, 0, flags, 1.0));
+  }
+  {  // Regression: max_entries/tail near 2^63 — the u64 products that used
+     // to overflow size checks in ProfileLog::adopt. The loader must clamp
+     // to the bytes actually present.
+    std::vector<LogEntry> es;
+    es.push_back(make_entry(EventKind::kCall, 0x5000, 0, 10));
+    es.push_back(make_entry(EventKind::kReturn, 0x5000, 0, 20));
+    corpus.emplace_back(
+        "regression_huge_header.log",
+        serialize_log(es, 1ull << 61, ~0ull >> 1, flags, 1.0));
+  }
+  {  // Regression: non-finite ns_per_tick from a corrupt header must be
+     // discarded, not propagated into every report as NaN.
+    std::vector<LogEntry> es;
+    es.push_back(make_entry(EventKind::kCall, 0x6000, 0, 10));
+    es.push_back(make_entry(EventKind::kReturn, 0x6000, 0, 30));
+    corpus.emplace_back(
+        "regression_nan_tick.log",
+        serialize_log(es, 16, es.size(), flags,
+                      std::numeric_limits<double>::quiet_NaN()));
+  }
+  return corpus;
+}
+
+// --------------------------------------------------------------- analysis --
+
+// The full analysis surface a hostile dump can reach. Runs inside a forked
+// child during fuzzing, so crashes and sanitizer aborts are contained.
+void exercise(const std::string& bytes) {
+  auto profile = analyzer::Profile::load_bytes(bytes);
+  if (!profile) return;  // rejected: that is a pass
+  profile->method_stats();
+  profile->call_edges();
+  profile->folded_stacks();
+  profile->hottest_stack();
+  analyzer::method_report(*profile);
+  analyzer::call_graph_report(*profile);
+  analyzer::thread_report(*profile);
+  analyzer::call_tree_report(*profile);
+  analyzer::bottom_up_report(*profile);
+  analyzer::gprof_flat_report(*profile);
+  analyzer::recon_summary(*profile);
+  analyzer::chrome_trace_json(*profile);
+  analyzer::csv_export(*profile);
+  analyzer::timeline_csv(*profile);
+  flamegraph::SvgOptions opts;
+  flamegraph::render_profile_svg(*profile, opts);
+  analyzer::InvocationTable table(*profile);
+  table.where_min_inclusive(1).sort_by(analyzer::SortKey::kExclusive).top(10);
+  table.group_by_method();
+}
+
+// A stats signature that must be invariant under benign mutations. Sorted
+// line set so tie-order differences in sorted reports cannot matter.
+std::string signature(const analyzer::Profile& p) {
+  std::vector<std::string> lines;
+  for (const auto& s : p.method_stats()) {
+    lines.push_back(str_format(
+        "m %llx n=%llu inc=%llu exc=%llu min=%llu max=%llu",
+        static_cast<unsigned long long>(s.method),
+        static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.inclusive_total),
+        static_cast<unsigned long long>(s.exclusive_total),
+        static_cast<unsigned long long>(s.min_inclusive),
+        static_cast<unsigned long long>(s.max_inclusive)));
+  }
+  for (const auto& [path, ticks] : p.folded_stacks()) {
+    lines.push_back(
+        str_format("f %s %llu", path.c_str(), static_cast<unsigned long long>(ticks)));
+  }
+  const auto& r = p.recon_stats();
+  lines.push_back(str_format(
+      "r stray=%llu mis=%llu unw=%llu inc=%llu tomb=%llu threads=%llu",
+      static_cast<unsigned long long>(r.stray_returns),
+      static_cast<unsigned long long>(r.mismatched_returns),
+      static_cast<unsigned long long>(r.unwound_frames),
+      static_cast<unsigned long long>(r.incomplete),
+      static_cast<unsigned long long>(r.tombstones),
+      static_cast<unsigned long long>(p.thread_count())));
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- mutants --
+
+std::string mutate(const std::string& base, Xorshift64& rng) {
+  std::string m = base;
+  switch (rng.next_below(8)) {
+    case 0: {  // flip 1..8 bits
+      if (m.empty()) break;
+      u64 flips = 1 + rng.next_below(8);
+      for (u64 i = 0; i < flips; ++i) {
+        u64 bit = rng.next_below(m.size() * 8);
+        m[bit / 8] = static_cast<char>(m[bit / 8] ^ (1u << (bit % 8)));
+      }
+      break;
+    }
+    case 1: {  // set random bytes
+      if (m.empty()) break;
+      u64 n = 1 + rng.next_below(16);
+      for (u64 i = 0; i < n; ++i) {
+        m[rng.next_below(m.size())] = static_cast<char>(rng.next_below(256));
+      }
+      break;
+    }
+    case 2:  // torn tail: truncate anywhere, including mid-header
+      m.resize(rng.next_below(m.size() + 1));
+      break;
+    case 3: {  // grow with random bytes (phantom entries past the real tail)
+      u64 n = 1 + rng.next_below(256);
+      for (u64 i = 0; i < n; ++i) {
+        m.push_back(static_cast<char>(rng.next_below(256)));
+      }
+      break;
+    }
+    case 4: {  // header scramble: overwrite an aligned 8-byte header field
+      if (m.size() < sizeof(LogHeader)) break;
+      u64 off = 8 * rng.next_below(sizeof(LogHeader) / 8);
+      u64 v = rng.next();
+      if (rng.next_bool(0.4)) v = rng.next_below(5) * 0x7fffffffull;  // edge-ish
+      std::memcpy(&m[off], &v, 8);
+      break;
+    }
+    case 5: {  // entry splice: copy one entry range over another
+      if (m.size() < sizeof(LogHeader) + 2 * sizeof(LogEntry)) break;
+      u64 slots = (m.size() - sizeof(LogHeader)) / sizeof(LogEntry);
+      u64 from = rng.next_below(slots), to = rng.next_below(slots);
+      u64 len = 1 + rng.next_below(4);
+      len = std::min({len, slots - from, slots - to});
+      std::memmove(&m[sizeof(LogHeader) + to * sizeof(LogEntry)],
+                   &m[sizeof(LogHeader) + from * sizeof(LogEntry)],
+                   len * sizeof(LogEntry));
+      break;
+    }
+    case 6: {  // zero a chunk (synthetic tombstones / wiped regions)
+      if (m.empty()) break;
+      u64 off = rng.next_below(m.size());
+      u64 len = std::min<u64>(1 + rng.next_below(96), m.size() - off);
+      std::memset(&m[off], 0, len);
+      break;
+    }
+    default: {  // duplicate a chunk onto the end
+      if (m.empty()) break;
+      u64 off = rng.next_below(m.size());
+      u64 len = std::min<u64>(1 + rng.next_below(128), m.size() - off);
+      m.append(m, off, len);
+      break;
+    }
+  }
+  return m;
+}
+
+// Benign mutation: reinterleave entries across threads while preserving
+// each thread's order — the exact nondeterminism the lock-free log permits.
+std::string reorder_across_threads(const std::string& base, Xorshift64& rng) {
+  if (base.size() < sizeof(LogHeader) + sizeof(LogEntry)) return base;
+  u64 n = (base.size() - sizeof(LogHeader)) / sizeof(LogEntry);
+  std::vector<LogEntry> entries(n);
+  std::memcpy(entries.data(), base.data() + sizeof(LogHeader),
+              n * sizeof(LogEntry));
+
+  std::vector<u64> tids;
+  std::vector<std::vector<LogEntry>> queues;
+  for (const LogEntry& e : entries) {
+    usize q = 0;
+    for (; q < tids.size(); ++q) {
+      if (tids[q] == e.tid) break;
+    }
+    if (q == tids.size()) {
+      tids.push_back(e.tid);
+      queues.emplace_back();
+    }
+    queues[q].push_back(e);
+  }
+  std::vector<usize> heads(queues.size(), 0);
+  std::vector<LogEntry> shuffled;
+  shuffled.reserve(n);
+  while (shuffled.size() < n) {
+    usize q = rng.next_below(queues.size());
+    if (heads[q] >= queues[q].size()) continue;
+    shuffled.push_back(queues[q][heads[q]++]);
+  }
+  std::string out = base.substr(0, sizeof(LogHeader));
+  out.append(reinterpret_cast<const char*>(shuffled.data()),
+             n * sizeof(LogEntry));
+  return out;
+}
+
+// ---------------------------------------------------------- crash harness --
+
+// Runs the analysis surface in a forked child; any signal, sanitizer abort
+// or nonzero exit counts as a crash.
+bool crashes(const std::string& bytes) {
+  std::fflush(nullptr);
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "teeperf_fuzz: fork failed\n");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    exercise(bytes);
+    _exit(0);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return !(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+// Shrinks a crashing input: repeatedly drop chunks / truncate while the
+// crash reproduces. Bounded, greedy, deterministic.
+std::string minimize(std::string bytes) {
+  // Tail truncation by halves first — the cheapest big wins.
+  for (usize cut = bytes.size() / 2; cut >= 1 && bytes.size() > 1; cut /= 2) {
+    while (bytes.size() > cut) {
+      std::string candidate = bytes.substr(0, bytes.size() - cut);
+      if (!crashes(candidate)) break;
+      bytes = std::move(candidate);
+    }
+    if (cut == 1) break;
+  }
+  // Chunk removal from the middle.
+  for (usize chunk = std::max<usize>(bytes.size() / 4, 1); chunk >= 8;
+       chunk /= 2) {
+    for (usize off = 0; off + chunk <= bytes.size();) {
+      std::string candidate = bytes.substr(0, off) + bytes.substr(off + chunk);
+      if (crashes(candidate)) {
+        bytes = std::move(candidate);
+      } else {
+        off += chunk;
+      }
+    }
+  }
+  return bytes;
+}
+
+// ------------------------------------------------------------------ corpus --
+
+std::vector<std::string> list_corpus(const std::string& dir) {
+  std::vector<std::string> files;
+  DIR* d = opendir(dir.c_str());
+  if (!d) return files;
+  while (dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".log") == 0) {
+      files.push_back(dir + "/" + name);
+    }
+  }
+  closedir(d);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: teeperf_fuzz --corpus <dir> [--iters N] [--seed S]\n"
+               "                    [--crashers <dir>] [--reorders N]\n"
+               "       teeperf_fuzz --gen --corpus <dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_dir, crashers_dir;
+  u64 iters = 1000, seed = 1, reorders = 64;
+  bool gen = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--corpus" && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (arg == "--crashers" && i + 1 < argc) {
+      crashers_dir = argv[++i];
+    } else if (arg == "--iters" && i + 1 < argc) {
+      iters = static_cast<u64>(std::atoll(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<u64>(std::atoll(argv[++i]));
+    } else if (arg == "--reorders" && i + 1 < argc) {
+      reorders = static_cast<u64>(std::atoll(argv[++i]));
+    } else if (arg == "--gen") {
+      gen = true;
+    } else {
+      std::fprintf(stderr, "teeperf_fuzz: unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (corpus_dir.empty()) return usage();
+
+  if (gen) {
+    if (!make_dirs(corpus_dir)) {
+      std::fprintf(stderr, "teeperf_fuzz: cannot create %s\n", corpus_dir.c_str());
+      return 1;
+    }
+    for (const auto& [name, bytes] : build_seed_corpus()) {
+      std::string path = corpus_dir + "/" + name;
+      if (!write_file(path, bytes)) {
+        std::fprintf(stderr, "teeperf_fuzz: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+    }
+    return 0;
+  }
+
+  std::vector<std::string> files = list_corpus(corpus_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "teeperf_fuzz: no .log corpus files in %s\n",
+                 corpus_dir.c_str());
+    return 1;
+  }
+  if (crashers_dir.empty()) crashers_dir = corpus_dir;
+  make_dirs(crashers_dir);
+
+  std::vector<std::string> corpus;
+  for (const std::string& f : files) {
+    if (auto bytes = read_file(f)) corpus.push_back(std::move(*bytes));
+  }
+
+  Xorshift64 rng(seed);
+  u64 crash_count = 0, mismatch_count = 0, rejected = 0, loaded = 0;
+
+  // Phase 1 — regression replay + differential invariance on every corpus
+  // file (corpus files are trusted inputs: analyzed in-process, any crash
+  // here fails the whole run loudly, which is what a regression should do).
+  for (usize f = 0; f < corpus.size(); ++f) {
+    auto base_profile = analyzer::Profile::load_bytes(corpus[f]);
+    if (!base_profile) continue;  // a checked-in crasher the loader rejects
+    std::string base_sig = signature(*base_profile);
+    for (u64 r = 0; r < reorders; ++r) {
+      std::string shuffled = reorder_across_threads(corpus[f], rng);
+      auto p = analyzer::Profile::load_bytes(shuffled);
+      if (!p || signature(*p) != base_sig) {
+        ++mismatch_count;
+        std::string path = str_format("%s/mismatch_s%llu_f%zu_r%llu.log",
+                                      crashers_dir.c_str(),
+                                      static_cast<unsigned long long>(seed), f,
+                                      static_cast<unsigned long long>(r));
+        write_file(path, shuffled);
+        std::fprintf(stderr,
+                     "teeperf_fuzz: benign reorder changed results for corpus "
+                     "file %zu (saved %s)\n",
+                     f, path.c_str());
+        break;  // one report per corpus file is enough
+      }
+    }
+  }
+
+  // Phase 2 — mutation fuzzing in forked children.
+  for (u64 i = 0; i < iters; ++i) {
+    const std::string& base = corpus[rng.next_below(corpus.size())];
+    std::string mutant = mutate(base, rng);
+    // Stacked mutations on occasion: corruption rarely comes alone.
+    while (rng.next_bool(0.3)) mutant = mutate(mutant, rng);
+
+    if (crashes(mutant)) {
+      ++crash_count;
+      std::string raw_path = str_format("%s/crash_s%llu_i%llu.log",
+                                        crashers_dir.c_str(),
+                                        static_cast<unsigned long long>(seed),
+                                        static_cast<unsigned long long>(i));
+      write_file(raw_path, mutant);
+      std::string min = minimize(mutant);
+      std::string min_path = str_format("%s/crash_s%llu_i%llu.min.log",
+                                        crashers_dir.c_str(),
+                                        static_cast<unsigned long long>(seed),
+                                        static_cast<unsigned long long>(i));
+      write_file(min_path, min);
+      std::fprintf(stderr,
+                   "teeperf_fuzz: crash on mutant %llu (%zu bytes, minimized "
+                   "to %zu) — saved %s\n",
+                   static_cast<unsigned long long>(i), mutant.size(),
+                   min.size(), min_path.c_str());
+      if (crash_count >= 10) {
+        std::fprintf(stderr, "teeperf_fuzz: stopping after 10 crashes\n");
+        break;
+      }
+      continue;
+    }
+    // Count accept/reject in-process for the summary (the child already
+    // proved this input safe).
+    if (analyzer::Profile::load_bytes(mutant)) {
+      ++loaded;
+    } else {
+      ++rejected;
+    }
+  }
+
+  std::printf(
+      "teeperf_fuzz: seed=%llu corpus=%zu iters=%llu loaded=%llu "
+      "rejected=%llu crashes=%llu mismatches=%llu\n",
+      static_cast<unsigned long long>(seed), corpus.size(),
+      static_cast<unsigned long long>(iters),
+      static_cast<unsigned long long>(loaded),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(crash_count),
+      static_cast<unsigned long long>(mismatch_count));
+  return crash_count || mismatch_count ? 1 : 0;
+}

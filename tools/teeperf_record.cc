@@ -31,6 +31,12 @@
 //   --freeze-counter-after-ms N   fault injection: stop the software
 //                        counter thread N ms into the run so the watchdog's
 //                        stall detection can be demonstrated end to end
+//   --faults <spec>      arm deterministic fault points (see TESTING.md),
+//                        e.g. "dump.torn:nth=1;counter.stall:nth=1" — armed
+//                        in this wrapper and exported to the child via
+//                        TEEPERF_FAULTS
+//   --fault-seed N       seed for probabilistic / value-drawing faults
+//                        (default: 1; exported as TEEPERF_FAULT_SEED)
 //
 // The wrapper also publishes self-telemetry: a second shared-memory region
 // "<shm>.obs" holds live metrics (ring occupancy, entry rates, counter
@@ -54,6 +60,7 @@
 
 #include "common/fileutil.h"
 #include "common/shm.h"
+#include "faultsim/fault.h"
 #include "common/stringutil.h"
 #include "core/counter.h"
 #include "core/log_format.h"
@@ -68,8 +75,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: teeperf_record [-o prefix] [-n entries] [-c tsc|software|"
-               "steady_clock] [--inactive] [--calls-only|--returns-only] -- "
-               "<command> [args...]\n");
+               "steady_clock] [--inactive] [--calls-only|--returns-only] "
+               "[--faults spec] [--fault-seed n] -- <command> [args...]\n");
 }
 
 }  // namespace
@@ -85,6 +92,8 @@ int main(int argc, char** argv) {
   bool ring = false;
   bool telemetry = true;
   long hold_ms = 0, freeze_counter_after_ms = -1;
+  std::string fault_spec;
+  u64 fault_seed = 1;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -112,6 +121,10 @@ int main(int argc, char** argv) {
       hold_ms = std::atol(argv[++i]);
     } else if (arg == "--freeze-counter-after-ms" && i + 1 < argc) {
       freeze_counter_after_ms = std::atol(argv[++i]);
+    } else if (arg == "--faults" && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      fault_seed = static_cast<u64>(std::atoll(argv[++i]));
     } else if (arg == "--filter" && i + 1 < argc) {
       filter_spec = argv[++i];
     } else if (arg == "--start-after-ms" && i + 1 < argc) {
@@ -127,6 +140,19 @@ int main(int argc, char** argv) {
   if (i >= argc || max_entries == 0) {
     usage();
     return 2;
+  }
+
+  // Fault injection (TESTING.md): a bad spec is a usage error — arming the
+  // wrong point silently would make a fault run look healthy.
+  if (!fault_spec.empty()) {
+    fault::Registry::instance().set_seed(fault_seed);
+    std::string fault_error;
+    if (!fault::Registry::instance().arm_from_spec(fault_spec, &fault_error)) {
+      std::fprintf(stderr, "teeperf_record: bad --faults spec: %s\n",
+                   fault_error.c_str());
+      usage();
+      return 2;
+    }
   }
 
   CounterMode mode = CounterMode::kTsc;
@@ -169,6 +195,10 @@ int main(int argc, char** argv) {
     if (!telem) {
       std::fprintf(stderr, "teeperf_record: telemetry shm failed, continuing "
                            "without\n");
+    } else {
+      // Publishes the region process-wide and bridges external fault arming
+      // (teeperf_stats --arm → "fault.arm.*" gauges → watchdog poll).
+      obs::install(telem.get());
     }
   }
 
@@ -211,6 +241,10 @@ int main(int argc, char** argv) {
     setenv("TEEPERF_COUNTER", counter.c_str(), 1);
     setenv("TEEPERF_SYM", (prefix + ".sym").c_str(), 1);
     if (telem) setenv("TEEPERF_OBS", telem->shm_name().c_str(), 1);
+    if (!fault_spec.empty()) {
+      setenv("TEEPERF_FAULTS", fault_spec.c_str(), 1);
+      setenv("TEEPERF_FAULT_SEED", std::to_string(fault_seed).c_str(), 1);
+    }
     if (!filter_spec.empty()) setenv("TEEPERF_FILTER", filter_spec.c_str(), 1);
     execvp(argv[i], argv + i);
     std::perror("execvp");
@@ -325,6 +359,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "teeperf_record: writing %s.events.jsonl failed\n",
                    prefix.c_str());
     }
+    obs::uninstall(telem.get());
   }
 
   std::fprintf(stderr,

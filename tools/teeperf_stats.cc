@@ -15,12 +15,17 @@
 //   --watch MS     re-print every MS milliseconds until the session goes
 //                  away or interrupted (streaming mode)
 //   --no-events    metrics only
+//   --arm NAME=N   externally arm fault point NAME (nth=N) in the session:
+//                  writes gauge "fault.arm.NAME" into the obs region; the
+//                  session's watchdog polls it, arms the point and clears
+//                  the gauge (TESTING.md "External arming"). Repeatable.
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/stringutil.h"
 #include "obs/export.h"
@@ -33,7 +38,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: teeperf_stats <pid | shm-name> [--json] [--events N] "
-               "[--watch ms] [--no-events]\n");
+               "[--watch ms] [--no-events] [--arm name=N]\n");
 }
 
 bool all_digits(const char* s) {
@@ -81,6 +86,7 @@ int main(int argc, char** argv) {
   bool json = false, events = true;
   usize event_limit = 32;
   long watch_ms = -1;
+  std::vector<std::pair<std::string, u64>> arms;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
@@ -91,6 +97,18 @@ int main(int argc, char** argv) {
       event_limit = static_cast<usize>(std::atoll(argv[++i]));
     } else if (arg == "--watch" && i + 1 < argc) {
       watch_ms = std::atol(argv[++i]);
+    } else if (arg == "--arm" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      usize eq = spec.find('=');
+      std::string point = spec.substr(0, eq == std::string::npos ? spec.size() : eq);
+      long n = eq == std::string::npos ? 1 : std::atol(spec.c_str() + eq + 1);
+      if (point.empty() || n < 1) {
+        std::fprintf(stderr, "teeperf_stats: bad --arm spec '%s' (want name=N)\n",
+                     spec.c_str());
+        usage();
+        return 2;
+      }
+      arms.emplace_back(point, static_cast<u64>(n));
     } else {
       usage();
       return 2;
@@ -105,6 +123,15 @@ int main(int argc, char** argv) {
                  "running, and was it created with telemetry on?)\n",
                  name.c_str());
     return 1;
+  }
+
+  // External fault arming: write the request gauges; the session's watchdog
+  // polls them, arms the named points in-process and zeroes the gauges.
+  for (const auto& [point, n] : arms) {
+    telemetry->registry().gauge("fault.arm." + point).set(n);
+    std::fprintf(stderr, "teeperf_stats: armed %s (nth=%llu) in %s\n",
+                 point.c_str(), static_cast<unsigned long long>(n),
+                 telemetry->shm_name().c_str());
   }
 
   print_snapshot(*telemetry, json, events, event_limit);
