@@ -1,9 +1,11 @@
 #include "analyzer/profile.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <thread>
 
 #include "common/fileutil.h"
 #include "common/stringutil.h"
@@ -18,8 +20,26 @@ namespace {
 // atomics in place would be undefined, and every header field is attacker-
 // controlled once dumps come from a hostile host.
 struct ParsedDump {
-  std::vector<LogEntry> entries;
+  // One window of entries per shard: v1 dumps parse into a single window,
+  // v2 into one per directory entry (possibly empty). A thread's entries
+  // live entirely inside one window.
+  std::vector<std::vector<LogEntry>> shards;
   double ns_per_tick = 0.0;
+
+  bool single() const { return shards.size() <= 1; }
+  u64 total() const {
+    u64 n = 0;
+    for (const auto& s : shards) n += s.size();
+    return n;
+  }
+  // Concatenated windows, for consumers that want one flat span (validate).
+  // Per-thread order is preserved: a thread never spans two windows.
+  std::vector<LogEntry> flatten() const {
+    std::vector<LogEntry> out;
+    out.reserve(static_cast<usize>(total()));
+    for (const auto& s : shards) out.insert(out.end(), s.begin(), s.end());
+    return out;
+  }
 };
 
 std::optional<ParsedDump> parse_dump(std::string_view bytes) {
@@ -27,22 +47,61 @@ std::optional<ParsedDump> parse_dump(std::string_view bytes) {
   alignas(LogHeader) unsigned char header_buf[sizeof(LogHeader)];
   std::memcpy(header_buf, bytes.data(), sizeof(LogHeader));
   const auto* h = reinterpret_cast<const LogHeader*>(header_buf);
-  if (h->magic != kLogMagic || h->version != kLogVersion) return std::nullopt;
-  ParsedDump d;
-  // Only complete entries present in the buffer are consumed; a log
-  // truncated mid-write simply yields fewer entries (§II-B: the analyzer
-  // dismisses records "which might be wrong at the end of the log"). The
-  // clamp to `available` also defuses a corrupt tail/max_entries.
-  u64 available = (bytes.size() - sizeof(LogHeader)) / sizeof(LogEntry);
-  u64 tail = h->tail.load(std::memory_order_relaxed);
-  u64 n = std::min({available, tail, h->max_entries});
-  d.entries.resize(static_cast<usize>(n));
-  if (n > 0) {
-    std::memcpy(d.entries.data(), bytes.data() + sizeof(LogHeader),
-                static_cast<usize>(n) * sizeof(LogEntry));
+  if (h->magic != kLogMagic) return std::nullopt;
+  if (h->version != kLogVersion && h->version != kLogVersionSharded) {
+    return std::nullopt;
   }
+  ParsedDump d;
   d.ns_per_tick = h->ns_per_tick;
   if (!std::isfinite(d.ns_per_tick) || d.ns_per_tick < 0.0) d.ns_per_tick = 0.0;
+
+  if (h->version == kLogVersion) {
+    // Only complete entries present in the buffer are consumed; a log
+    // truncated mid-write simply yields fewer entries (§II-B: the analyzer
+    // dismisses records "which might be wrong at the end of the log"). The
+    // clamp to `available` also defuses a corrupt tail/max_entries.
+    u64 available = (bytes.size() - sizeof(LogHeader)) / sizeof(LogEntry);
+    u64 tail = h->tail.load(std::memory_order_relaxed);
+    u64 n = std::min({available, tail, h->max_entries});
+    d.shards.emplace_back();
+    d.shards[0].resize(static_cast<usize>(n));
+    if (n > 0) {
+      std::memcpy(d.shards[0].data(), bytes.data() + sizeof(LogHeader),
+                  static_cast<usize>(n) * sizeof(LogEntry));
+    }
+    return d;
+  }
+
+  // v2: a shard directory follows the header; every field in it is as
+  // attacker-controlled as the header, so each window is independently
+  // clamped and the sum of all windows is budgeted against what the file
+  // actually holds — a hostile directory of kMaxLogShards overlapping
+  // full-size segments must not multiply a small file into gigabytes.
+  u32 nshards = h->shard_count;
+  if (nshards == 0 || nshards > kMaxLogShards) return std::nullopt;
+  usize dir_bytes = static_cast<usize>(nshards) * sizeof(LogShard);
+  if (bytes.size() - sizeof(LogHeader) < dir_bytes) return std::nullopt;
+  std::vector<LogShard> dir(nshards);
+  std::memcpy(static_cast<void*>(dir.data()), bytes.data() + sizeof(LogHeader),
+              dir_bytes);
+
+  const char* entry_base = bytes.data() + sizeof(LogHeader) + dir_bytes;
+  u64 available = (bytes.size() - sizeof(LogHeader) - dir_bytes) / sizeof(LogEntry);
+  u64 budget = available;  // total entries any directory may make us copy
+  d.shards.resize(nshards);
+  for (u32 s = 0; s < nshards; ++s) {
+    u64 off = dir[s].entry_offset;
+    if (off >= available) continue;  // also rejects u64-overflow offsets
+    u64 n = dir[s].tail.load(std::memory_order_relaxed);
+    // Subtraction form: off + capacity could wrap u64.
+    n = std::min({n, dir[s].capacity, available - off, budget});
+    budget -= n;
+    d.shards[s].resize(static_cast<usize>(n));
+    if (n > 0) {
+      std::memcpy(d.shards[s].data(), entry_base + off * sizeof(LogEntry),
+                  static_cast<usize>(n) * sizeof(LogEntry));
+    }
+  }
   return d;
 }
 
@@ -52,8 +111,11 @@ std::optional<Profile> Profile::load_bytes(
     std::string_view log_bytes, std::unordered_map<u64, std::string> symbols) {
   auto dump = parse_dump(log_bytes);
   if (!dump) return std::nullopt;
-  return build(dump->entries.data(), dump->entries.size(), std::move(symbols),
-               dump->ns_per_tick);
+  if (dump->single()) {  // parse_dump always yields >= 1 window
+    const std::vector<LogEntry>& e = dump->shards[0];
+    return build(e.data(), e.size(), std::move(symbols), dump->ns_per_tick);
+  }
+  return build_sharded(dump->shards, std::move(symbols), dump->ns_per_tick);
 }
 
 std::optional<Profile> Profile::load(const std::string& prefix) {
@@ -69,6 +131,15 @@ Profile Profile::from_log(const ProfileLog& log,
                           double ns_per_tick) {
   if (!log.valid()) return Profile{};
   if (ns_per_tick == 0.0) ns_per_tick = log.header()->ns_per_tick;
+  if (log.sharded()) {
+    std::vector<std::vector<LogEntry>> shards(log.shard_count());
+    for (u32 s = 0; s < log.shard_count(); ++s) log.shard_snapshot(s, &shards[s]);
+    if (shards.size() == 1) {
+      return build(shards[0].data(), shards[0].size(), std::move(symbols),
+                   ns_per_tick);
+    }
+    return build_sharded(shards, std::move(symbols), ns_per_tick);
+  }
   u64 tail = log.header()->tail.load(std::memory_order_acquire);
   if ((log.flags() & log_flags::kRingBuffer) && tail > log.capacity()) {
     // Wrapped ring: rebuild oldest→newest order first.
@@ -77,6 +148,59 @@ Profile Profile::from_log(const ProfileLog& log,
     return build(ordered.data(), ordered.size(), std::move(symbols), ns_per_tick);
   }
   return build(&log.entry(0), log.size(), std::move(symbols), ns_per_tick);
+}
+
+Profile Profile::build_sharded(const std::vector<std::vector<LogEntry>>& shards,
+                               std::unordered_map<u64, std::string> symbols,
+                               double ns_per_tick) {
+  // One reconstruction per shard, run by a small worker pool. Safe because
+  // a thread's entries are confined to one shard (tid % shard_count), so no
+  // call stack spans windows; deterministic because the merge below walks
+  // shards in directory order regardless of which worker finished when.
+  std::vector<Profile> parts(shards.size());
+  u32 hw = std::thread::hardware_concurrency();
+  usize workers = std::min<usize>(hw == 0 ? 1 : hw, shards.size());
+  std::atomic<usize> next{0};
+  auto work = [&] {
+    for (usize s; (s = next.fetch_add(1, std::memory_order_relaxed)) <
+                  shards.size();) {
+      parts[s] = build(shards[s].data(), shards[s].size(), {}, ns_per_tick);
+    }
+  };
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (usize w = 1; w < workers; ++w) pool.emplace_back(work);
+    work();
+    for (auto& t : pool) t.join();
+  }
+
+  // Merge in shard order. Method ids and tids mean the same thing in every
+  // shard (same process, same address space), so — unlike load_many's
+  // cross-process rekeying — only the parent indices need rebasing.
+  Profile merged;
+  merged.symbols_ = std::move(symbols);
+  merged.ns_per_tick_ = ns_per_tick;
+  for (Profile& part : parts) {
+    usize base = merged.invocations_.size();
+    for (const Invocation& inv : part.invocations_) {
+      Invocation copy = inv;
+      if (copy.parent >= 0) copy.parent += static_cast<i64>(base);
+      merged.invocations_.push_back(copy);
+    }
+    merged.recon_.entries += part.recon_.entries;
+    merged.recon_.stray_returns += part.recon_.stray_returns;
+    merged.recon_.mismatched_returns += part.recon_.mismatched_returns;
+    merged.recon_.unwound_frames += part.recon_.unwound_frames;
+    merged.recon_.incomplete += part.recon_.incomplete;
+    merged.recon_.tombstones += part.recon_.tombstones;
+    // tid % shard_count confines a thread to one shard, so per-part thread
+    // counts are disjoint and sum exactly.
+    merged.thread_count_ += part.thread_count_;
+  }
+  return merged;
 }
 
 Profile Profile::build(const LogEntry* entries, u64 n,
@@ -327,6 +451,14 @@ std::pair<std::string, u64> Profile::hottest_stack() const {
 }
 
 std::vector<ValidationIssue> Profile::validate(const ProfileLog& log) {
+  if (log.sharded()) {
+    // The raw v2 entry array has per-shard gaps; validate the canonical
+    // per-shard concatenation (per-thread order is what validate checks,
+    // and a thread never spans shards).
+    std::vector<LogEntry> ordered;
+    log.snapshot_ordered(&ordered);
+    return validate(ordered.data(), ordered.size());
+  }
   return validate(&log.entry(0), log.size());
 }
 
@@ -336,7 +468,8 @@ std::optional<std::vector<ValidationIssue>> Profile::validate_file(
   if (!raw) return std::nullopt;
   auto dump = parse_dump(*raw);
   if (!dump) return std::nullopt;
-  return validate(dump->entries.data(), dump->entries.size());
+  std::vector<LogEntry> flat = dump->flatten();
+  return validate(flat.data(), flat.size());
 }
 
 std::vector<ValidationIssue> Profile::validate(const LogEntry* log_entries, u64 n) {

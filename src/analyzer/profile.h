@@ -158,6 +158,16 @@ class Profile {
                        std::unordered_map<u64, std::string> symbols,
                        double ns_per_tick);
 
+  // v2 sharded logs: reconstruct each shard's window concurrently (a thread
+  // is confined to one shard, so call-stack reconstruction never crosses a
+  // window boundary), then merge in shard order. The merge rebases parent
+  // indices only — method ids and tids are shared across shards, unlike
+  // load_many's cross-process rekeying — so the result is deterministic
+  // regardless of worker scheduling.
+  static Profile build_sharded(const std::vector<std::vector<LogEntry>>& shards,
+                               std::unordered_map<u64, std::string> symbols,
+                               double ns_per_tick);
+
   std::vector<Invocation> invocations_;
   std::unordered_map<u64, std::string> symbols_;
   ReconstructionStats recon_;

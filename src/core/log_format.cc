@@ -6,20 +6,58 @@
 
 namespace teeperf {
 
-bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags) {
-  if (!buffer || size < sizeof(LogHeader) + sizeof(LogEntry)) return false;
+namespace {
+
+// A reserved-but-never-written slot: the writer died between the tail
+// fetch-and-add and the stores. A legitimate entry always has a nonzero
+// address, so the all-zero pattern is a reliable tombstone.
+inline bool is_tombstone(const LogEntry& e) {
+  return e.kind_and_counter == 0 && e.addr == 0 && e.tid == 0;
+}
+
+}  // namespace
+
+bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags,
+                      u32 shard_count) {
+  if (!buffer) return false;
+  if (shard_count > kMaxLogShards) return false;
+  usize overhead =
+      sizeof(LogHeader) + static_cast<usize>(shard_count) * sizeof(LogShard);
+  if (size < overhead + sizeof(LogEntry) * (shard_count ? shard_count : 1)) {
+    return false;
+  }
+  // Fault point: the shard directory failing to come up (e.g. the shm grant
+  // shrank under us between sizing and formatting). Modeled as init failure
+  // so callers exercise their no-log degradation path.
+  if (shard_count > 0 && fault::fires("log.shard.alloc.fail")) return false;
+
   auto* h = new (buffer) LogHeader();
   h->magic = kLogMagic;
-  h->version = kLogVersion;
+  h->version = shard_count ? kLogVersionSharded : kLogVersion;
+  h->shard_count = shard_count;
   h->shm_base = reinterpret_cast<u64>(buffer);
   h->pid = pid;
-  h->max_entries = (size - sizeof(LogHeader)) / sizeof(LogEntry);
+  u64 total = (size - overhead) / sizeof(LogEntry);
+  if (shard_count) total -= total % shard_count;  // equal segments
+  h->max_entries = total;
   h->tail.store(0, std::memory_order_relaxed);
   h->counter.store(0, std::memory_order_relaxed);
   h->profiler_anchor = reinterpret_cast<u64>(&kLogMagic);
   h->flags.store(initial_flags, std::memory_order_release);
   header_ = h;
-  entries_ = reinterpret_cast<LogEntry*>(static_cast<u8*>(buffer) + sizeof(LogHeader));
+  u8* base = static_cast<u8*>(buffer);
+  if (shard_count) {
+    shards_ = reinterpret_cast<LogShard*>(base + sizeof(LogHeader));
+    u64 per_shard = total / shard_count;
+    for (u32 s = 0; s < shard_count; ++s) {
+      auto* sh = new (&shards_[s]) LogShard();
+      sh->entry_offset = static_cast<u64>(s) * per_shard;
+      sh->capacity = per_shard;
+    }
+  } else {
+    shards_ = nullptr;
+  }
+  entries_ = reinterpret_cast<LogEntry*>(base + overhead);
   dropped_.store(0, std::memory_order_relaxed);
   return true;
 }
@@ -27,21 +65,56 @@ bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags) {
 bool ProfileLog::adopt(void* buffer, usize size) {
   if (!buffer || size < sizeof(LogHeader)) return false;
   auto* h = reinterpret_cast<LogHeader*>(buffer);
-  if (h->magic != kLogMagic || h->version != kLogVersion) return false;
+  if (h->magic != kLogMagic) return false;
+  if (h->version != kLogVersion && h->version != kLogVersionSharded) {
+    return false;
+  }
+  bool v2 = h->version == kLogVersionSharded;
+  // v1 headers must not smuggle in a directory; v2 must have a sane one.
+  if (!v2 && h->shard_count != 0) return false;
+  if (v2 && (h->shard_count == 0 || h->shard_count > kMaxLogShards)) {
+    return false;
+  }
+  usize overhead = sizeof(LogHeader) +
+                   static_cast<usize>(h->shard_count) * sizeof(LogShard);
+  if (size < overhead) return false;
   // Divide rather than multiply: a corrupt max_entries (from a hostile or
   // truncated region) must not overflow u64 and sneak past the size check.
   if (h->max_entries == 0 ||
-      h->max_entries > (size - sizeof(LogHeader)) / sizeof(LogEntry)) {
+      h->max_entries > (size - overhead) / sizeof(LogEntry)) {
     return false;
   }
+  u8* base = static_cast<u8*>(buffer);
+  if (v2) {
+    auto* dir = reinterpret_cast<LogShard*>(base + sizeof(LogHeader));
+    for (u32 s = 0; s < h->shard_count; ++s) {
+      // Subtraction-form bounds check: offset + capacity computed directly
+      // could wrap u64 and pass.
+      if (dir[s].entry_offset > h->max_entries ||
+          dir[s].capacity > h->max_entries - dir[s].entry_offset) {
+        return false;
+      }
+    }
+    shards_ = dir;
+  } else {
+    shards_ = nullptr;
+  }
   header_ = h;
-  entries_ = reinterpret_cast<LogEntry*>(static_cast<u8*>(buffer) + sizeof(LogHeader));
+  entries_ = reinterpret_cast<LogEntry*>(base + overhead);
   return true;
 }
 
 bool ProfileLog::append(EventKind kind, u64 addr, u64 tid, u64 counter) {
-  // Reserve first, then write: each slot is written exactly once even under
-  // contention. Unfair access to the tail is harmless because only
+  if (shards_) {
+    LogEntry e;
+    e.kind_and_counter = LogEntry::pack(kind, counter);
+    e.addr = addr;
+    e.tid = tid;
+    e.reserved = 0;
+    return append_one(e, tid);
+  }
+  // v1: reserve first, then write: each slot is written exactly once even
+  // under contention. Unfair access to the tail is harmless because only
   // per-thread ordering matters to the analyzer (§II-B).
   u64 slot = header_->tail.fetch_add(1, std::memory_order_relaxed);
   if (slot >= header_->max_entries) {
@@ -65,9 +138,107 @@ bool ProfileLog::append(EventKind kind, u64 addr, u64 tid, u64 counter) {
   return true;
 }
 
+bool ProfileLog::append_one(const LogEntry& e, u64 tid) {
+  LogShard& sh = shards_[tid % header_->shard_count];
+  u64 slot = sh.tail.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= sh.capacity) {
+    if (header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer) {
+      slot %= sh.capacity;
+    } else {
+      sh.dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  if (fault::fires("log.append.die")) raise(SIGKILL);
+  entries_[sh.entry_offset + slot] = e;
+  return true;
+}
+
+bool ProfileLog::append_batch(const LogEntry* batch, u32 n, u64 tid) {
+  if (n == 0) return true;
+  if (!shards_) {
+    // v1 has one shared tail; there is nothing a batch can amortize without
+    // breaking interleaved reservation, so publish entry by entry.
+    bool ok = true;
+    for (u32 i = 0; i < n; ++i) {
+      const LogEntry& e = batch[i];
+      ok &= append(e.kind(), e.addr, e.tid, e.counter());
+    }
+    return ok;
+  }
+  LogShard& sh = shards_[tid % header_->shard_count];
+  // One reservation covers the whole batch: this fetch-and-add is the only
+  // shared-memory RMW the hot path pays per kCapacity events.
+  u64 first = sh.tail.fetch_add(n, std::memory_order_relaxed);
+  // Fault point: the writer dying after reserving the run but before
+  // storing any of it — a batched flush can tear up to a whole batch of
+  // slots, which the analyzer's tombstone accounting must absorb.
+  if (fault::fires("log.flush.die")) raise(SIGKILL);
+  bool ring =
+      header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer;
+  LogEntry* seg = entries_ + sh.entry_offset;
+  if (first + n <= sh.capacity &&
+      !fault::Registry::instance().any_armed()) {
+    std::memcpy(seg + first, batch, static_cast<usize>(n) * sizeof(LogEntry));
+    return true;
+  }
+  bool any_stored = false;
+  for (u32 i = 0; i < n; ++i) {
+    // Per-store fault point, same name and semantics as the unbatched path:
+    // a batch dying at its Nth store leaves the already-reserved remainder
+    // of the run as tombstones.
+    if (fault::fires("log.append.die")) raise(SIGKILL);
+    u64 slot = first + i;
+    if (slot >= sh.capacity) {
+      if (ring) {
+        slot %= sh.capacity;
+      } else {
+        sh.dropped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    seg[slot] = batch[i];
+    any_stored = true;
+  }
+  return any_stored && (ring || first + n <= sh.capacity);
+}
+
+void ProfileLog::shard_snapshot(u32 s, std::vector<LogEntry>* out) const {
+  out->clear();
+  if (!shards_ || s >= header_->shard_count) return;
+  const LogShard& sh = shards_[s];
+  u64 tail = sh.tail.load(std::memory_order_acquire);
+  u64 cap = sh.capacity;
+  const LogEntry* seg = entries_ + sh.entry_offset;
+  bool ring =
+      header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer;
+  if (!ring || tail <= cap) {
+    u64 n = tail < cap ? tail : cap;
+    out->assign(seg, seg + n);
+    return;
+  }
+  u64 start = tail % cap;
+  out->reserve(cap);
+  out->insert(out->end(), seg + start, seg + cap);
+  out->insert(out->end(), seg, seg + start);
+}
+
 void ProfileLog::snapshot_ordered(std::vector<LogEntry>* out) const {
   out->clear();
   if (!header_) return;
+  if (shards_) {
+    // Per-shard windows concatenated in directory order. Cross-shard order
+    // is arbitrary — as is cross-thread order in v1 — but each thread's
+    // entries land in one shard in program order, which is the invariant
+    // the analyzer depends on.
+    out->reserve(size());
+    std::vector<LogEntry> one;
+    for (u32 s = 0; s < header_->shard_count; ++s) {
+      shard_snapshot(s, &one);
+      out->insert(out->end(), one.begin(), one.end());
+    }
+    return;
+  }
   u64 tail = header_->tail.load(std::memory_order_acquire);
   u64 cap = header_->max_entries;
   bool ring = header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer;
@@ -83,10 +254,85 @@ void ProfileLog::snapshot_ordered(std::vector<LogEntry>* out) const {
   out->insert(out->end(), entries_, entries_ + start);
 }
 
+std::string ProfileLog::serialize_compact() const {
+  std::string out;
+  if (!header_) return out;
+  LogHeader header_copy;
+  std::memcpy(static_cast<void*>(&header_copy), header_, sizeof(LogHeader));
+  header_copy.flags.store(flags() & ~log_flags::kRingBuffer,
+                          std::memory_order_relaxed);
+  if (!shards_) {
+    std::vector<LogEntry> ordered;
+    snapshot_ordered(&ordered);
+    header_copy.tail.store(ordered.size(), std::memory_order_relaxed);
+    out.assign(reinterpret_cast<const char*>(&header_copy), sizeof(LogHeader));
+    out.append(reinterpret_cast<const char*>(ordered.data()),
+               ordered.size() * sizeof(LogEntry));
+    return out;
+  }
+  // v2: pack the written windows back-to-back and rewrite the directory so
+  // offsets are cumulative, capacity == tail == the written count, and no
+  // wrap/gap logic survives into the file.
+  u32 nshards = header_->shard_count;
+  std::vector<std::vector<LogEntry>> windows(nshards);
+  std::vector<LogShard> dir(nshards);
+  u64 total = 0;
+  for (u32 s = 0; s < nshards; ++s) {
+    shard_snapshot(s, &windows[s]);
+    dir[s].entry_offset = total;
+    dir[s].capacity = windows[s].size();
+    dir[s].tail.store(windows[s].size(), std::memory_order_relaxed);
+    dir[s].dropped.store(shards_[s].dropped.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    total += windows[s].size();
+  }
+  header_copy.max_entries = total;
+  header_copy.tail.store(0, std::memory_order_relaxed);
+  out.assign(reinterpret_cast<const char*>(&header_copy), sizeof(LogHeader));
+  out.append(reinterpret_cast<const char*>(dir.data()),
+             static_cast<usize>(nshards) * sizeof(LogShard));
+  for (u32 s = 0; s < nshards; ++s) {
+    out.append(reinterpret_cast<const char*>(windows[s].data()),
+               windows[s].size() * sizeof(LogEntry));
+  }
+  return out;
+}
+
 u64 ProfileLog::size() const {
   if (!header_) return 0;
+  if (shards_) {
+    u64 n = 0;
+    for (u32 s = 0; s < header_->shard_count; ++s) {
+      u64 t = shards_[s].tail.load(std::memory_order_acquire);
+      n += t < shards_[s].capacity ? t : shards_[s].capacity;
+    }
+    return n;
+  }
   u64 t = header_->tail.load(std::memory_order_acquire);
   return t < header_->max_entries ? t : header_->max_entries;
+}
+
+u64 ProfileLog::attempted() const {
+  if (!header_) return 0;
+  if (shards_) {
+    u64 n = 0;
+    for (u32 s = 0; s < header_->shard_count; ++s) {
+      n += shards_[s].tail.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+  return header_->tail.load(std::memory_order_acquire);
+}
+
+u64 ProfileLog::dropped() const {
+  if (shards_) {
+    u64 n = 0;
+    for (u32 s = 0; s < header_->shard_count; ++s) {
+      n += shards_[s].dropped.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+  return dropped_.load(std::memory_order_relaxed);
 }
 
 void ProfileLog::set_active(bool on) {
@@ -112,19 +358,65 @@ u64 ProfileLog::flags() const {
   return header_ ? header_->flags.load(std::memory_order_acquire) : 0;
 }
 
-u64 ProfileLog::count_torn_tail(u64 window) const {
-  u64 n = size();
+u64 ProfileLog::shard_torn_tail(u32 s, u64 window) const {
+  if (!header_) return 0;
+  const LogEntry* seg = entries_;
+  u64 n = 0;
+  if (shards_) {
+    if (s >= header_->shard_count) return 0;
+    const LogShard& sh = shards_[s];
+    u64 t = sh.tail.load(std::memory_order_acquire);
+    n = t < sh.capacity ? t : sh.capacity;
+    seg = entries_ + sh.entry_offset;
+  } else {
+    if (s != 0) return 0;
+    n = size();
+  }
   if (n == 0) return 0;
   u64 start = n > window ? n - window : 0;
   u64 torn = 0;
   for (u64 i = start; i < n; ++i) {
-    const LogEntry& e = entries_[i];
-    // A legitimate entry always has a nonzero address; counter 0 with kind
-    // kCall is additionally possible only as the very first event of a
-    // software-counter run, so the pair is a reliable tombstone.
-    if (e.kind_and_counter == 0 && e.addr == 0 && e.tid == 0) ++torn;
+    if (is_tombstone(seg[i])) ++torn;
   }
   return torn;
+}
+
+u64 ProfileLog::count_torn_tail(u64 window) const {
+  if (!header_) return 0;
+  if (!shards_) return shard_torn_tail(0, window);
+  u64 torn = 0;
+  for (u32 s = 0; s < header_->shard_count; ++s) {
+    torn += shard_torn_tail(s, window);
+  }
+  return torn;
+}
+
+bool LogBatch::record(ProfileLog& log, EventKind kind, u64 addr, u64 tid,
+                      u64 counter) {
+  if (!log.sharded()) return log.append(kind, addr, tid, counter);
+  if (count_ == kCapacity || (count_ > 0 && tid_ != tid)) {
+    if (!flush(log)) {
+      // The shard is full (non-ring): keep counting drops per event instead
+      // of silently buffering into a log that will never take them.
+      log.shard(log.shard_of(tid))
+          ->dropped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  tid_ = tid;
+  LogEntry& e = pending_[count_++];
+  e.kind_and_counter = LogEntry::pack(kind, counter);
+  e.addr = addr;
+  e.tid = tid;
+  e.reserved = 0;
+  return true;
+}
+
+bool LogBatch::flush(ProfileLog& log) {
+  if (count_ == 0) return true;
+  u32 n = count_;
+  count_ = 0;
+  return log.append_batch(pending_, n, tid_);
 }
 
 }  // namespace teeperf

@@ -1,16 +1,33 @@
 // The TEE-Perf log format (paper §II-B, Figure 2).
 //
 // The log lives in shared memory mapped between the profiled application
-// (inside the TEE) and the recorder wrapper (outside). It is a fixed-size
-// header followed by an append-only array of fixed-size entries. Appending
-// is lock-free: a writer reserves a slot with a fetch-and-add on the tail
-// index and then fills it in. Entry order across threads is therefore not
-// globally consistent, but per-thread order is — which is all the analyzer
-// needs (§II-C, multithreading support).
+// (inside the TEE) and the recorder wrapper (outside). Two on-disk/in-shm
+// layouts exist:
+//
+//   v1 (the paper's Figure 2): a fixed-size header followed by one
+//   append-only array of fixed-size entries. Appending is lock-free: a
+//   writer reserves a slot with a fetch-and-add on the single shared tail
+//   and then fills it in. Every probe from every thread contends on that
+//   one tail cache line.
+//
+//   v2 (sharded, DESIGN.md "Log format v2"): the header is followed by a
+//   shard directory of N cache-line-padded LogShard records and then the
+//   entry array, split into N contiguous per-shard segments. A thread's
+//   events go to shard `tid % N`, so with enough shards each thread owns
+//   its tail and the hot path never bounces a cache line between cores.
+//   Writers normally publish through a small thread-local batch (LogBatch):
+//   one tail fetch-and-add per flush instead of per event.
+//
+// Entry order across threads is not globally consistent in either version,
+// but per-thread order is — which is all the analyzer needs (§II-C,
+// multithreading support). In v2 a thread's entries additionally all live
+// in one shard, which is what lets the analyzer reconstruct shards in
+// parallel.
 #pragma once
 
 #include <atomic>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -28,8 +45,14 @@ inline constexpr u64 kMultithread = 1ull << 16;   // entries carry thread ids
 inline constexpr u64 kRingBuffer = 1ull << 17;    // wrap instead of dropping
 }  // namespace log_flags
 
-inline constexpr u32 kLogVersion = 1;
+inline constexpr u32 kLogVersion = 1;         // single shared tail
+inline constexpr u32 kLogVersionSharded = 2;  // per-thread shard segments
 inline constexpr u64 kLogMagic = 0x5445455045524631ull;  // "TEEPERF1"
+
+// Upper bound a loader will believe for a v2 shard directory. Far above any
+// real configuration (the recorder caps at 64); exists so a hostile header
+// cannot make the loader allocate a directory-sized world.
+inline constexpr u32 kMaxLogShards = 1024;
 
 enum class EventKind : u64 { kCall = 0, kReturn = 1 };
 
@@ -57,15 +80,17 @@ static_assert(sizeof(LogEntry) == 32);
 // Log header (Figure 2a). `flags`, `tail` and `counter` are the only fields
 // mutated after initialisation; `version` and the rest are written once and
 // never changed (§II-B: the version "is static after it is written once").
+// In v2 the global `tail` is unused (each shard has its own); `shard_count`
+// is nonzero and a LogShard directory follows the header.
 struct LogHeader {
   u64 magic = 0;
   std::atomic<u64> flags{0};
   u32 version = 0;
-  u32 reserved0 = 0;
+  u32 shard_count = 0;  // v2: directory size; 0 in v1 logs
   u64 shm_base = 0;    // address the shared memory is mapped at in the app
   u64 pid = 0;         // process id of the profiled application
   u64 max_entries = 0; // immutable capacity; writers past this drop entries
-  std::atomic<u64> tail{0};       // index of the next entry to write
+  std::atomic<u64> tail{0};       // v1: index of the next entry to write
   u64 profiler_anchor = 0;        // address of a well-known function, used to
                                   // compute the load offset of relocatable code
   std::atomic<u64> counter{0};    // the software counter lives here so the
@@ -75,51 +100,109 @@ struct LogHeader {
   double ns_per_tick = 0.0;       // measured at dump time; lets the analyzer
                                   // report human time (relative profiles do
                                   // not depend on its accuracy)
-  u8 reserved1[128 - 11 * 8];     // pad so entries start cache-aligned
+  u8 reserved1[128 - 11 * 8] = {};  // pad so entries start cache-aligned;
+                                    // zeroed so serialized headers are
+                                    // byte-deterministic (corpus --gen)
 };
 static_assert(sizeof(LogHeader) == 128);
 
-// A view over a header + entry array placed in a caller-provided region.
-// Does not own the memory (the shared-memory region or file buffer does).
+// One v2 shard directory record: a contiguous segment of the entry array
+// owned by the threads with `tid % shard_count == index`. Cache-line sized
+// and aligned so two shards' tails never share a line — the whole point.
+struct alignas(64) LogShard {
+  u64 entry_offset = 0;            // segment start, as an entry-array index
+  u64 capacity = 0;                // segment length in entries
+  std::atomic<u64> tail{0};        // slots reserved (may run past capacity)
+  std::atomic<u64> dropped{0};     // appends refused when full (non-ring)
+  u8 reserved[64 - 4 * 8] = {};  // zeroed: keeps serialized directories
+                                 // byte-deterministic
+};
+static_assert(sizeof(LogShard) == 64);
+
+// A view over a header + (directory +) entry array placed in a caller-
+// provided region. Does not own the memory (the shared-memory region or
+// file buffer does).
 class ProfileLog {
  public:
   ProfileLog() = default;
 
-  // Formats `buffer` (of `size` bytes) as an empty log. Returns false if the
-  // buffer cannot hold the header plus at least one entry.
-  bool init(void* buffer, usize size, u64 pid, u64 initial_flags);
+  // Formats `buffer` (of `size` bytes) as an empty log. `shard_count` 0
+  // formats the classic v1 single-tail layout; 1..kMaxLogShards formats v2
+  // with that many equally sized shard segments (capacity rounds down to a
+  // multiple of shard_count). Returns false if the buffer cannot hold the
+  // header (plus directory) plus at least one entry per shard.
+  bool init(void* buffer, usize size, u64 pid, u64 initial_flags,
+            u32 shard_count = 0);
 
   // Adopts an already-formatted log (the analyzer side / reopened shm).
-  // Returns false if the magic or version does not match or sizes disagree.
+  // Returns false if the magic or version does not match, sizes disagree,
+  // or a v2 shard directory points outside the region.
   bool adopt(void* buffer, usize size);
 
-  // Lock-free append (§II-B stage #2): reserves a slot via fetch-and-add,
-  // then writes the entry. Returns false (and counts a drop) when full —
-  // unless kRingBuffer is set, in which case the slot wraps and the oldest
-  // entry is overwritten (long-running sessions keep the newest window).
+  // Lock-free append (§II-B stage #2): reserves a slot via fetch-and-add —
+  // on the global tail (v1) or on the tid's shard tail (v2) — then writes
+  // the entry. Returns false (and counts a drop) when full — unless
+  // kRingBuffer is set, in which case the slot wraps and the oldest entry
+  // is overwritten (long-running sessions keep the newest window).
   bool append(EventKind kind, u64 addr, u64 tid, u64 counter);
 
-  // Copies the entries in oldest→newest order into `out`, handling ring
-  // wrap-around. For non-ring logs this is simply entries [0, size).
+  // Batched publication (v2): reserves `n` slots in the tid's shard with a
+  // single fetch-and-add, then stores all entries (memcpy when the run does
+  // not wrap). All entries must carry the same tid. On a v1 log this
+  // degrades to n individual appends. Returns false if any entry dropped.
+  bool append_batch(const LogEntry* batch, u32 n, u64 tid);
+
+  // Copies the entries in a canonical order into `out`: v1 oldest→newest
+  // (handling ring wrap-around); v2 shard 0's window, then shard 1's, ...,
+  // each window oldest→newest. Per-thread order — the analyzer's only
+  // ordering requirement — is preserved in both.
   void snapshot_ordered(std::vector<LogEntry>* out) const;
 
+  // Copies one v2 shard's written window, oldest→newest (ring-aware).
+  void shard_snapshot(u32 s, std::vector<LogEntry>* out) const;
+
+  // Serializes header + (directory +) written entries as a compact dump:
+  // ring logs are normalized to plain order (the ring flag is cleared) and
+  // v2 segments are packed back-to-back with the directory rewritten, so
+  // the offline loader needs neither wrap logic nor segment gaps.
+  std::string serialize_compact() const;
+
   bool valid() const { return header_ != nullptr; }
+  bool sharded() const { return shards_ != nullptr; }
   LogHeader* header() { return header_; }
   const LogHeader* header() const { return header_; }
 
-  // Number of complete entries: min(tail, max_entries). Entries past
-  // max_entries were dropped; entries at the very tail may be torn if the
-  // application was killed mid-write, which the analyzer tolerates.
+  u32 shard_count() const { return header_ ? header_->shard_count : 0; }
+  u32 shard_of(u64 tid) const {
+    return shards_ ? static_cast<u32>(tid % header_->shard_count) : 0;
+  }
+  LogShard* shard(u32 s) { return shards_ ? &shards_[s] : nullptr; }
+  const LogShard* shard(u32 s) const { return shards_ ? &shards_[s] : nullptr; }
+
+  // Number of complete entries: min(tail, max_entries) for v1, the sum of
+  // per-shard clamped tails for v2. Entries past capacity were dropped;
+  // entries at the very tail may be torn if the application was killed
+  // mid-write, which the analyzer tolerates.
   u64 size() const;
   u64 capacity() const { return header_ ? header_->max_entries : 0; }
-  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Appends attempted, including dropped/wrapped ones: the raw tail (v1) or
+  // the sum of shard tails (v2).
+  u64 attempted() const;
+
+  // Appends refused because the log was full: the in-process count for v1,
+  // the (cross-process, shm-resident) shard counters summed for v2.
+  u64 dropped() const;
 
   const LogEntry& entry(u64 i) const { return entries_[i]; }
   LogEntry* entries() { return entries_; }
 
-  // Bytes needed for a log with `max_entries` entries.
-  static usize bytes_for(u64 max_entries) {
-    return sizeof(LogHeader) + static_cast<usize>(max_entries) * sizeof(LogEntry);
+  // Bytes needed for a log with `max_entries` entries across `shard_count`
+  // shards (0 = v1 layout).
+  static usize bytes_for(u64 max_entries, u32 shard_count = 0) {
+    return sizeof(LogHeader) +
+           static_cast<usize>(shard_count) * sizeof(LogShard) +
+           static_cast<usize>(max_entries) * sizeof(LogEntry);
   }
 
   // Flag helpers (atomic; usable while the application runs).
@@ -128,16 +211,52 @@ class ProfileLog {
   void set_flags(u64 set_mask, u64 clear_mask);
   u64 flags() const;
 
-  // Counts torn entries at the tail: slots that were reserved (tail moved
+  // Counts torn entries at the tail: slots that were reserved (a tail moved
   // past them) but never filled in — all-zero words — because a writer died
-  // between the fetch-and-add and the stores. Scans at most the last
-  // `window` written entries; run at dump time, after writers stopped.
+  // between the fetch-and-add and the stores. A batched v2 writer can leave
+  // up to a whole batch of them. Scans at most the last `window` written
+  // entries per shard; run at dump time, after writers stopped.
   u64 count_torn_tail(u64 window = 64) const;
 
+  // The per-shard torn-tail count (v2; shard 0 == the whole log for v1).
+  u64 shard_torn_tail(u32 s, u64 window = 64) const;
+
  private:
+  bool append_one(const LogEntry& e, u64 tid);
+
   LogHeader* header_ = nullptr;
+  LogShard* shards_ = nullptr;  // null for v1 logs
   LogEntry* entries_ = nullptr;
   std::atomic<u64> dropped_{0};
+};
+
+// Thread-local batching front-end for the hot path (§II-B stage #2, v2):
+// events accumulate in a small local buffer and publish with one shard-tail
+// reservation per flush, so the per-probe cost is a handful of L1 stores
+// plus 1/kCapacity of an atomic RMW. The runtime flushes on batch overflow,
+// on a function exit that returns the thread to depth 0, on observing
+// deactivation, and at thread exit (DESIGN.md "Batching rules"). On a v1
+// log record() appends directly — v1 semantics are exactly the old ones.
+class LogBatch {
+ public:
+  static constexpr u32 kCapacity = 32;
+
+  // Buffers one event (flushing first if the buffer is full or the tid
+  // changed). Returns false only when a direct v1 append dropped.
+  bool record(ProfileLog& log, EventKind kind, u64 addr, u64 tid, u64 counter);
+
+  // Publishes all pending entries to the tid's shard. False if any dropped.
+  bool flush(ProfileLog& log);
+
+  u32 pending() const { return count_; }
+
+  // Discards pending entries without publishing (detached/reset paths).
+  void abandon() { count_ = 0; }
+
+ private:
+  LogEntry pending_[kCapacity];
+  u32 count_ = 0;
+  u64 tid_ = 0;
 };
 
 }  // namespace teeperf

@@ -4,6 +4,7 @@
 
 #include <cstring>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/fileutil.h"
@@ -14,10 +15,29 @@
 
 namespace teeperf {
 
+// Auto shard count for v2 logs: a power of two covering the hardware
+// concurrency (so tid % N spreads threads evenly), clamped to [1, 64] and
+// then reduced until each shard keeps >= 1024 entries — small test logs
+// collapse to one shard, whose drop arithmetic is exactly v1's.
+static u32 pick_shard_count(const RecorderOptions& options) {
+  if (options.shards == 0) return 0;
+  if (options.shards > 0) {
+    u32 n = static_cast<u32>(options.shards);
+    return n > kMaxLogShards ? kMaxLogShards : n;
+  }
+  u32 hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  u32 n = 1;
+  while (n < hw && n < 64) n <<= 1;
+  while (n > 1 && options.max_entries / n < 1024) n >>= 1;
+  return n;
+}
+
 std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
   auto rec = std::unique_ptr<Recorder>(new Recorder());
   rec->options_ = options;
-  usize bytes = ProfileLog::bytes_for(options.max_entries);
+  u32 shards = pick_shard_count(options);
+  usize bytes = ProfileLog::bytes_for(options.max_entries, shards);
   bool ok = options.shm_name.empty() ? rec->shm_.create_anonymous(bytes)
                                      : rec->shm_.create(options.shm_name, bytes);
   if (!ok) return nullptr;
@@ -27,7 +47,8 @@ std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
   if (options.start_active) flags |= log_flags::kActive;
   if (options.record_calls) flags |= log_flags::kRecordCalls;
   if (options.record_returns) flags |= log_flags::kRecordReturns;
-  if (!rec->log_.init(rec->shm_.data(), bytes, static_cast<u64>(getpid()), flags)) {
+  if (!rec->log_.init(rec->shm_.data(), bytes, static_cast<u64>(getpid()), flags,
+                      shards)) {
     return nullptr;
   }
   rec->log_.header()->counter_mode = static_cast<u32>(options.counter_mode);
@@ -73,10 +94,15 @@ bool Recorder::attach() {
         counter_mode_name(mode), wopts);
     watchdog_->watch_log([this] {
       obs::LogSample s;
-      s.tail = log_.header()->tail.load(std::memory_order_relaxed);
+      s.tail = log_.attempted();
       s.capacity = log_.capacity();
       s.active = log_.active();
       s.ring = (log_.flags() & log_flags::kRingBuffer) != 0;
+      s.dropped = log_.dropped();
+      for (u32 i = 0; i < log_.shard_count(); ++i) {
+        s.shard_tails.push_back(
+            log_.shard(i)->tail.load(std::memory_order_relaxed));
+      }
       return s;
     });
     watchdog_->start();
@@ -118,9 +144,8 @@ Recorder::Stats Recorder::stats() const {
   s.entries = log_.size();
   s.dropped = log_.dropped();
   s.capacity = log_.capacity();
-  s.attempted = log_.header()
-                    ? log_.header()->tail.load(std::memory_order_acquire)
-                    : 0;
+  s.attempted = log_.attempted();
+  s.shards = log_.shard_count();
   s.torn_tail = log_.count_torn_tail();
   s.counter_stalled = watchdog_ && watchdog_->stalled();
   return s;
@@ -135,19 +160,14 @@ bool Recorder::dump(const std::string& prefix) {
   if (fault::fires("dump.fail")) return false;
 
   u64 tail = log_.header()->tail.load(std::memory_order_acquire);
-  if ((log_.flags() & log_flags::kRingBuffer) && tail > log_.capacity()) {
-    // Wrapped ring: persist a normalized file (header + ordered entries)
-    // so the analyzer's offline loader needs no wrap logic.
-    std::vector<LogEntry> ordered;
-    log_.snapshot_ordered(&ordered);
-    LogHeader header_copy;
-    std::memcpy(&header_copy, log_.header(), sizeof(LogHeader));
-    header_copy.tail.store(ordered.size(), std::memory_order_relaxed);
-    header_copy.flags.store(log_.flags() & ~log_flags::kRingBuffer,
-                            std::memory_order_relaxed);
-    std::string out(reinterpret_cast<const char*>(&header_copy), sizeof(LogHeader));
-    out.append(reinterpret_cast<const char*>(ordered.data()),
-               ordered.size() * sizeof(LogEntry));
+  bool wrapped = (log_.flags() & log_flags::kRingBuffer) &&
+                 (log_.sharded() || tail > log_.capacity());
+  if (log_.sharded() || wrapped) {
+    // Sharded (v2) or wrapped-ring logs persist in compact form: windows
+    // packed back-to-back, ring order normalized, directory rewritten — so
+    // the analyzer's offline loader needs no wrap or gap logic. The faults
+    // mangle the serialized copy, never the live log.
+    std::string out = log_.serialize_compact();
     fault::apply_byte_faults("dump", &out);
     if (!write_file(prefix + ".log", out)) return false;
   } else {

@@ -20,6 +20,13 @@ struct RecorderOptions {
   // Log capacity. 1M entries = 32 MiB of untrusted host memory.
   u64 max_entries = 1ull << 20;
 
+  // Shard layout (log format v2, DESIGN.md): -1 picks a power of two near
+  // the hardware concurrency (clamped to [1, 64], and reduced until every
+  // shard holds at least 1024 entries, so tiny test logs degrade to one
+  // shard and keep exact v1 drop arithmetic). 0 forces the classic v1
+  // single-tail layout. 1..kMaxLogShards forces an explicit v2 directory.
+  i32 shards = -1;
+
   // Time source. kTsc by default: on the single-core CI machine a software
   // counter thread starves the workload (see counter.h); pass kSoftware to
   // reproduce the paper's portable configuration.
@@ -81,6 +88,7 @@ class Recorder {
     u64 capacity = 0;
     u64 attempted = 0;       // appends tried, including dropped/wrapped
     u64 torn_tail = 0;       // tombstone slots found at the written tail
+    u32 shards = 0;          // shard directory size (0 = v1 single tail)
     bool counter_stalled = false;  // watchdog's live verdict (false when
                                    // telemetry is off or not attached)
   };

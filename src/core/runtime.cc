@@ -16,9 +16,23 @@ Session g_session;
 std::atomic<bool> g_attached{false};
 std::atomic<u64> g_next_tid{0};
 
+// Wrapping the per-thread state gives its batch a flush-at-thread-exit hook
+// without making ThreadState itself non-trivial: pending entries publish
+// when the thread unwinds, so short-lived threads lose nothing.
+struct ThreadStateHolder {
+  ThreadState state;
+  TEEPERF_NO_INSTRUMENT ~ThreadStateHolder() {
+    if (g_attached.load(std::memory_order_acquire) && g_session.log) {
+      state.batch.flush(*g_session.log);
+    } else {
+      state.batch.abandon();
+    }
+  }
+};
+
 TEEPERF_NO_INSTRUMENT ThreadState& thread_state() {
-  thread_local ThreadState state;
-  return state;
+  thread_local ThreadStateHolder holder;
+  return holder.state;
 }
 
 TEEPERF_NO_INSTRUMENT u64 tid_of(ThreadState& t) {
@@ -64,6 +78,10 @@ bool attach(ProfileLog* log, CounterMode mode, const Filter* filter) {
 }
 
 void detach() {
+  // Publish the detaching thread's buffered events before the session goes
+  // away; other threads flush at their next event, depth-0 return, or exit.
+  ThreadState& t = thread_state();
+  if (g_session.log) t.batch.flush(*g_session.log);
   g_session.log = nullptr;
   g_session.filter = nullptr;
   g_attached.store(false, std::memory_order_release);
@@ -99,11 +117,16 @@ void on_enter(u64 addr) {
   if (log && log->active() &&
       (log->flags() & log_flags::kRecordCalls) &&
       (!g_session.filter || g_session.filter->passes(addr))) {
-    log->append(EventKind::kCall, addr, tid_of(t),
-                read_counter(g_session.mode, log->header()));
+    t.batch.record(*log, EventKind::kCall, addr, tid_of(t),
+                   read_counter(g_session.mode, log->header()));
     if (std::atomic<u64>* cell = obs_entry_cell(t)) {
       cell->fetch_add(1, std::memory_order_relaxed);
     }
+  } else if (log && t.batch.pending()) {
+    // Deactivation (or a record-flag/filter change) observed with events
+    // still buffered: publish them now so a stop() is promptly visible to
+    // the host side rather than deferred to the next flush trigger.
+    t.batch.flush(*log);
   }
   t.in_hook = false;
 }
@@ -121,12 +144,18 @@ void on_exit(u64 addr) {
   if (log && log->active() &&
       (log->flags() & log_flags::kRecordReturns) &&
       (!g_session.filter || g_session.filter->passes(addr))) {
-    log->append(EventKind::kReturn, addr, tid_of(t),
-                read_counter(g_session.mode, log->header()));
+    t.batch.record(*log, EventKind::kReturn, addr, tid_of(t),
+                   read_counter(g_session.mode, log->header()));
     if (std::atomic<u64>* cell = obs_entry_cell(t)) {
       cell->fetch_add(1, std::memory_order_relaxed);
     }
+  } else if (log && t.batch.pending()) {
+    t.batch.flush(*log);
   }
+  // Returning to depth 0 means the thread's outermost instrumented call is
+  // complete — a natural quiesce point; publishing here keeps the shared
+  // log current whenever no instrumented code is on this thread's stack.
+  if (d <= 1 && log && t.batch.pending()) t.batch.flush(*log);
   t.in_hook = false;
 }
 
@@ -150,6 +179,7 @@ void reset_thread_for_test() {
   t.obs_entries = nullptr;
   t.obs_epoch = 0;
   t.stack.depth.store(0, std::memory_order_release);
+  t.batch.abandon();
 }
 
 }  // namespace teeperf::runtime

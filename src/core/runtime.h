@@ -36,6 +36,10 @@ struct ThreadState {
   std::atomic<u64>* obs_entries = nullptr;
   u64 obs_epoch = 0;
   ShadowStack stack;
+  // Thread-local batch for v2 sharded logs (pass-through on v1). Flushed on
+  // overflow, on returning to call depth 0, on observing deactivation, at
+  // thread exit, and by detach() for the detaching thread.
+  LogBatch batch;
 };
 
 // Installs the session: `log` may be null for sampling-only sessions (the

@@ -12,10 +12,12 @@ namespace teeperf {
 std::string build_symbol_file(const ProfileLog& log) {
   std::string sym = SymbolRegistry::instance().serialize();
   std::unordered_set<u64> raw_addrs;
-  u64 n = log.size();
-  for (u64 i = 0; i < n; ++i) {
-    u64 a = log.entry(i).addr;
-    if (!SymbolRegistry::is_registered_id(a)) raw_addrs.insert(a);
+  // snapshot_ordered rather than raw indices: a sharded (v2) log's entry
+  // array has per-shard gaps, so index 0..size() is not the written set.
+  std::vector<LogEntry> entries;
+  log.snapshot_ordered(&entries);
+  for (const LogEntry& e : entries) {
+    if (!SymbolRegistry::is_registered_id(e.addr)) raw_addrs.insert(e.addr);
   }
   for (u64 a : raw_addrs) {
     Dl_info info{};

@@ -242,7 +242,8 @@ void Registry::poll_external() {
   // Built-in point names are pollable even before their site was ever hit.
   static const char* const kBuiltinPoints[] = {
       "shm.create.fail", "shm.open.fail",  "shm.open.truncate",
-      "log.append.die",  "counter.stall",  "counter.backjump",
+      "log.append.die",  "log.flush.die",  "log.shard.alloc.fail",
+      "counter.stall",   "counter.backjump",
       "dump.fail",       "dump.torn",      "dump.bitflip",
       "epc.alloc_fail",  "epc.exhaust",    "wal.read.flip",
       "wal.append.torn", "sstable.open.flip",

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/spin.h"
+#include "common/stringutil.h"
 #include "faultsim/fault.h"
 
 namespace teeperf::obs {
@@ -146,6 +147,18 @@ void Watchdog::observe_log() {
   g_tail_.set(s.tail);
   g_active_.set(s.active ? 1 : 0);
   if (s.capacity > 0) g_occupancy_.set(written * 1000 / s.capacity);
+  if (!s.shard_tails.empty()) {
+    // Sharded (v2) log: per-shard tails let a scraper spot one hot thread
+    // saturating its shard while aggregate occupancy still looks low. Only
+    // the first 16 shards get individual gauges (registry space is finite);
+    // the aggregate tail above always covers all of them.
+    registry_->gauge("log.shards").set(s.shard_tails.size());
+    for (usize i = 0; i < s.shard_tails.size() && i < 16; ++i) {
+      registry_->gauge(str_format("log.shard.%zu.tail", i))
+          .set(s.shard_tails[i]);
+    }
+    if (s.dropped > 0) g_dropped_.set(s.dropped);
+  }
 
   if (now > last_tail_ns_ && s.tail >= last_tail_) {
     double rate = static_cast<double>(s.tail - last_tail_) * 1e9 /

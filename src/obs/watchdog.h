@@ -16,6 +16,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/types.h"
 #include "obs/events.h"
@@ -38,10 +39,15 @@ struct WatchdogOptions {
 
 // Occupancy/rate sample of the profiling log, provided by the owner.
 struct LogSample {
-  u64 tail = 0;      // entries attempted (monotonic)
+  u64 tail = 0;      // entries attempted (monotonic; summed over shards in v2)
   u64 capacity = 0;  // max entries
   bool active = false;
   bool ring = false;
+  u64 dropped = 0;   // appends refused (v2 sums the per-shard counters)
+  // v2 sharded logs: each shard's raw tail, in directory order (empty for
+  // v1). Published as log.shard.<i>.tail gauges so a scraper can spot one
+  // hot thread saturating its shard while the log as a whole looks empty.
+  std::vector<u64> shard_tails;
 };
 
 class Watchdog {

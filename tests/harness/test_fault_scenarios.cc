@@ -144,6 +144,119 @@ TEST_P(KillMidAppendTest, AnalyzerRecoversValidPrefix) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KillMidAppendTest, ::testing::Values(1, 2, 3));
 
+// --- kill mid batch flush ---------------------------------------------------
+
+// The v2 analogue: a batched writer SIGKILLed by `log.flush.die` after the
+// shard-tail reservation but before any of the batch's stores. The whole
+// reserved window — up to a full batch — stays zero, and the per-shard
+// torn-tail scan must account for every slot of it while the other shard's
+// completed flushes survive intact.
+class KillMidBatchFlushTest : public FaultScenarioTest,
+                              public ::testing::WithParamInterface<u64> {};
+
+TEST_P(KillMidBatchFlushTest, PerShardTornTailAccountsWholeBatch) {
+  const u64 seed = GetParam();
+  // nth=1 kills the first auto-flush (tid 0's full batch, nothing stored
+  // yet); nth=2 kills the second (tid 1's batch, after tid 0's survived).
+  const u64 fatal_flush = 1 + (seed % 2);
+  const u64 dying_tid = fatal_flush - 1;
+  const std::vector<ScriptEntry> script = make_script();
+
+  SharedMemoryRegion shm;
+  ASSERT_TRUE(shm.create_anonymous(ProfileLog::bytes_for(256, 2)));
+  ProfileLog log;
+  ASSERT_TRUE(log.init(shm.data(), shm.size(), 1234,
+                       log_flags::kActive | log_flags::kRecordCalls |
+                           log_flags::kRecordReturns | log_flags::kMultithread,
+                       2));
+  ASSERT_EQ(log.shard_count(), 2u);
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    fault::Spec s;
+    s.mode = fault::Mode::kNth;
+    s.n = fatal_flush;
+    fault::Registry::instance().set_seed(seed);
+    fault::Registry::instance().arm("log.flush.die", s);
+    // One batch per thread, as the runtime keeps them. Each tid records 32
+    // events — exactly one full-batch auto-flush per tid, in tid order.
+    LogBatch batches[2];
+    for (const ScriptEntry& e : script) {
+      batches[e.tid].record(log, e.kind, e.addr, e.tid, e.counter);
+    }
+    for (LogBatch& b : batches) b.flush(log);
+    _exit(0);  // unreachable: flush `fatal_flush` dies mid-publication
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child should die at flush " << fatal_flush;
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The dying shard reserved a whole batch and stored none of it; the other
+  // shard holds exactly its completed flushes.
+  const u32 dead_shard = log.shard_of(dying_tid);
+  const u32 live_shard = 1 - dead_shard;
+  EXPECT_EQ(log.shard(dead_shard)->tail.load(std::memory_order_acquire), 32u);
+  EXPECT_EQ(log.shard_torn_tail(dead_shard), 32u);
+  EXPECT_EQ(log.shard(live_shard)->tail.load(std::memory_order_acquire),
+            fatal_flush == 1 ? 0u : 32u);
+  EXPECT_EQ(log.shard_torn_tail(live_shard), 0u);
+  EXPECT_EQ(log.count_torn_tail(), 32u);
+
+  // The analyzer consumes the surviving shard and accounts every torn slot.
+  auto profile = analyzer::Profile::from_log(log, {}, 1.0);
+  EXPECT_EQ(profile.recon_stats().tombstones, 32u);
+
+  // Reference replay of the surviving thread's events (balanced calls and
+  // returns, so reconstruction is exact).
+  SharedMemoryRegion ref_shm;
+  ASSERT_TRUE(ref_shm.create_anonymous(ProfileLog::bytes_for(256)));
+  ProfileLog ref_log;
+  ASSERT_TRUE(ref_log.init(ref_shm.data(), ref_shm.size(), 1234, log.flags()));
+  for (const ScriptEntry& e : script) {
+    if (fatal_flush == 2 && e.tid != dying_tid) {
+      ref_log.append(e.kind, e.addr, e.tid, e.counter);
+    }
+  }
+  auto ref = analyzer::Profile::from_log(ref_log, {}, 1.0);
+  ASSERT_EQ(profile.invocations().size(), ref.invocations().size());
+  for (usize i = 0; i < ref.invocations().size(); ++i) {
+    EXPECT_EQ(profile.invocations()[i].method, ref.invocations()[i].method);
+    EXPECT_EQ(profile.invocations()[i].start, ref.invocations()[i].start);
+    EXPECT_EQ(profile.invocations()[i].end, ref.invocations()[i].end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KillMidBatchFlushTest, ::testing::Values(1, 2, 3));
+
+// --- shard allocation failure ----------------------------------------------
+
+TEST_F(FaultScenarioTest, ShardAllocFailMakesShardedInitFail) {
+  std::vector<u8> buf(ProfileLog::bytes_for(1024, 4));
+  {
+    // The v2 directory carve-out fails: init reports it, nothing is adopted.
+    fault::ScopedFault f("log.shard.alloc.fail:nth=1");
+    ProfileLog log;
+    EXPECT_FALSE(log.init(buf.data(), buf.size(), 42,
+                          log_flags::kActive | log_flags::kMultithread, 4));
+  }
+  {
+    // v1 never allocates a directory, so the same armed fault is a no-op.
+    fault::ScopedFault f("log.shard.alloc.fail:nth=1");
+    ProfileLog log;
+    EXPECT_TRUE(log.init(buf.data(), buf.size(), 42,
+                         log_flags::kActive | log_flags::kMultithread));
+  }
+  // And the recorder surfaces the failure as a failed create.
+  fault::ScopedFault f("log.shard.alloc.fail:nth=1");
+  RecorderOptions opts;
+  opts.counter_mode = CounterMode::kSteadyClock;
+  opts.shards = 4;
+  EXPECT_EQ(Recorder::create(opts), nullptr);
+}
+
 // --- torn / bit-flipped dumps ----------------------------------------------
 
 TEST_F(FaultScenarioTest, TornDumpLoadsPrefixOrRejectsCleanly) {

@@ -1,0 +1,210 @@
+// Golden-file regression tests for the analyzer (TESTING.md "Golden
+// files"): every seed_*.log in tests/corpus has a checked-in reference
+// rendering — folded stacks and method-stat JSON — and analysis output must
+// stay bit-identical to it. Any intentional analyzer change regenerates the
+// references with TEEPERF_UPDATE_GOLDEN=1 and reviews the diff.
+//
+// Plus the v1-vs-v2 differential: the same scripted workload recorded
+// through the single-tail v1 path and the sharded/batched v2 path must
+// produce identical method stats — the shard layout is a performance
+// change, never a semantic one.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/profile.h"
+#include "common/fileutil.h"
+#include "common/stringutil.h"
+#include "core/log_format.h"
+
+namespace teeperf {
+namespace {
+
+std::string corpus_dir() {
+  const char* dir = std::getenv("TEEPERF_CORPUS_DIR");
+  return dir && *dir ? dir : "tests/corpus";
+}
+
+bool update_mode() {
+  const char* u = std::getenv("TEEPERF_UPDATE_GOLDEN");
+  return u && *u && std::string(u) != "0";
+}
+
+std::vector<std::string> seed_logs() {
+  std::vector<std::string> names;
+  DIR* d = opendir(corpus_dir().c_str());
+  if (!d) return names;
+  while (dirent* entry = readdir(d)) {
+    std::string name = entry->d_name;
+    if (starts_with(name, "seed_") && name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".log") == 0) {
+      names.push_back(name.substr(0, name.size() - 4));
+    }
+  }
+  closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// Canonical folded-stacks rendering: already sorted by path in the API.
+std::string render_folded(const analyzer::Profile& p) {
+  std::string out;
+  for (const auto& [path, ticks] : p.folded_stacks()) {
+    out += path;
+    out += ' ';
+    out += std::to_string(ticks);
+    out += '\n';
+  }
+  return out;
+}
+
+// Method stats as JSON lines, sorted by method id — method_stats() sorts by
+// exclusive time, where ties would make the golden nondeterministic.
+std::string render_stats_json(const analyzer::Profile& p) {
+  auto stats = p.method_stats();
+  std::sort(stats.begin(), stats.end(),
+            [](const analyzer::MethodStats& a, const analyzer::MethodStats& b) {
+              return a.method < b.method;
+            });
+  std::string out = "[\n";
+  for (usize i = 0; i < stats.size(); ++i) {
+    const auto& s = stats[i];
+    out += str_format(
+        "  {\"method\": \"%s\", \"count\": %llu, \"inclusive\": %llu, "
+        "\"exclusive\": %llu, \"min\": %llu, \"max\": %llu}%s\n",
+        p.name(s.method).c_str(), static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.inclusive_total),
+        static_cast<unsigned long long>(s.exclusive_total),
+        static_cast<unsigned long long>(s.min_inclusive),
+        static_cast<unsigned long long>(s.max_inclusive),
+        i + 1 < stats.size() ? "," : "");
+  }
+  out += "]\n";
+  return out;
+}
+
+void check_golden(const std::string& golden_path, const std::string& actual) {
+  if (update_mode()) {
+    ASSERT_TRUE(write_file(golden_path, actual)) << golden_path;
+    return;
+  }
+  auto expected = read_file(golden_path);
+  ASSERT_TRUE(expected) << "missing golden " << golden_path
+                        << " — regenerate with TEEPERF_UPDATE_GOLDEN=1";
+  EXPECT_EQ(*expected, actual)
+      << "analyzer output drifted from " << golden_path
+      << " — if intentional, regenerate with TEEPERF_UPDATE_GOLDEN=1";
+}
+
+TEST(GoldenCorpus, HasSeeds) {
+  // The suite below silently passes on an empty list; make that loud.
+  EXPECT_GE(seed_logs().size(), 8u) << "corpus dir: " << corpus_dir();
+}
+
+TEST(GoldenCorpus, FoldedStacksAndMethodStatsBitIdentical) {
+  for (const std::string& name : seed_logs()) {
+    SCOPED_TRACE(name);
+    auto raw = read_file(corpus_dir() + "/" + name + ".log");
+    ASSERT_TRUE(raw);
+    auto profile = analyzer::Profile::load_bytes(*raw);
+    ASSERT_TRUE(profile) << "loader rejected a trusted seed";
+    std::string golden_base = corpus_dir() + "/golden/" + name;
+    check_golden(golden_base + ".folded", render_folded(*profile));
+    check_golden(golden_base + ".stats.json", render_stats_json(*profile));
+  }
+}
+
+// ------------------------------------------------------- v1/v2 differential
+
+// A deterministic multi-thread workload scripted as (kind, addr, tid,
+// counter) tuples: nested calls, a stray return, interleaved threads.
+struct Step {
+  EventKind kind;
+  u64 addr;
+  u64 tid;
+  u64 counter;
+};
+
+std::vector<Step> scripted_workload() {
+  std::vector<Step> steps;
+  u64 c = 1000;
+  for (u64 rep = 0; rep < 50; ++rep) {
+    for (u64 tid = 0; tid < 4; ++tid) {
+      steps.push_back({EventKind::kCall, 0x1000 + tid, tid, c += 3});
+      steps.push_back({EventKind::kCall, 0x2000 + tid, tid, c += 3});
+      steps.push_back({EventKind::kReturn, 0x2000 + tid, tid, c += 3});
+    }
+    for (u64 tid = 0; tid < 4; ++tid) {
+      steps.push_back({EventKind::kCall, 0x3000, tid, c += 3});
+      steps.push_back({EventKind::kReturn, 0x3000, tid, c += 3});
+      steps.push_back({EventKind::kReturn, 0x1000 + tid, tid, c += 3});
+    }
+  }
+  return steps;
+}
+
+std::string stats_signature(const analyzer::Profile& p) {
+  return render_stats_json(p);
+}
+
+TEST(V1V2Differential, SameWorkloadIdenticalMethodStats) {
+  std::vector<Step> steps = scripted_workload();
+
+  // v1: every step through the classic single-tail append.
+  std::vector<u8> v1_buf(ProfileLog::bytes_for(4096));
+  ProfileLog v1;
+  ASSERT_TRUE(v1.init(v1_buf.data(), v1_buf.size(), 1,
+                      log_flags::kActive | log_flags::kMultithread));
+  for (const Step& s : steps) {
+    ASSERT_TRUE(v1.append(s.kind, s.addr, s.tid, s.counter));
+  }
+
+  // v2: the same steps through per-thread batches into a sharded log, with
+  // deliberately unflushed remainders published at the end (as the runtime
+  // does at thread exit / detach).
+  std::vector<u8> v2_buf(ProfileLog::bytes_for(4096, 4));
+  ProfileLog v2;
+  ASSERT_TRUE(v2.init(v2_buf.data(), v2_buf.size(), 1,
+                      log_flags::kActive | log_flags::kMultithread, 4));
+  LogBatch batches[4];
+  for (const Step& s : steps) {
+    ASSERT_TRUE(batches[s.tid].record(v2, s.kind, s.addr, s.tid, s.counter));
+  }
+  for (LogBatch& b : batches) ASSERT_TRUE(b.flush(v2));
+
+  ASSERT_EQ(v1.size(), v2.size());
+  auto p1 = analyzer::Profile::from_log(v1, {}, 1.0);
+  auto p2 = analyzer::Profile::from_log(v2, {}, 1.0);
+  EXPECT_EQ(p1.thread_count(), p2.thread_count());
+  EXPECT_EQ(stats_signature(p1), stats_signature(p2));
+  EXPECT_EQ(render_folded(p1), render_folded(p2));
+}
+
+TEST(V1V2Differential, DumpRoundTripIdenticalMethodStats) {
+  // The serialized compact form must analyze identically to the live log.
+  std::vector<Step> steps = scripted_workload();
+  std::vector<u8> buf(ProfileLog::bytes_for(4096, 4));
+  ProfileLog log;
+  ASSERT_TRUE(log.init(buf.data(), buf.size(), 1,
+                       log_flags::kActive | log_flags::kMultithread, 4));
+  LogBatch batches[4];
+  for (const Step& s : steps) {
+    ASSERT_TRUE(batches[s.tid].record(log, s.kind, s.addr, s.tid, s.counter));
+  }
+  for (LogBatch& b : batches) ASSERT_TRUE(b.flush(log));
+
+  auto live = analyzer::Profile::from_log(log, {}, 1.0);
+  auto loaded = analyzer::Profile::load_bytes(log.serialize_compact());
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(stats_signature(live), stats_signature(*loaded));
+  EXPECT_EQ(render_folded(live), render_folded(*loaded));
+}
+
+}  // namespace
+}  // namespace teeperf

@@ -66,6 +66,48 @@ std::string serialize_log(const std::vector<LogEntry>& entries, u64 max_entries,
   return out;
 }
 
+// v2 (sharded) serializer. `windows` become back-to-back segments with a
+// directory in front, the compact form Recorder::dump emits. A nonzero
+// `tail_override` for a shard lets regression inputs lie about how much was
+// written (hostile-directory cases).
+struct ShardSpec {
+  std::vector<LogEntry> entries;
+  u64 offset_override = ~0ull;  // ~0 = cumulative (honest)
+  u64 capacity_override = ~0ull;
+  u64 tail_override = ~0ull;
+};
+
+std::string serialize_log_v2(const std::vector<ShardSpec>& shards, u64 flags,
+                             double ns_per_tick) {
+  u64 total = 0;
+  for (const auto& s : shards) total += s.entries.size();
+  LogHeader h;
+  h.magic = kLogMagic;
+  h.version = kLogVersionSharded;
+  h.shard_count = static_cast<u32>(shards.size());
+  h.pid = 4242;
+  h.max_entries = total;
+  h.flags.store(flags, std::memory_order_relaxed);
+  h.ns_per_tick = ns_per_tick;
+  std::string out(reinterpret_cast<const char*>(&h), sizeof(LogHeader));
+  u64 cursor = 0;
+  for (const auto& s : shards) {
+    LogShard d;
+    d.entry_offset = s.offset_override != ~0ull ? s.offset_override : cursor;
+    d.capacity =
+        s.capacity_override != ~0ull ? s.capacity_override : s.entries.size();
+    d.tail.store(s.tail_override != ~0ull ? s.tail_override : s.entries.size(),
+                 std::memory_order_relaxed);
+    out.append(reinterpret_cast<const char*>(&d), sizeof(LogShard));
+    cursor += s.entries.size();
+  }
+  for (const auto& s : shards) {
+    out.append(reinterpret_cast<const char*>(s.entries.data()),
+               s.entries.size() * sizeof(LogEntry));
+  }
+  return out;
+}
+
 LogEntry make_entry(EventKind kind, u64 addr, u64 tid, u64 counter) {
   LogEntry e;
   e.kind_and_counter = LogEntry::pack(kind, counter);
@@ -170,6 +212,70 @@ std::vector<std::pair<std::string, std::string>> build_seed_corpus() {
         "regression_nan_tick.log",
         serialize_log(es, 16, es.size(), flags,
                       std::numeric_limits<double>::quiet_NaN()));
+  }
+  {  // v2 sharded: four threads spread over four shards (tid % 4), each
+     // shard a balanced nested workload — the compact form a sharded
+     // recorder dumps.
+    std::vector<ShardSpec> shards(4);
+    for (u64 tid = 0; tid < 4; ++tid) {
+      u64 c = 100 * (tid + 1);
+      auto& es = shards[tid].entries;
+      for (u64 rep = 0; rep < 4; ++rep) {
+        es.push_back(make_entry(EventKind::kCall, 0x100 * (tid + 1), tid, c += 7));
+        es.push_back(make_entry(EventKind::kCall, 0xBB00 + tid, tid, c += 7));
+        es.push_back(make_entry(EventKind::kReturn, 0xBB00 + tid, tid, c += 7));
+        es.push_back(make_entry(EventKind::kReturn, 0x100 * (tid + 1), tid, c += 7));
+      }
+    }
+    corpus.emplace_back("seed_v2_shards.log",
+                        serialize_log_v2(shards, flags, 1.5));
+  }
+  {  // v2 torn batch: a batched writer died after reserving a whole flush —
+     // shard 1's window ends in a run of tombstones the analyzer must skip
+     // and count, while shard 0 stays clean.
+    std::vector<ShardSpec> shards(2);
+    u64 c = 40;
+    auto& clean = shards[0].entries;
+    clean.push_back(make_entry(EventKind::kCall, 0x7000, 0, c += 5));
+    clean.push_back(make_entry(EventKind::kReturn, 0x7000, 0, c += 5));
+    auto& torn = shards[1].entries;
+    torn.push_back(make_entry(EventKind::kCall, 0x7100, 1, c += 5));
+    torn.push_back(make_entry(EventKind::kReturn, 0x7100, 1, c += 5));
+    for (int i = 0; i < 4; ++i) torn.push_back(LogEntry{});
+    corpus.emplace_back("seed_v2_torn_batch.log",
+                        serialize_log_v2(shards, flags, 0.8));
+  }
+  {  // Regression: a hostile v2 directory — offsets past the file, a
+     // capacity/tail pair chosen so offset + capacity wraps u64. The loader
+     // must clamp every window to the bytes actually present.
+    std::vector<ShardSpec> shards(3);
+    shards[0].entries.push_back(make_entry(EventKind::kCall, 0x8000, 0, 10));
+    shards[0].entries.push_back(make_entry(EventKind::kReturn, 0x8000, 0, 20));
+    shards[1].offset_override = 1ull << 60;  // far past the file
+    shards[1].capacity_override = 1ull << 20;
+    shards[1].tail_override = 1ull << 20;
+    shards[2].offset_override = ~0ull - 8;   // offset + capacity wraps u64
+    shards[2].capacity_override = 64;
+    shards[2].tail_override = 64;
+    corpus.emplace_back("regression_v2_bad_directory.log",
+                        serialize_log_v2(shards, flags, 1.0));
+  }
+  {  // Regression: overlapping full-size windows with saturated tails — the
+     // copy-budget check must stop the loader from multiplying a small file
+     // into an unbounded allocation.
+    std::vector<ShardSpec> shards(4);
+    for (u64 tid = 0; tid < 4; ++tid) {
+      auto& es = shards[tid].entries;
+      es.push_back(make_entry(EventKind::kCall, 0x9000 + tid, tid, 10 + tid));
+      es.push_back(make_entry(EventKind::kReturn, 0x9000 + tid, tid, 20 + tid));
+    }
+    for (u64 s = 0; s < 4; ++s) {
+      shards[s].offset_override = 0;      // every window claims the whole file
+      shards[s].capacity_override = ~0ull >> 1;
+      shards[s].tail_override = ~0ull >> 1;
+    }
+    corpus.emplace_back("regression_v2_overlap.log",
+                        serialize_log_v2(shards, flags, 1.0));
   }
   return corpus;
 }
@@ -307,14 +413,13 @@ std::string mutate(const std::string& base, Xorshift64& rng) {
   return m;
 }
 
-// Benign mutation: reinterleave entries across threads while preserving
-// each thread's order — the exact nondeterminism the lock-free log permits.
-std::string reorder_across_threads(const std::string& base, Xorshift64& rng) {
-  if (base.size() < sizeof(LogHeader) + sizeof(LogEntry)) return base;
-  u64 n = (base.size() - sizeof(LogHeader)) / sizeof(LogEntry);
+// Reinterleaves `n` entries at byte offset `off` in place, preserving each
+// thread's internal order — the exact nondeterminism the lock-free log
+// permits within one tail's domain.
+void reorder_entry_span(std::string* bytes, usize off, u64 n, Xorshift64& rng) {
+  if (n < 2) return;
   std::vector<LogEntry> entries(n);
-  std::memcpy(entries.data(), base.data() + sizeof(LogHeader),
-              n * sizeof(LogEntry));
+  std::memcpy(entries.data(), bytes->data() + off, n * sizeof(LogEntry));
 
   std::vector<u64> tids;
   std::vector<std::vector<LogEntry>> queues;
@@ -337,9 +442,61 @@ std::string reorder_across_threads(const std::string& base, Xorshift64& rng) {
     if (heads[q] >= queues[q].size()) continue;
     shuffled.push_back(queues[q][heads[q]++]);
   }
-  std::string out = base.substr(0, sizeof(LogHeader));
-  out.append(reinterpret_cast<const char*>(shuffled.data()),
-             n * sizeof(LogEntry));
+  std::memcpy(bytes->data() + off, shuffled.data(), n * sizeof(LogEntry));
+}
+
+// Benign mutation: reinterleave entries across threads while preserving
+// each thread's order. Version-aware: a v1 log is one span; a v2 log is
+// reordered within each shard window (entries never move between shards —
+// a thread is pinned to its shard, so crossing would not be benign). A v2
+// directory that is out of range or overlapping is left untouched: with
+// aliased windows an in-window shuffle rewrites another window's bytes,
+// which is no longer a benign mutation.
+std::string reorder_across_threads(const std::string& base, Xorshift64& rng) {
+  if (base.size() < sizeof(LogHeader) + sizeof(LogEntry)) return base;
+  alignas(LogHeader) unsigned char header_buf[sizeof(LogHeader)];
+  std::memcpy(header_buf, base.data(), sizeof(LogHeader));
+  const auto* h = reinterpret_cast<const LogHeader*>(header_buf);
+  std::string out = base;
+
+  if (h->version != kLogVersionSharded) {
+    u64 n = (base.size() - sizeof(LogHeader)) / sizeof(LogEntry);
+    reorder_entry_span(&out, sizeof(LogHeader), n, rng);
+    return out;
+  }
+
+  u32 nshards = h->shard_count;
+  if (nshards == 0 || nshards > kMaxLogShards) return base;
+  usize dir_bytes = static_cast<usize>(nshards) * sizeof(LogShard);
+  if (base.size() - sizeof(LogHeader) < dir_bytes) return base;
+  std::vector<LogShard> dir(nshards);
+  std::memcpy(static_cast<void*>(dir.data()), base.data() + sizeof(LogHeader),
+              dir_bytes);
+  u64 available = (base.size() - sizeof(LogHeader) - dir_bytes) / sizeof(LogEntry);
+
+  // Windows clamped the way the loader clamps them; reject aliasing.
+  std::vector<std::pair<u64, u64>> windows(nshards, {0, 0});  // (off, n)
+  for (u32 s = 0; s < nshards; ++s) {
+    u64 off = dir[s].entry_offset;
+    if (off >= available) continue;
+    u64 n = dir[s].tail.load(std::memory_order_relaxed);
+    n = std::min({n, dir[s].capacity, available - off});
+    windows[s] = {off, n};
+  }
+  for (u32 a = 0; a < nshards; ++a) {
+    for (u32 b = a + 1; b < nshards; ++b) {
+      if (windows[a].second == 0 || windows[b].second == 0) continue;
+      if (windows[a].first < windows[b].first + windows[b].second &&
+          windows[b].first < windows[a].first + windows[a].second) {
+        return base;  // overlapping directory: no benign reorder exists
+      }
+    }
+  }
+  usize entry_base = sizeof(LogHeader) + dir_bytes;
+  for (u32 s = 0; s < nshards; ++s) {
+    reorder_entry_span(&out, entry_base + windows[s].first * sizeof(LogEntry),
+                       windows[s].second, rng);
+  }
   return out;
 }
 

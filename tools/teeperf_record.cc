@@ -14,6 +14,10 @@
 //   -o <prefix>    output prefix                (default: teeperf)
 //   -n <entries>   log capacity                 (default: 1048576)
 //   -c <counter>   tsc | software | steady_clock (default: tsc)
+//   --shards N     log format v2 shard count: per-thread shard segments
+//                  with cache-line-private tails (see DESIGN.md "Log format
+//                  v2"). 0 = classic v1 single tail; default auto-sizes to
+//                  the hardware concurrency
 //   --inactive     start with measurement off (flip on later via the log
 //                  header flags — dynamic activation)
 //   --calls-only / --returns-only   restrict recorded event kinds
@@ -89,6 +93,7 @@ int main(int argc, char** argv) {
   bool calls = true, returns = true;
   std::string filter_spec;
   long start_after_ms = -1, stop_after_ms = -1;
+  long shards = -1;  // -1 = auto, 0 = v1 single tail, >0 = explicit v2
   bool ring = false;
   bool telemetry = true;
   long hold_ms = 0, freeze_counter_after_ms = -1;
@@ -113,6 +118,12 @@ int main(int argc, char** argv) {
       returns = false;
     } else if (arg == "--returns-only") {
       calls = false;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = std::atol(argv[++i]);
+      if (shards < 0 || shards > static_cast<long>(kMaxLogShards)) {
+        usage();
+        return 2;
+      }
     } else if (arg == "--ring") {
       ring = true;
     } else if (arg == "--no-telemetry") {
@@ -163,10 +174,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Shard count (log format v2): auto picks a power of two near the core
+  // count, reduced until every shard keeps >= 1024 entries — same policy as
+  // the in-process Recorder.
+  u32 shard_count;
+  if (shards >= 0) {
+    shard_count = static_cast<u32>(shards);
+  } else {
+    u32 hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    shard_count = 1;
+    while (shard_count < hw && shard_count < 64) shard_count <<= 1;
+    while (shard_count > 1 && max_entries / shard_count < 1024) shard_count >>= 1;
+  }
+
   // Shared-memory log, owned by this wrapper.
   std::string shm_name = str_format("/teeperf.%d", getpid());
   SharedMemoryRegion shm;
-  usize bytes = ProfileLog::bytes_for(max_entries);
+  usize bytes = ProfileLog::bytes_for(max_entries, shard_count);
   if (!shm.create(shm_name, bytes)) {
     std::fprintf(stderr, "teeperf_record: shm_open(%s, %zu bytes) failed\n",
                  shm_name.c_str(), bytes);
@@ -178,7 +203,7 @@ int main(int argc, char** argv) {
   if (active) flags |= log_flags::kActive;
   if (calls) flags |= log_flags::kRecordCalls;
   if (returns) flags |= log_flags::kRecordReturns;
-  if (!log.init(shm.data(), bytes, 0, flags)) {
+  if (!log.init(shm.data(), bytes, 0, flags, shard_count)) {
     std::fprintf(stderr, "teeperf_record: log init failed\n");
     return 1;
   }
@@ -220,12 +245,17 @@ int main(int argc, char** argv) {
     watchdog = std::make_unique<obs::Watchdog>(
         &telem->registry(), &telem->journal(),
         [mode, header] { return read_counter(mode, header); }, counter);
-    watchdog->watch_log([&log, max_entries, ring] {
+    watchdog->watch_log([&log, ring] {
       obs::LogSample s;
-      s.tail = log.header()->tail.load(std::memory_order_relaxed);
-      s.capacity = max_entries;
+      s.tail = log.attempted();
+      s.capacity = log.capacity();
       s.active = log.active();
       s.ring = ring;
+      s.dropped = log.dropped();
+      for (u32 si = 0; si < log.shard_count(); ++si) {
+        s.shard_tails.push_back(
+            log.shard(si)->tail.load(std::memory_order_relaxed));
+      }
       return s;
     });
     watchdog->start();
@@ -306,22 +336,13 @@ int main(int argc, char** argv) {
   if (sw) sw->stop();
   log.set_active(false);
 
-  u64 tail = log.header()->tail.load(std::memory_order_acquire);
-  u64 n = tail < max_entries ? tail : max_entries;
-  if (ring && tail > max_entries) {
-    // Normalize the wrapped window so offline loaders see plain order.
-    std::vector<LogEntry> ordered;
-    log.snapshot_ordered(&ordered);
-    LogHeader header_copy;
-    std::memcpy(&header_copy, log.header(), sizeof(LogHeader));
-    header_copy.tail.store(ordered.size(), std::memory_order_relaxed);
-    header_copy.flags.store(log.flags() & ~log_flags::kRingBuffer,
-                            std::memory_order_relaxed);
-    std::string out(reinterpret_cast<const char*>(&header_copy),
-                    sizeof(LogHeader));
-    out.append(reinterpret_cast<const char*>(ordered.data()),
-               ordered.size() * sizeof(LogEntry));
-    if (!write_file(prefix + ".log", out)) {
+  u64 tail = log.attempted();
+  u64 n = log.size();
+  if (log.sharded() || (ring && tail > max_entries)) {
+    // Sharded or wrapped logs persist in compact form (windows packed
+    // back-to-back, ring order normalized) so offline loaders see plain
+    // order with no gaps.
+    if (!write_file(prefix + ".log", log.serialize_compact())) {
       std::fprintf(stderr, "teeperf_record: writing %s.log failed\n",
                    prefix.c_str());
       return 1;
@@ -346,9 +367,11 @@ int main(int argc, char** argv) {
       telem->journal().record(obs::EventType::kTornTail, torn, tail);
     }
     if (watchdog) watchdog->stop();
-    telem->journal().record(obs::EventType::kDetach, n,
-                            tail > max_entries && !ring ? tail - max_entries
-                                                        : 0);
+    // v2 drop counters live in shared memory (the child's drops are visible
+    // here); v1's are process-local, so reconstruct from the shared tail.
+    u64 dropped = log.sharded() ? log.dropped()
+                  : (tail > max_entries && !ring ? tail - max_entries : 0);
+    telem->journal().record(obs::EventType::kDetach, n, dropped);
     if (!write_file(prefix + ".health",
                     obs::health_text(reg, telem->journal()))) {
       std::fprintf(stderr, "teeperf_record: writing %s.health failed\n",
