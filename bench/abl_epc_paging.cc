@@ -67,7 +67,7 @@ double run_case(const char* label, usize buffer_pages, double* paging_frac) {
   std::printf("%-26s %10.1f ms   page_ins=%8llu   secure_paging share %5.1f%%\n",
               label, ms,
               static_cast<unsigned long long>(
-                  enclave.counters().page_ins.load()),
+                  enclave.counters().page_ins.load(std::memory_order_relaxed)),
               *paging_frac * 100);
   return ms;
 }

@@ -70,7 +70,7 @@ void BM_LockFreeAppend(benchmark::State& state) {
     l->init(buf->data(), buf->size(), 1, log_flags::kActive);
     return l;
   }();
-  if (state.thread_index() == 0) log->header()->tail.store(0);
+  if (state.thread_index() == 0) log->header()->tail.store(0, std::memory_order_relaxed);
   u64 i = 0;
   for (auto _ : state) {
     if (!log->append(EventKind::kCall, 0x1000 + i, 0, i)) {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "faultsim/fault.h"
+#include "faultsim/fault_points.h"
 
 namespace teeperf {
 
@@ -25,7 +26,7 @@ SharedMemoryRegion& SharedMemoryRegion::operator=(SharedMemoryRegion&& other) no
 bool SharedMemoryRegion::create(const std::string& name, usize size) {
   close();
   // Fault point: shm exhaustion on the host (ENOSPC on /dev/shm).
-  if (fault::fires("shm.create.fail")) return false;
+  if (fault::fires(fault_points::kShmCreateFail)) return false;
   int fd = shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
   if (fd < 0) return false;
   if (ftruncate(fd, static_cast<off_t>(size)) != 0) {
@@ -50,7 +51,7 @@ bool SharedMemoryRegion::open(const std::string& name) {
   close();
   // Fault points: the attach side losing the race with an owner that died
   // (open fails) or mapping a region the owner truncated under it.
-  if (fault::fires("shm.open.fail")) return false;
+  if (fault::fires(fault_points::kShmOpenFail)) return false;
   int fd = shm_open(name.c_str(), O_RDWR, 0600);
   if (fd < 0) return false;
   struct stat st {};
@@ -59,7 +60,7 @@ bool SharedMemoryRegion::open(const std::string& name) {
     return false;
   }
   usize size = static_cast<usize>(st.st_size);
-  if (fault::fires("shm.open.truncate")) {
+  if (fault::fires(fault_points::kShmOpenTruncate)) {
     usize page = 4096;
     size = size / 2 < page ? page : size / 2;
     if (size > static_cast<usize>(st.st_size)) size = static_cast<usize>(st.st_size);

@@ -40,6 +40,8 @@ double calibrate() {
 
 }  // namespace
 
+// teeperf-lint: allow(r1): clock_gettime(CLOCK_MONOTONIC) is a vDSO read,
+// not a kernel entry; it is the kSteadyClock counter source itself.
 u64 monotonic_ns() {
   timespec ts{};
   clock_gettime(CLOCK_MONOTONIC, &ts);

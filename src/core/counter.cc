@@ -4,6 +4,7 @@
 
 #include "common/spin.h"
 #include "faultsim/fault.h"
+#include "faultsim/fault_points.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <x86intrin.h>
@@ -88,9 +89,9 @@ void SoftwareCounter::run() {
     // Fault points, checked once per 1024-increment batch (one relaxed load
     // when nothing is armed): a stalled counter thread, and a counter word
     // jumping backwards (a tampered or wrapped time source).
-    if (fault::fires("counter.stall")) frozen = true;
-    if (fault::fires("counter.backjump")) {
-      u64 jump = 4096 + fault::value_below("counter.backjump", 4096);
+    if (fault::fires(fault_points::kCounterStall)) frozen = true;
+    if (fault::fires(fault_points::kCounterBackjump)) {
+      u64 jump = 4096 + fault::value_below(fault_points::kCounterBackjump, 4096);
       local = local > jump ? local - jump : 0;
       header_->counter.store(local, std::memory_order_relaxed);
     }

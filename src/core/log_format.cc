@@ -3,6 +3,7 @@
 #include <csignal>
 
 #include "faultsim/fault.h"
+#include "faultsim/fault_points.h"
 
 namespace teeperf {
 
@@ -29,7 +30,7 @@ bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags,
   // Fault point: the shard directory failing to come up (e.g. the shm grant
   // shrank under us between sizing and formatting). Modeled as init failure
   // so callers exercise their no-log degradation path.
-  if (shard_count > 0 && fault::fires("log.shard.alloc.fail")) return false;
+  if (shard_count > 0 && fault::fires(fault_points::kLogShardAllocFail)) return false;
 
   auto* h = new (buffer) LogHeader();
   h->magic = kLogMagic;
@@ -129,7 +130,8 @@ bool ProfileLog::append(EventKind kind, u64 addr, u64 tid, u64 counter) {
   // in — the exact tear the analyzer's tombstone handling exists for. The
   // site acts out the death itself (SIGKILL, no cleanup) so the torn slot
   // is produced by the real production code path.
-  if (fault::fires("log.append.die")) raise(SIGKILL);
+  if (fault::fires(fault_points::kLogAppendDie))
+    raise(SIGKILL);  // teeperf-lint: allow(r1): the fault IS the syscall
   LogEntry& e = entries_[slot];
   e.kind_and_counter = LogEntry::pack(kind, counter);
   e.addr = addr;
@@ -149,7 +151,8 @@ bool ProfileLog::append_one(const LogEntry& e, u64 tid) {
       return false;
     }
   }
-  if (fault::fires("log.append.die")) raise(SIGKILL);
+  if (fault::fires(fault_points::kLogAppendDie))
+    raise(SIGKILL);  // teeperf-lint: allow(r1): the fault IS the syscall
   entries_[sh.entry_offset + slot] = e;
   return true;
 }
@@ -173,7 +176,8 @@ bool ProfileLog::append_batch(const LogEntry* batch, u32 n, u64 tid) {
   // Fault point: the writer dying after reserving the run but before
   // storing any of it — a batched flush can tear up to a whole batch of
   // slots, which the analyzer's tombstone accounting must absorb.
-  if (fault::fires("log.flush.die")) raise(SIGKILL);
+  if (fault::fires(fault_points::kLogFlushDie))
+    raise(SIGKILL);  // teeperf-lint: allow(r1): the fault IS the syscall
   bool ring =
       header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer;
   LogEntry* seg = entries_ + sh.entry_offset;
@@ -187,7 +191,8 @@ bool ProfileLog::append_batch(const LogEntry* batch, u32 n, u64 tid) {
     // Per-store fault point, same name and semantics as the unbatched path:
     // a batch dying at its Nth store leaves the already-reserved remainder
     // of the run as tombstones.
-    if (fault::fires("log.append.die")) raise(SIGKILL);
+    if (fault::fires(fault_points::kLogAppendDie))
+    raise(SIGKILL);  // teeperf-lint: allow(r1): the fault IS the syscall
     u64 slot = first + i;
     if (slot >= sh.capacity) {
       if (ring) {
@@ -350,7 +355,8 @@ bool ProfileLog::active() const {
 void ProfileLog::set_flags(u64 set_mask, u64 clear_mask) {
   u64 old = header_->flags.load(std::memory_order_relaxed);
   while (!header_->flags.compare_exchange_weak(old, (old & ~clear_mask) | set_mask,
-                                               std::memory_order_acq_rel)) {
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
   }
 }
 

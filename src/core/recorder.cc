@@ -10,6 +10,8 @@
 #include "common/fileutil.h"
 #include "core/runtime.h"
 #include "faultsim/fault.h"
+#include "faultsim/fault_points.h"
+#include "obs/metric_names.h"
 #include "core/symbol_dump.h"
 #include "obs/export.h"
 
@@ -83,7 +85,7 @@ bool Recorder::attach() {
     telemetry_->journal().record(obs::EventType::kAttach,
                                  static_cast<u64>(getpid()), 0,
                                  counter_mode_name(options_.counter_mode));
-    telemetry_->registry().gauge("log.capacity").set(log_.capacity());
+    telemetry_->registry().gauge(obs::metric_names::kLogCapacity).set(log_.capacity());
     obs::WatchdogOptions wopts;
     wopts.interval_ms = options_.watchdog_interval_ms;
     LogHeader* header = log_.header();
@@ -157,7 +159,7 @@ bool Recorder::dump(const std::string& prefix) {
       counter_ns_per_tick(options_.counter_mode, log_.header());
 
   // Fault point: the dump failing outright (disk full, signal mid-exit).
-  if (fault::fires("dump.fail")) return false;
+  if (fault::fires(fault_points::kDumpFail)) return false;
 
   u64 tail = log_.header()->tail.load(std::memory_order_acquire);
   bool wrapped = (log_.flags() & log_flags::kRingBuffer) &&
@@ -168,7 +170,7 @@ bool Recorder::dump(const std::string& prefix) {
     // the analyzer's offline loader needs no wrap or gap logic. The faults
     // mangle the serialized copy, never the live log.
     std::string out = log_.serialize_compact();
-    fault::apply_byte_faults("dump", &out);
+    fault::apply_byte_faults(fault_points::kDumpPrefix, &out);
     if (!write_file(prefix + ".log", out)) return false;
   } else {
     u64 n = log_.size();
@@ -177,7 +179,7 @@ bool Recorder::dump(const std::string& prefix) {
     if (fault::Registry::instance().any_armed()) {
       // Copy so the torn/bit-flip faults mangle the file, not the live log.
       std::string out(raw);
-      fault::apply_byte_faults("dump", &out);
+      fault::apply_byte_faults(fault_points::kDumpPrefix, &out);
       if (!write_file(prefix + ".log", out)) return false;
     } else if (!write_file(prefix + ".log", raw)) {
       return false;
@@ -190,7 +192,7 @@ bool Recorder::dump(const std::string& prefix) {
   if (telemetry_) {
     if (u64 torn = log_.count_torn_tail()) {
       telemetry_->journal().record(obs::EventType::kTornTail, torn);
-      telemetry_->registry().gauge("log.torn_tail").set(torn);
+      telemetry_->registry().gauge(obs::metric_names::kLogTornTail).set(torn);
     }
     write_file(prefix + ".health",
                obs::health_text(telemetry_->registry(), telemetry_->journal()));

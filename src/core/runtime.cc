@@ -1,6 +1,7 @@
 #include "core/runtime.h"
 
 #include "common/stringutil.h"
+#include "obs/metric_names.h"
 #include "obs/session.h"
 
 namespace teeperf::runtime {
@@ -45,6 +46,8 @@ TEEPERF_NO_INSTRUMENT u64 tid_of(ThreadState& t) {
 // hot path is one relaxed fetch_add on a line no other thread touches.
 // High tids share one overflow counter so the registry cannot be exhausted
 // by thread churn.
+// teeperf-lint: allow(r1): once-per-thread-per-epoch registration slow path;
+// every later hot-path hit takes the cached-cell branch above the lookup.
 TEEPERF_NO_INSTRUMENT std::atomic<u64>* obs_entry_cell(ThreadState& t) {
   u64 epoch = obs::telemetry_epoch();
   if (t.obs_epoch != epoch) {
@@ -53,9 +56,9 @@ TEEPERF_NO_INSTRUMENT std::atomic<u64>* obs_entry_cell(ThreadState& t) {
     if (obs::SelfTelemetry* tel = obs::telemetry()) {
       u64 tid = tid_of(t);
       std::string name = tid < 32
-                             ? str_format("app.thread.%llu.entries",
+                             ? str_format(obs::metric_names::kAppThreadEntriesFmt,
                                           static_cast<unsigned long long>(tid))
-                             : "app.thread.other.entries";
+                             : obs::metric_names::kAppThreadOtherEntries;
       t.obs_entries = tel->registry().counter(name).cell();
     }
   }
@@ -67,7 +70,8 @@ TEEPERF_NO_INSTRUMENT std::atomic<u64>* obs_entry_cell(ThreadState& t) {
 bool attach(ProfileLog* log, CounterMode mode, const Filter* filter) {
   bool expected = false;
   if (!g_attached.compare_exchange_strong(expected, true,
-                                          std::memory_order_acq_rel)) {
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
     return false;
   }
   g_session.log = log;

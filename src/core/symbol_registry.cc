@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/stringutil.h"
+#include "obs/metric_names.h"
 #include "obs/session.h"
 
 namespace teeperf {
@@ -24,7 +25,7 @@ u64 SymbolRegistry::intern(std::string_view name) {
   names_.push_back(key);
   by_name_.emplace(std::move(key), id);
   if (obs::SelfTelemetry* tel = obs::telemetry()) {
-    tel->registry().gauge("symbols.registered").set(names_.size());
+    tel->registry().gauge(obs::metric_names::kSymbolsRegistered).set(names_.size());
   }
   return id;
 }

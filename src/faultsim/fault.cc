@@ -1,5 +1,7 @@
 #include "faultsim/fault.h"
 
+#include "faultsim/fault_points.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -240,15 +242,7 @@ void Registry::poll_external() {
     for (const auto& [name, pt] : points_) names.push_back(name);
   }
   // Built-in point names are pollable even before their site was ever hit.
-  static const char* const kBuiltinPoints[] = {
-      "shm.create.fail", "shm.open.fail",  "shm.open.truncate",
-      "log.append.die",  "log.flush.die",  "log.shard.alloc.fail",
-      "counter.stall",   "counter.backjump",
-      "dump.fail",       "dump.torn",      "dump.bitflip",
-      "epc.alloc_fail",  "epc.exhaust",    "wal.read.flip",
-      "wal.append.torn", "sstable.open.flip",
-  };
-  for (const char* builtin : kBuiltinPoints) names.push_back(builtin);
+  for (const char* builtin : fault_points::kAll) names.push_back(builtin);
 
   for (const std::string& name : names) {
     u64 pending = fetch(name);

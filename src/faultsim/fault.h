@@ -127,6 +127,8 @@ class Registry {
 };
 
 // The instrumentation entry point. One relaxed load when nothing is armed.
+// teeperf-lint: allow(r1): the armed slow path (mutex + map) only runs in
+// fault-injection tests; production probe cost is the relaxed load above.
 inline bool fires(std::string_view name) {
   Registry& r = Registry::instance();
   return r.any_armed() && r.should_fire(name);

@@ -1,0 +1,47 @@
+// Fault-point name manifest — the single source of truth for every
+// fault-injection point name in the tree (teeperf_lint rule R4).
+//
+// Instrumented code passes these constants to fault::fires() /
+// fault::value_below() instead of repeating the string literal at each
+// site; poll_external() iterates kAll so external arming reaches every
+// point without a second hand-maintained list. TESTING.md's "Built-in
+// fault points" table must list exactly these names — teeperf_lint
+// cross-checks both directions and fails CI on drift.
+//
+// Adding a point: add the constant here, add it to kAll, document it in
+// TESTING.md, then use it at the fault site (see TESTING.md "Adding a
+// fault point").
+#pragma once
+
+namespace teeperf::fault_points {
+
+inline constexpr char kShmCreateFail[] = "shm.create.fail";
+inline constexpr char kShmOpenFail[] = "shm.open.fail";
+inline constexpr char kShmOpenTruncate[] = "shm.open.truncate";
+inline constexpr char kLogAppendDie[] = "log.append.die";
+inline constexpr char kLogFlushDie[] = "log.flush.die";
+inline constexpr char kLogShardAllocFail[] = "log.shard.alloc.fail";
+inline constexpr char kCounterStall[] = "counter.stall";
+inline constexpr char kCounterBackjump[] = "counter.backjump";
+inline constexpr char kDumpFail[] = "dump.fail";
+inline constexpr char kDumpTorn[] = "dump.torn";
+inline constexpr char kDumpBitflip[] = "dump.bitflip";
+inline constexpr char kEpcAllocFail[] = "epc.alloc_fail";
+inline constexpr char kEpcExhaust[] = "epc.exhaust";
+inline constexpr char kWalAppendTorn[] = "wal.append.torn";
+inline constexpr char kWalReadFlip[] = "wal.read.flip";
+inline constexpr char kSstableOpenFlip[] = "sstable.open.flip";
+
+// The byte-corruption prefix consumed by fault::apply_byte_faults(); it
+// expands to kDumpTorn / kDumpBitflip.
+inline constexpr char kDumpPrefix[] = "dump";
+
+// Every arm-able point, for poll_external() and introspection tools.
+inline constexpr const char* kAll[] = {
+    kShmCreateFail, kShmOpenFail,   kShmOpenTruncate, kLogAppendDie,
+    kLogFlushDie,   kLogShardAllocFail, kCounterStall, kCounterBackjump,
+    kDumpFail,      kDumpTorn,      kDumpBitflip,     kEpcAllocFail,
+    kEpcExhaust,    kWalAppendTorn, kWalReadFlip,     kSstableOpenFlip,
+};
+
+}  // namespace teeperf::fault_points

@@ -5,6 +5,7 @@
 #include "common/crc32c.h"
 #include "common/fileutil.h"
 #include "faultsim/fault.h"
+#include "faultsim/fault_points.h"
 #include "kvstore/bloom.h"
 #include "kvstore/coding.h"
 #include "kvstore/compress.h"
@@ -118,8 +119,8 @@ Status Table::open(const std::string& path, const Options& options,
   // Fault point: a bit flipped in the table image by the untrusted host.
   // Some layer of validation (footer range checks, block CRCs) must reject
   // it with Status::corruption — never an out-of-bounds read.
-  if (!table->data_.empty() && fault::fires("sstable.open.flip")) {
-    u64 bit = fault::value_below("sstable.open.flip", table->data_.size() * 8);
+  if (!table->data_.empty() && fault::fires(fault_points::kSstableOpenFlip)) {
+    u64 bit = fault::value_below(fault_points::kSstableOpenFlip, table->data_.size() * 8);
     table->data_[bit / 8] =
         static_cast<char>(table->data_[bit / 8] ^ (1u << (bit % 8)));
   }

@@ -3,6 +3,7 @@
 #include "common/crc32c.h"
 #include "common/fileutil.h"
 #include "faultsim/fault.h"
+#include "faultsim/fault_points.h"
 #include "kvstore/coding.h"
 
 namespace teeperf::kvs {
@@ -24,9 +25,9 @@ Status WalWriter::append(std::string_view record) {
   frame.append(record.data(), record.size());
   // Fault point: the process dying mid-fwrite — only a prefix of the frame
   // reaches the file, which recovery must treat as an unacknowledged tear.
-  if (fault::fires("wal.append.torn")) {
+  if (fault::fires(fault_points::kWalAppendTorn)) {
     usize cut = 1 + static_cast<usize>(
-                        fault::value_below("wal.append.torn", frame.size() - 1));
+                        fault::value_below(fault_points::kWalAppendTorn, frame.size() - 1));
     std::fwrite(frame.data(), 1, cut, file_);
     std::fflush(file_);
     return Status::io_error("wal write torn (fault injection)");
@@ -59,8 +60,8 @@ Status WalReader::read_all(const std::string& path, std::vector<std::string>* re
 
   // Fault point: untrusted host storage flipping a bit under the reader;
   // the CRC framing must reject the record, never crash.
-  if (!data->empty() && fault::fires("wal.read.flip")) {
-    u64 bit = fault::value_below("wal.read.flip", data->size() * 8);
+  if (!data->empty() && fault::fires(fault_points::kWalReadFlip)) {
+    u64 bit = fault::value_below(fault_points::kWalReadFlip, data->size() * 8);
     (*data)[bit / 8] = static_cast<char>((*data)[bit / 8] ^ (1u << (bit % 8)));
   }
 

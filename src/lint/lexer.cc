@@ -1,0 +1,180 @@
+#include "lint/lexer.h"
+
+namespace teeperf::lint {
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+bool digit(char c) { return c >= '0' && c <= '9'; }
+
+// Multi-char punctuators we care to keep whole. Order matters (longest
+// first within a shared prefix); anything unmatched falls back to one char.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  usize i = 0;
+  int line = 1;
+  const usize n = src.size();
+
+  auto push = [&out](Tok kind, std::string text, int at) {
+    out.push_back(Token{kind, std::move(text), at});
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor line: only if '#' is the first non-space on its line.
+    if (c == '#') {
+      usize bol = src.rfind('\n', i == 0 ? 0 : i - 1);
+      bol = bol == std::string_view::npos ? 0 : bol + 1;
+      bool first = true;
+      for (usize j = bol; j < i; ++j) {
+        if (src[j] != ' ' && src[j] != '\t') { first = false; break; }
+      }
+      if (first) {
+        int at = line;
+        usize start = i;
+        while (i < n) {
+          if (src[i] == '\n') {
+            // Fold backslash continuations into the directive.
+            usize k = i;
+            while (k > start && (src[k - 1] == '\r')) --k;
+            if (k > start && src[k - 1] == '\\') {
+              ++line;
+              ++i;
+              continue;
+            }
+            break;
+          }
+          ++i;
+        }
+        push(Tok::kPreproc, std::string(src.substr(start, i - start)), at);
+        continue;
+      }
+      // '#' mid-line (token pasting in a macro body): single punct.
+      push(Tok::kPunct, "#", line);
+      ++i;
+      continue;
+    }
+
+    // Comments (kept: they carry lint waivers).
+    if (c == '/' && i + 1 < n && (src[i + 1] == '/' || src[i + 1] == '*')) {
+      int at = line;
+      usize start = i;
+      if (src[i + 1] == '/') {
+        while (i < n && src[i] != '\n') ++i;
+      } else {
+        i += 2;
+        while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+          if (src[i] == '\n') ++line;
+          ++i;
+        }
+        i = i + 1 < n ? i + 2 : n;
+      }
+      push(Tok::kComment, std::string(src.substr(start, i - start)), at);
+      continue;
+    }
+
+    // Raw string literal: R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      usize d0 = i + 2;
+      usize dp = src.find('(', d0);
+      if (dp != std::string_view::npos && dp - d0 <= 16) {
+        std::string close = ")";
+        close += std::string(src.substr(d0, dp - d0));
+        close += '"';
+        usize end = src.find(close, dp + 1);
+        int at = line;
+        usize stop = end == std::string_view::npos ? n : end;
+        for (usize j = i; j < stop; ++j) {
+          if (src[j] == '\n') ++line;
+        }
+        push(Tok::kString, std::string(src.substr(dp + 1, stop - dp - 1)), at);
+        i = end == std::string_view::npos ? n : end + close.size();
+        continue;
+      }
+    }
+
+    // String / char literal with escape handling.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      int at = line;
+      std::string text;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          // Keep the simple escapes readable; others pass through raw.
+          char e = src[i + 1];
+          switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '0': text += '\0'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            case '\'': text += '\''; break;
+            default: text += '\\'; text += e; break;
+          }
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;  // unterminated; tolerate
+        text += src[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      push(quote == '"' ? Tok::kString : Tok::kChar, std::move(text), at);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      usize start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      push(Tok::kIdent, std::string(src.substr(start, i - start)), line);
+      continue;
+    }
+
+    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
+      usize start = i;
+      // Digits, digit separators, hex/bin prefixes, exponents, suffixes —
+      // one greedy pass is fine for linting purposes.
+      while (i < n && (ident_char(src[i]) || src[i] == '\'' || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      push(Tok::kNumber, std::string(src.substr(start, i - start)), line);
+      continue;
+    }
+
+    // Punctuator: longest match from the table, else a single char.
+    std::string_view rest = src.substr(i);
+    std::string_view matched;
+    for (std::string_view p : kPuncts) {
+      if (rest.substr(0, p.size()) == p) { matched = p; break; }
+    }
+    if (matched.empty()) matched = rest.substr(0, 1);
+    push(Tok::kPunct, std::string(matched), line);
+    i += matched.size();
+  }
+  return out;
+}
+
+}  // namespace teeperf::lint

@@ -1,0 +1,37 @@
+// A minimal C++ lexer for teeperf_lint. Not a compiler front-end: it
+// tokenizes identifiers, literals, punctuation, comments and preprocessor
+// lines with line numbers, which is exactly enough for the project rules
+// (R1 probe purity, R2 explicit memory order, R3 shm layout, R4 name
+// registry — see rules.h). Comments are kept as tokens because waivers
+// ("// teeperf-lint: allow(<rule>): why") live in them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace teeperf::lint {
+
+enum class Tok : u8 {
+  kIdent,    // identifiers and keywords
+  kNumber,   // integer / floating literals (suffixes included)
+  kString,   // "..." (text is the *unescaped* contents, quotes stripped)
+  kChar,     // '...'
+  kPunct,    // one operator/punctuator, longest-match ("::", "->", ...)
+  kComment,  // // or /* */ (text includes the comment markers)
+  kPreproc,  // a whole preprocessor line, continuations folded
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+// Tokenizes `src`. Never fails: unterminated constructs are closed at EOF,
+// unknown bytes become single-char punctuators. Deterministic.
+std::vector<Token> lex(std::string_view src);
+
+}  // namespace teeperf::lint

@@ -1,0 +1,57 @@
+// Driver for teeperf_lint: corpus assembly (directory walk + parse), the
+// shm-manifest JSON reader/writer, the TESTING.md fault-point table reader,
+// baseline handling, and the CLI entry point. Dependency-free by design —
+// rules must run in CI images with nothing but a C++ toolchain.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace teeperf::lint {
+
+struct LintOptions {
+  std::vector<std::string> paths;  // files or directories to scan
+  std::string manifest_path;       // shm_manifest.json; "" skips the check
+  std::string testing_md_path;     // TESTING.md; "" skips the doc cross-check
+  std::string baseline_path;       // known-findings file; "" = none
+  bool dump_manifest = false;      // print regenerated manifest JSON, no lint
+};
+
+struct LintResult {
+  std::vector<Finding> findings;   // new findings (not in the baseline)
+  std::vector<Finding> baselined;  // findings matched by the baseline
+  std::vector<std::string> errors; // unreadable files, malformed inputs
+};
+
+// Reads and indexes every .h/.cc/.cpp under `paths` (sorted, deterministic)
+// into a corpus; wires in the manifest and doc table if configured.
+Corpus build_corpus(const LintOptions& options, std::vector<std::string>* errors);
+
+// Runs the rules and splits findings against the baseline.
+LintResult run_lint(const LintOptions& options);
+
+// Serializes the shm structs of `corpus` as shm_manifest.json text.
+std::string render_manifest(const Corpus& corpus);
+
+// Parses shm_manifest.json. False (with *error set) on malformed input.
+bool parse_manifest(std::string_view text, std::vector<ManifestStruct>* out,
+                    std::string* error);
+
+// Extracts fault-point names from the TESTING.md "fault points" table:
+// backticked, dotted names in table rows under a heading mentioning
+// "fault point".
+std::set<std::string> parse_fault_point_table(std::string_view markdown);
+
+// Baseline file: one finding key per line ("rule|file|message"), '#' starts
+// a comment. Line numbers are deliberately not part of the key.
+std::set<std::string> parse_baseline(std::string_view text);
+
+// The CLI: teeperf_lint [--check] [--manifest F] [--testing F]
+// [--baseline F] [--dump-manifest] PATH...
+int lint_main(int argc, char** argv);
+
+}  // namespace teeperf::lint

@@ -1,0 +1,622 @@
+#include "lint/parse.h"
+
+#include <cstdlib>
+
+namespace teeperf::lint {
+namespace {
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if", "for", "while", "switch", "return", "sizeof", "alignof",
+      "alignas", "decltype", "static_assert", "catch", "new", "delete",
+      "throw", "case", "do", "else", "goto", "co_await", "co_return",
+      "co_yield", "assert",
+  };
+  return kKeywords.count(s) > 0;
+}
+
+bool is_decl_specifier(const std::string& s) {
+  static const std::set<std::string> kSpecs = {
+      "const", "constexpr", "consteval", "constinit", "inline", "static",
+      "extern", "virtual", "explicit", "friend", "mutable", "volatile",
+      "typename", "register", "thread_local", "noexcept", "override",
+      "final", "public", "private", "protected", "using", "typedef",
+  };
+  return kSpecs.count(s) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Constant-expression evaluation (for array extents).
+
+struct ExprParser {
+  const std::vector<Token>& toks;
+  usize pos, end;
+  const std::map<std::string, u64>& constants;
+  bool ok = true;
+
+  const Token* peek() {
+    while (pos < end && (toks[pos].kind == Tok::kComment ||
+                         toks[pos].kind == Tok::kPreproc)) {
+      ++pos;
+    }
+    return pos < end ? &toks[pos] : nullptr;
+  }
+  bool eat_punct(const char* p) {
+    const Token* t = peek();
+    if (t && t->kind == Tok::kPunct && t->text == p) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  u64 primary() {
+    const Token* t = peek();
+    if (!t) { ok = false; return 0; }
+    if (t->kind == Tok::kNumber) {
+      ++pos;
+      std::string digits;
+      for (char c : t->text) {
+        if (c == '\'') continue;
+        if (c == 'u' || c == 'U' || c == 'l' || c == 'L') continue;
+        digits += c;
+      }
+      return std::strtoull(digits.c_str(), nullptr, 0);
+    }
+    if (t->kind == Tok::kIdent) {
+      ++pos;
+      auto it = constants.find(t->text);
+      if (it == constants.end()) { ok = false; return 0; }
+      return it->second;
+    }
+    if (t->kind == Tok::kPunct && t->text == "(") {
+      ++pos;
+      u64 v = bit_or();
+      if (!eat_punct(")")) ok = false;
+      return v;
+    }
+    if (t->kind == Tok::kPunct && t->text == "-") {
+      ++pos;
+      return static_cast<u64>(0) - primary();
+    }
+    if (t->kind == Tok::kPunct && t->text == "~") {
+      ++pos;
+      return ~primary();
+    }
+    ok = false;
+    return 0;
+  }
+  u64 mul() {
+    u64 v = primary();
+    while (ok) {
+      if (eat_punct("*")) v *= primary();
+      else if (eat_punct("/")) { u64 r = primary(); v = r ? v / r : (ok = false, 0); }
+      else if (eat_punct("%")) { u64 r = primary(); v = r ? v % r : (ok = false, 0); }
+      else break;
+    }
+    return v;
+  }
+  u64 add() {
+    u64 v = mul();
+    while (ok) {
+      if (eat_punct("+")) v += mul();
+      else if (eat_punct("-")) v -= mul();
+      else break;
+    }
+    return v;
+  }
+  u64 shift() {
+    u64 v = add();
+    while (ok) {
+      if (eat_punct("<<")) v <<= add();
+      else if (eat_punct(">>")) v >>= add();
+      else break;
+    }
+    return v;
+  }
+  u64 bit_and() {
+    u64 v = shift();
+    while (ok && eat_punct("&")) v &= shift();
+    return v;
+  }
+  u64 bit_xor() {
+    u64 v = bit_and();
+    while (ok && eat_punct("^")) v ^= bit_and();
+    return v;
+  }
+  u64 bit_or() {
+    u64 v = bit_xor();
+    while (ok && eat_punct("|")) v |= bit_xor();
+    return v;
+  }
+};
+
+}  // namespace
+
+std::optional<u64> eval_const_expr(const std::vector<Token>& tokens,
+                                   usize begin, usize end,
+                                   const std::map<std::string, u64>& constants) {
+  ExprParser p{tokens, begin, end, constants};
+  u64 v = p.bit_or();
+  if (!p.ok) return std::nullopt;
+  if (p.peek() != nullptr) return std::nullopt;  // trailing junk
+  return v;
+}
+
+std::string FunctionDef::last_name() const {
+  usize at = name.rfind("::");
+  return at == std::string::npos ? name : name.substr(at + 2);
+}
+
+std::string FunctionDef::qualified() const {
+  return scope.empty() ? name : scope + "::" + name;
+}
+
+bool FileIndex::waived_at(const std::string& rule, int line) const {
+  for (const Waiver& w : waivers) {
+    if (w.line == line && w.rules.count(rule)) return true;
+  }
+  return false;
+}
+
+bool FileIndex::waived_in(const std::string& rule, int first, int last) const {
+  for (const Waiver& w : waivers) {
+    if (w.line >= first && w.line <= last && w.rules.count(rule)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Indexer: a single pass with a scope stack.
+
+struct ScopeFrame {
+  enum Kind { kNamespace, kClass, kFunction, kOther } kind;
+  std::string name;  // namespace/class name, empty for others
+};
+
+struct Indexer {
+  FileIndex& out;
+  const std::vector<Token>& toks;  // alias of out.tokens
+  std::vector<ScopeFrame> scopes;
+
+  explicit Indexer(FileIndex& fi) : out(fi), toks(fi.tokens) {}
+
+  bool sig(usize i) const {  // significant token
+    return toks[i].kind != Tok::kComment && toks[i].kind != Tok::kPreproc;
+  }
+  usize next_sig(usize i) const {
+    ++i;
+    while (i < toks.size() && !sig(i)) ++i;
+    return i;
+  }
+  usize prev_sig(usize i) const {
+    while (i > 0) {
+      --i;
+      if (sig(i)) return i;
+    }
+    return static_cast<usize>(-1);
+  }
+  bool punct(usize i, const char* p) const {
+    return i < toks.size() && toks[i].kind == Tok::kPunct && toks[i].text == p;
+  }
+  bool ident(usize i) const {
+    return i < toks.size() && toks[i].kind == Tok::kIdent;
+  }
+
+  // Token index one past the brace/paren group opening at `i`.
+  usize skip_group(usize i, const char* open, const char* close) const {
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+      if (punct(i, open)) ++depth;
+      else if (punct(i, close) && --depth == 0) return i + 1;
+    }
+    return toks.size();
+  }
+
+  std::string scope_path() const {
+    std::string s;
+    for (const ScopeFrame& f : scopes) {
+      if (f.name.empty()) continue;
+      if (!s.empty()) s += "::";
+      s += f.name;
+    }
+    return s;
+  }
+
+  void extract_waivers() {
+    for (const Token& t : toks) {
+      if (t.kind != Tok::kComment) continue;
+      usize at = t.text.find("teeperf-lint:");
+      if (at == std::string::npos) continue;
+      usize a = t.text.find("allow(", at);
+      if (a == std::string::npos) continue;
+      usize close = t.text.find(')', a);
+      if (close == std::string::npos) continue;
+      Waiver w;
+      w.line = t.line;
+      std::string inside = t.text.substr(a + 6, close - a - 6);
+      std::string cur;
+      for (char c : inside + ",") {
+        if (c == ',' || c == ' ') {
+          if (!cur.empty()) w.rules.insert(cur);
+          cur.clear();
+        } else {
+          cur += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+        }
+      }
+      if (!w.rules.empty()) out.waivers.push_back(w);
+    }
+  }
+
+  // Parses `constexpr ... kName = <expr>;` at token i (i points at the
+  // name); records the value if the expression evaluates.
+  void try_constant(usize name_at, usize eq_at, usize semi_at) {
+    auto v = eval_const_expr(toks, eq_at + 1, semi_at, out.constants);
+    if (v) out.constants[toks[name_at].text] = *v;
+  }
+
+  // --- function bodies: collect call sites -------------------------------
+  void collect_calls(FunctionDef& fn) {
+    for (usize i = fn.body_begin; i < fn.body_end; ++i) {
+      if (!ident(i) || is_keyword(toks[i].text)) continue;
+      usize nx = next_sig(i);
+      if (!punct(nx, "(")) continue;
+      CallSite cs;
+      cs.name = toks[i].text;
+      cs.line = toks[i].line;
+      usize pv = prev_sig(i);
+      if (pv != static_cast<usize>(-1)) {
+        if (punct(pv, ".") || punct(pv, "->")) {
+          cs.is_member = true;
+          usize q = prev_sig(pv);
+          if (q != static_cast<usize>(-1) && ident(q)) cs.qualifier = toks[q].text;
+        } else if (punct(pv, "::")) {
+          usize q = prev_sig(pv);
+          if (q != static_cast<usize>(-1) && ident(q)) cs.qualifier = toks[q].text;
+        }
+      }
+      fn.calls.push_back(std::move(cs));
+    }
+  }
+
+  // --- struct layout ------------------------------------------------------
+  struct TypeInfo {
+    u64 size = 0, align = 0;
+    bool known = false, atomic = false, pointer = false, non_trivial = false;
+  };
+
+  TypeInfo type_info(const std::string& t) const {
+    static const std::map<std::string, std::pair<u64, u64>> kSizes = {
+        {"u8", {1, 1}},   {"i8", {1, 1}},   {"char", {1, 1}},
+        {"bool", {1, 1}}, {"u16", {2, 2}},  {"i16", {2, 2}},
+        {"u32", {4, 4}},  {"i32", {4, 4}},  {"int", {4, 4}},
+        {"unsigned", {4, 4}}, {"float", {4, 4}},
+        {"u64", {8, 8}},  {"i64", {8, 8}},  {"usize", {8, 8}},
+        {"isize", {8, 8}}, {"double", {8, 8}},
+    };
+    TypeInfo ti;
+    std::string base = t;
+    if (!base.empty() && base.back() == '*') {
+      ti.known = true;
+      ti.pointer = true;
+      ti.size = ti.align = 8;
+      return ti;
+    }
+    if (base.rfind("std::atomic<", 0) == 0 && base.back() == '>') {
+      ti.atomic = true;
+      base = base.substr(12, base.size() - 13);
+    }
+    auto it = kSizes.find(base);
+    if (it != kSizes.end()) {
+      ti.known = true;
+      ti.size = it->second.first;
+      ti.align = it->second.second;
+      return ti;
+    }
+    static const std::set<std::string> kNonTrivial = {
+        "std::string", "std::vector", "std::function", "std::map",
+        "std::unordered_map", "std::mutex", "std::shared_ptr",
+        "std::unique_ptr", "std::thread", "std::condition_variable",
+    };
+    for (const std::string& nt : kNonTrivial) {
+      if (base.rfind(nt, 0) == 0) {
+        ti.non_trivial = true;
+        return ti;
+      }
+    }
+    return ti;  // unknown
+  }
+
+  // Parses the struct whose `struct` keyword is at token i. Returns the
+  // token index one past the closing `};`, or i+1 if it is not a
+  // definition we understand.
+  usize parse_struct(usize i) {
+    usize j = next_sig(i);
+    u64 forced_align = 0;
+    if (ident(j) && toks[j].text == "alignas") {
+      usize open = next_sig(j);
+      usize close = skip_group(open, "(", ")");
+      auto v = eval_const_expr(toks, open + 1, close - 1, out.constants);
+      if (v) forced_align = *v;
+      j = close;
+      while (j < toks.size() && !sig(j)) ++j;
+    }
+    if (!ident(j)) return i + 1;
+    StructDef sd;
+    sd.name = toks[j].text;
+    sd.line = toks[j].line;
+    usize k = next_sig(j);
+    if (!punct(k, "{")) return i + 1;  // fwd decl / variable / base list
+    usize body_end = skip_group(k, "{", "}") - 1;  // index of '}'
+
+    u64 offset = 0, max_align = 1;
+    bool computed = true;
+    usize m = next_sig(k);
+    while (m < body_end) {
+      // One member declaration: tokens up to ';' at depth 0.
+      usize semi = m;
+      int pd = 0, bd = 0;
+      bool has_paren = false;
+      while (semi < body_end) {
+        if (punct(semi, "(")) { ++pd; has_paren = true; }
+        else if (punct(semi, ")")) --pd;
+        else if (punct(semi, "{")) ++bd;
+        else if (punct(semi, "}")) --bd;
+        else if (punct(semi, ";") && pd == 0 && bd == 0) break;
+        ++semi;
+      }
+      // Member functions / static members / using / static_assert: skip.
+      // A function body may end in '}' with no ';' — the depth-0 scan above
+      // still finds the next ';' or the struct end, which is fine to skip to.
+      bool is_static = ident(m) && (toks[m].text == "static");
+      bool is_meta = ident(m) && (toks[m].text == "using" ||
+                                  toks[m].text == "static_assert" ||
+                                  toks[m].text == "friend" ||
+                                  toks[m].text == "public" ||
+                                  toks[m].text == "private" ||
+                                  toks[m].text == "protected" ||
+                                  toks[m].text == "struct" ||
+                                  toks[m].text == "enum");
+      if (is_static) {
+        // `static constexpr u64 kName = expr;` feeds the constant table.
+        for (usize t = m; t + 2 < semi; ++t) {
+          if (ident(t) && punct(next_sig(t), "=")) {
+            try_constant(t, next_sig(t), semi);
+            break;
+          }
+        }
+      }
+      if (is_static || is_meta || has_paren) {
+        m = next_sig(semi);
+        continue;
+      }
+
+      // Find the member name: the last ident before ';' / '[' / '=' / '{'.
+      usize stop = semi;
+      for (usize t = m; t < semi; ++t) {
+        if (punct(t, "[") || punct(t, "=") || punct(t, "{")) { stop = t; break; }
+      }
+      usize name_at = static_cast<usize>(-1);
+      for (usize t = m; t < stop; ++t) {
+        if (ident(t)) name_at = t;
+      }
+      if (name_at == static_cast<usize>(-1)) {
+        m = next_sig(semi);
+        continue;
+      }
+      FieldDef fd;
+      fd.name = toks[name_at].text;
+      fd.line = toks[name_at].line;
+      // Normalize the type spelling from the tokens before the name.
+      std::string type;
+      for (usize t = m; t < name_at; ++t) {
+        if (!sig(t)) continue;
+        if (ident(t) && is_decl_specifier(toks[t].text)) continue;
+        type += toks[t].text;
+      }
+      fd.type = type;
+      // Array extent.
+      if (punct(stop, "[")) {
+        usize close = skip_group(stop, "[", "]") - 1;
+        auto v = eval_const_expr(toks, stop + 1, close, out.constants);
+        fd.array_len = v ? *v : 0;
+        if (!v) computed = false;
+      }
+      TypeInfo ti = type_info(type);
+      if (ti.atomic) sd.has_atomic_member = true;
+      if (ti.pointer) sd.has_pointer_member = true;
+      if (ti.non_trivial) sd.non_trivial_members.push_back(fd.name);
+      if (!ti.known) {
+        computed = false;
+      } else {
+        u64 n = fd.array_len ? fd.array_len : 1;
+        offset = (offset + ti.align - 1) / ti.align * ti.align;
+        fd.offset = offset;
+        fd.size = ti.size * n;
+        offset += fd.size;
+        if (ti.align > max_align) max_align = ti.align;
+      }
+      sd.fields.push_back(std::move(fd));
+      m = next_sig(semi);
+    }
+    if (forced_align > max_align) max_align = forced_align;
+    sd.align = max_align;
+    sd.size = (offset + max_align - 1) / max_align * max_align;
+    sd.layout_computed = computed;
+    out.structs.push_back(std::move(sd));
+    return body_end + 1;
+  }
+
+  // --- main walk ----------------------------------------------------------
+  void run() {
+    extract_waivers();
+    usize i = 0;
+    std::vector<std::pair<usize, ScopeFrame>> open;  // brace index -> frame
+    std::vector<usize> brace_stack;                  // token index of each '{'
+
+    while (i < toks.size()) {
+      if (!sig(i)) { ++i; continue; }
+      const Token& t = toks[i];
+
+      if (t.kind == Tok::kPunct && t.text == "{") {
+        brace_stack.push_back(i);
+        scopes.push_back({ScopeFrame::kOther, ""});
+        ++i;
+        continue;
+      }
+      if (t.kind == Tok::kPunct && t.text == "}") {
+        if (!brace_stack.empty()) brace_stack.pop_back();
+        if (!scopes.empty()) scopes.pop_back();
+        ++i;
+        continue;
+      }
+
+      if (t.kind == Tok::kIdent && t.text == "namespace") {
+        // namespace a::b::c {  (or anonymous)
+        std::string name;
+        usize j = next_sig(i);
+        while (j < toks.size() && (ident(j) || punct(j, "::"))) {
+          if (ident(j)) {
+            if (!name.empty()) name += "::";
+            name += toks[j].text;
+          }
+          j = next_sig(j);
+        }
+        if (punct(j, "{")) {
+          brace_stack.push_back(j);
+          scopes.push_back({ScopeFrame::kNamespace, name});
+          i = j + 1;
+          continue;
+        }
+        i = j;
+        continue;
+      }
+
+      if (t.kind == Tok::kIdent && (t.text == "struct" || t.text == "class")) {
+        // Only index `struct` layouts (R3's shm types are structs), but we
+        // must still enter class bodies to find member function defs.
+        usize j = next_sig(i);
+        if (ident(j) && toks[j].text == "alignas") {
+          j = skip_group(next_sig(j), "(", ")");
+          while (j < toks.size() && !sig(j)) ++j;
+        }
+        if (ident(j)) {
+          std::string cls = toks[j].text;
+          usize k = next_sig(j);
+          // Skip base-clause up to '{'.
+          usize brace = k;
+          while (brace < toks.size() && !punct(brace, "{") &&
+                 !punct(brace, ";")) {
+            ++brace;
+          }
+          if (punct(brace, "{")) {
+            if (t.text == "struct") parse_struct(i);  // layout pass
+            brace_stack.push_back(brace);
+            scopes.push_back({ScopeFrame::kClass, cls});
+            i = brace + 1;
+            continue;
+          }
+        }
+        ++i;
+        continue;
+      }
+
+      if (t.kind == Tok::kIdent && t.text == "constexpr") {
+        // [inline|static] constexpr <type> kName = <expr>;
+        usize j = next_sig(i);
+        while (j < toks.size() && ident(j) &&
+               (is_decl_specifier(toks[j].text) || true)) {
+          usize nx = next_sig(j);
+          if (punct(nx, "=")) {
+            usize semi = nx;
+            while (semi < toks.size() && !punct(semi, ";")) ++semi;
+            try_constant(j, nx, semi);
+            i = semi;
+            break;
+          }
+          if (punct(nx, ";") || punct(nx, "{") || punct(nx, "[")) break;
+          j = nx;
+        }
+        ++i;
+        continue;
+      }
+
+      // Function definition? ident (qualified) directly followed by '('.
+      if (t.kind == Tok::kIdent && !is_keyword(t.text) &&
+          !is_decl_specifier(t.text)) {
+        usize nx = next_sig(i);
+        if (punct(nx, "(")) {
+          // Qualified name: walk back over `ident ::` pairs and '~'.
+          std::string name = t.text;
+          int name_line = t.line;
+          usize back = prev_sig(i);
+          if (back != static_cast<usize>(-1) && punct(back, "~")) {
+            name = "~" + name;
+            back = prev_sig(back);
+          }
+          while (back != static_cast<usize>(-1) && punct(back, "::")) {
+            usize q = prev_sig(back);
+            if (q == static_cast<usize>(-1) || !ident(q)) break;
+            name = toks[q].text + "::" + name;
+            back = prev_sig(q);
+          }
+          usize close = skip_group(nx, "(", ")");  // one past ')'
+          // Scan the post-signature region for '{' (definition), ';'
+          // (declaration) or '=' (deleted/defaulted/assignment).
+          usize j = close;
+          bool in_init_list = false;
+          usize body = 0;
+          while (j < toks.size()) {
+            if (!sig(j)) { ++j; continue; }
+            if (punct(j, ";") || punct(j, "=")) break;
+            if (punct(j, ":")) { in_init_list = true; ++j; continue; }
+            if (punct(j, "(")) { j = skip_group(j, "(", ")"); continue; }
+            if (punct(j, "{")) {
+              if (in_init_list) {
+                usize pv = prev_sig(j);
+                bool init_brace = pv != static_cast<usize>(-1) &&
+                                  (ident(pv) || punct(pv, ",") || punct(pv, ":") ||
+                                   punct(pv, ">"));
+                if (init_brace) { j = skip_group(j, "{", "}"); continue; }
+              }
+              body = j;
+              break;
+            }
+            ++j;
+          }
+          if (body != 0) {
+            FunctionDef fn;
+            fn.name = name;
+            fn.scope = scope_path();
+            fn.line = name_line;
+            fn.body_begin = body;
+            fn.body_end = skip_group(body, "{", "}");
+            fn.end_line = fn.body_end <= toks.size() && fn.body_end > 0
+                              ? toks[fn.body_end - 1].line
+                              : name_line;
+            collect_calls(fn);
+            out.functions.push_back(std::move(fn));
+            i = fn.body_end == 0 ? i + 1 : out.functions.back().body_end;
+            continue;
+          }
+        }
+      }
+      ++i;
+    }
+  }
+};
+
+}  // namespace
+
+FileIndex index_file(const std::string& path, std::string_view contents) {
+  FileIndex fi;
+  fi.path = path;
+  fi.tokens = lex(contents);
+  Indexer ix(fi);
+  ix.run();
+  return fi;
+}
+
+}  // namespace teeperf::lint

@@ -1,0 +1,100 @@
+// Lightweight structural parse over the token stream (lexer.h). Extracts
+// exactly what the rules need and nothing more:
+//
+//   - function definitions with body token ranges and outgoing call sites
+//     (for the R1 probe-path call graph);
+//   - struct definitions with computed member offsets/sizes under the
+//     Itanium-ABI layout rules for the simple scalar/array/atomic members
+//     the shm types use (for R3 layout manifests);
+//   - `inline constexpr` integer constants (array extents like
+//     `u8 pad[128 - 7 * 8]` are evaluated against them);
+//   - waiver comments: `// teeperf-lint: allow(<rule>)[: reason]`.
+//
+// This is deliberately not a C++ parser. Templates, overload sets and
+// macros are approximated; the rules compensate by over-approximating
+// (sound for a linter) and by supporting justified waivers where the
+// approximation is wrong.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace teeperf::lint {
+
+struct CallSite {
+  std::string name;       // last name component at the call ("flush")
+  std::string qualifier;  // immediate qualifier if spelled ("fault", "obj")
+  bool is_member = false; // preceded by '.' or '->'
+  int line = 0;
+};
+
+struct FunctionDef {
+  std::string name;        // as written, e.g. "append" or "ProfileLog::append"
+  std::string scope;       // enclosing namespace/class path, "::"-joined
+  int line = 0;            // line of the name token
+  int end_line = 0;        // line of the closing brace
+  usize body_begin = 0;    // token index of '{'
+  usize body_end = 0;      // token index one past matching '}'
+  std::vector<CallSite> calls;
+
+  // The unqualified last component ("append").
+  std::string last_name() const;
+  // scope + written name, "::"-joined ("teeperf::ProfileLog::append").
+  std::string qualified() const;
+};
+
+struct FieldDef {
+  std::string name;
+  std::string type;  // normalized spelling, e.g. "u64", "std::atomic<u64>"
+  u64 array_len = 0; // 0 = not an array
+  u64 offset = 0;
+  u64 size = 0;      // total size (element size * array_len for arrays)
+  int line = 0;
+};
+
+struct StructDef {
+  std::string name;
+  int line = 0;
+  u64 size = 0;
+  u64 align = 0;
+  bool layout_computed = false;  // false if a member type was not understood
+  bool has_atomic_member = false;
+  bool has_pointer_member = false;
+  std::vector<FieldDef> fields;
+  std::vector<std::string> non_trivial_members;  // std::string/vector/... fields
+};
+
+struct Waiver {
+  int line = 0;
+  std::set<std::string> rules;  // rule ids inside allow(...), lowercased
+};
+
+struct FileIndex {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<FunctionDef> functions;
+  std::vector<StructDef> structs;
+  std::vector<Waiver> waivers;
+  std::map<std::string, u64> constants;  // inline constexpr integers
+
+  // True if `rule` is waived on exactly `line`.
+  bool waived_at(const std::string& rule, int line) const;
+  // True if `rule` is waived anywhere in [first, last].
+  bool waived_in(const std::string& rule, int first, int last) const;
+};
+
+// Lexes and indexes one file's contents.
+FileIndex index_file(const std::string& path, std::string_view contents);
+
+// Evaluates an integer constant expression (+ - * / % () and named
+// constants); nullopt if it contains anything else.
+std::optional<u64> eval_const_expr(const std::vector<Token>& tokens,
+                                   usize begin, usize end,
+                                   const std::map<std::string, u64>& constants);
+
+}  // namespace teeperf::lint

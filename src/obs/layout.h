@@ -101,6 +101,7 @@ struct ObsHeader {
 static_assert(sizeof(ObsHeader) == 128);
 
 // Resolved pointers into a formatted region. Cheap to copy; does not own.
+// teeperf-lint: allow(r3): process-local view over the region, not shm-resident
 struct ObsLayout {
   ObsHeader* header = nullptr;
   MetricSlot* scalars = nullptr;

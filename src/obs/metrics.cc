@@ -32,7 +32,8 @@ Slot* find_or_claim(Slot* slots, u32 capacity, std::string_view name,
     if (state == kSlotFree) {
       u32 expected = kSlotFree;
       if (s.state.compare_exchange_strong(expected, kSlotClaiming,
-                                          std::memory_order_acq_rel)) {
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
         write_name(s.name, name);
         on_claim(&s);
         s.state.store(kSlotLive, std::memory_order_release);
@@ -59,11 +60,13 @@ void Histogram::add(u64 value) {
   // atomics) that the loop does not matter.
   u64 cur = slot_->min.load(std::memory_order_relaxed);
   while (value < cur &&
-         !slot_->min.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+         !slot_->min.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                           std::memory_order_relaxed)) {
   }
   cur = slot_->max.load(std::memory_order_relaxed);
   while (value > cur &&
-         !slot_->max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+         !slot_->max.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                           std::memory_order_relaxed)) {
   }
 }
 

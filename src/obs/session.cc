@@ -5,6 +5,7 @@
 #include <atomic>
 
 #include "faultsim/fault.h"
+#include "obs/metric_names.h"
 
 namespace teeperf::obs {
 
@@ -53,11 +54,11 @@ void install(SelfTelemetry* t) {
   fault::Registry::instance().set_external(
       [](const std::string& name) -> u64 {
         SelfTelemetry* tel = telemetry();
-        return tel ? tel->registry().gauge("fault.arm." + name).value() : 0;
+        return tel ? tel->registry().gauge(metric_names::kFaultArmPrefix + name).value() : 0;
       },
       [](const std::string& name) {
         if (SelfTelemetry* tel = telemetry()) {
-          tel->registry().gauge("fault.arm." + name).set(0);
+          tel->registry().gauge(metric_names::kFaultArmPrefix + name).set(0);
         }
       });
 }
@@ -67,7 +68,8 @@ void uninstall(SelfTelemetry* t) {
   // first is live does not get to tear down the first one's telemetry.
   SelfTelemetry* expected = t;
   if (g_telemetry.compare_exchange_strong(expected, nullptr,
-                                          std::memory_order_acq_rel)) {
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
     g_epoch.fetch_add(1, std::memory_order_acq_rel);
     fault::Registry::instance().clear_external();
   }

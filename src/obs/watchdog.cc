@@ -6,6 +6,7 @@
 #include "common/spin.h"
 #include "common/stringutil.h"
 #include "faultsim/fault.h"
+#include "obs/metric_names.h"
 
 namespace teeperf::obs {
 
@@ -24,26 +25,26 @@ Watchdog::Watchdog(MetricsRegistry* registry, EventJournal* journal,
       read_counter_(std::move(read_counter)),
       mode_name_(std::move(mode_name)),
       options_(options) {
-  wd_ticks_ = registry_->counter("watchdog.ticks");
-  stall_events_ = registry_->counter("watchdog.stall_events");
-  drift_events_ = registry_->counter("watchdog.drift_events");
-  g_ns_per_tick_ = registry_->gauge("counter.ns_per_tick_pico");
-  g_stalled_ = registry_->gauge("counter.stalled");
-  g_drifting_ = registry_->gauge("counter.drifting");
-  h_ns_per_tick_ = registry_->histogram("counter.ns_per_tick_pico");
+  wd_ticks_ = registry_->counter(metric_names::kWatchdogTicks);
+  stall_events_ = registry_->counter(metric_names::kWatchdogStallEvents);
+  drift_events_ = registry_->counter(metric_names::kWatchdogDriftEvents);
+  g_ns_per_tick_ = registry_->gauge(metric_names::kCounterNsPerTickPico);
+  g_stalled_ = registry_->gauge(metric_names::kCounterStalled);
+  g_drifting_ = registry_->gauge(metric_names::kCounterDrifting);
+  h_ns_per_tick_ = registry_->histogram(metric_names::kCounterNsPerTickPico);
 }
 
 Watchdog::~Watchdog() { stop(); }
 
 void Watchdog::watch_log(std::function<LogSample()> sample_log) {
   sample_log_ = std::move(sample_log);
-  g_tail_ = registry_->gauge("log.tail");
-  g_occupancy_ = registry_->gauge("log.occupancy_permille");
-  g_rate_ = registry_->gauge("log.entry_rate_per_s");
-  g_peak_rate_ = registry_->gauge("log.entry_rate_peak_per_s");
-  g_dropped_ = registry_->gauge("log.dropped");
-  g_wraps_ = registry_->gauge("log.ring_wraps");
-  g_active_ = registry_->gauge("log.active");
+  g_tail_ = registry_->gauge(metric_names::kLogTail);
+  g_occupancy_ = registry_->gauge(metric_names::kLogOccupancyPermille);
+  g_rate_ = registry_->gauge(metric_names::kLogEntryRatePerS);
+  g_peak_rate_ = registry_->gauge(metric_names::kLogEntryRatePeakPerS);
+  g_dropped_ = registry_->gauge(metric_names::kLogDropped);
+  g_wraps_ = registry_->gauge(metric_names::kLogRingWraps);
+  g_active_ = registry_->gauge(metric_names::kLogActive);
 }
 
 void Watchdog::start() {
@@ -152,9 +153,9 @@ void Watchdog::observe_log() {
     // saturating its shard while aggregate occupancy still looks low. Only
     // the first 16 shards get individual gauges (registry space is finite);
     // the aggregate tail above always covers all of them.
-    registry_->gauge("log.shards").set(s.shard_tails.size());
+    registry_->gauge(metric_names::kLogShards).set(s.shard_tails.size());
     for (usize i = 0; i < s.shard_tails.size() && i < 16; ++i) {
-      registry_->gauge(str_format("log.shard.%zu.tail", i))
+      registry_->gauge(str_format(metric_names::kLogShardTailFmt, i))
           .set(s.shard_tails[i]);
     }
     if (s.dropped > 0) g_dropped_.set(s.dropped);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/runtime.h"
+#include "obs/metric_names.h"
 #include "obs/session.h"
 
 namespace teeperf::perfsim {
@@ -54,7 +55,8 @@ SamplingProfiler::~SamplingProfiler() { stop(); }
 
 bool SamplingProfiler::start() {
   SamplingProfiler* expected = nullptr;
-  if (!g_active.compare_exchange_strong(expected, this, std::memory_order_acq_rel)) {
+  if (!g_active.compare_exchange_strong(expected, this, std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
     return false;
   }
   cursor_.store(0, std::memory_order_relaxed);
@@ -82,7 +84,7 @@ bool SamplingProfiler::start() {
   }
   running_ = true;
   if (obs::SelfTelemetry* tel = obs::telemetry()) {
-    tel->registry().gauge("sampler.frequency_hz").set(options_.frequency_hz);
+    tel->registry().gauge(obs::metric_names::kSamplerFrequencyHz).set(options_.frequency_hz);
     tel->journal().record(obs::EventType::kSamplerStart, options_.frequency_hz);
   }
   return true;
@@ -99,8 +101,8 @@ void SamplingProfiler::stop() {
   running_ = false;
   if (obs::SelfTelemetry* tel = obs::telemetry()) {
     obs::MetricsRegistry& reg = tel->registry();
-    reg.gauge("sampler.samples").set(sample_count());
-    reg.gauge("sampler.dropped").set(dropped());
+    reg.gauge(obs::metric_names::kSamplerSamples).set(sample_count());
+    reg.gauge(obs::metric_names::kSamplerDropped).set(dropped());
     tel->journal().record(obs::EventType::kSamplerStop, sample_count(),
                           dropped());
   }

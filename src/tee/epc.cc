@@ -2,6 +2,8 @@
 
 #include "core/scope.h"
 #include "faultsim/fault.h"
+#include "faultsim/fault_points.h"
+#include "obs/metric_names.h"
 #include "obs/session.h"
 #include "tee/enclave.h"
 
@@ -50,7 +52,7 @@ EpcAllocator::EpcAllocator(Enclave* enclave, usize resident_limit)
 std::unique_ptr<EnclaveBuffer> EpcAllocator::allocate(usize size) {
   if (size == 0) size = 1;
   // Fault point: enclave memory allocation failing (EPC + swap exhausted).
-  if (fault::fires("epc.alloc_fail")) return nullptr;
+  if (fault::fires(fault_points::kEpcAllocFail)) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
   usize first = pages_.size();
   usize count = (size + kEpcPageSize - 1) / kEpcPageSize;
@@ -77,10 +79,10 @@ void EpcAllocator::refresh_telemetry() {
   obs_epoch_ = epoch;
   if (obs::SelfTelemetry* tel = obs::telemetry()) {
     obs::MetricsRegistry& reg = tel->registry();
-    obs_page_ins_ = reg.counter("epc.page_ins");
-    obs_page_outs_ = reg.counter("epc.page_outs");
-    obs_resident_ = reg.gauge("epc.resident_pages");
-    obs_limit_ = reg.gauge("epc.resident_limit");
+    obs_page_ins_ = reg.counter(obs::metric_names::kEpcPageIns);
+    obs_page_outs_ = reg.counter(obs::metric_names::kEpcPageOuts);
+    obs_resident_ = reg.gauge(obs::metric_names::kEpcResidentPages);
+    obs_limit_ = reg.gauge(obs::metric_names::kEpcResidentLimit);
     obs_limit_.set(limit_);
   } else {
     obs_page_ins_ = obs::Counter();
@@ -98,7 +100,7 @@ void EpcAllocator::ensure_resident(usize page) {
     refresh_telemetry();
     // Fault point: EPC exhaustion mid-profile — the secure memory shrinks to
     // a single resident page, so every access from here on pages.
-    if (fault::fires("epc.exhaust")) {
+    if (fault::fires(fault_points::kEpcExhaust)) {
       limit_ = 1;
       obs_limit_.set(limit_);
     }

@@ -1,0 +1,22 @@
+// R1 fixture: a probe root that allocates and formats. Linted, never
+// compiled. The directory sits under .../core/ so the fixture corpus has a
+// probe scope. test_lint.cc asserts the exact rule ids AND line numbers
+// below — renumbering this file means updating the test.
+#include <cstdlib>
+#include <string>
+
+namespace teeperf::runtime {
+
+static void helper_alloc() {
+  void* p = malloc(16);  // line 11: r1 call to 'malloc'
+  free(p);               // line 12: r1 call to 'free'
+}
+
+void on_enter(unsigned long addr) {
+  helper_alloc();
+  std::string name = "probe";  // line 17: r1 std::string on probe path
+  (void)name;
+  (void)addr;
+}
+
+}  // namespace teeperf::runtime

@@ -1,0 +1,22 @@
+// Waiver fixture: the same classes of violation as the other fixtures, each
+// carrying a justified `teeperf-lint: allow(...)` escape hatch. Linted,
+// never compiled. test_lint.cc asserts this file produces ZERO findings.
+#include <atomic>
+#include <cstdlib>
+
+namespace teeperf::runtime {
+
+std::atomic<int> g{0};
+
+// A waiver on (or up to three lines above) the signature covers the whole
+// function body and stops call-graph traversal into it.
+// teeperf-lint: allow(r1): fixture — trusted registration slow path
+void on_exit(unsigned long addr) {
+  void* p = malloc(8);
+  free(p);
+  // Line-level waiver: covers exactly this line.
+  g.store(1);  // teeperf-lint: allow(r2): fixture — ordering irrelevant here
+  (void)addr;
+}
+
+}  // namespace teeperf::runtime

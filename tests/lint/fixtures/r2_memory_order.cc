@@ -1,0 +1,24 @@
+// R2 fixture: atomic operations with missing or malformed memory orders.
+// Linted, never compiled. test_lint.cc asserts the exact lines below.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> g{0};
+
+void f() {
+  g.load();   // line 10: r2 implicit seq_cst load
+  g.store(1); // line 11: r2 implicit seq_cst store
+  int e = 0;
+  g.compare_exchange_strong(e, 1,  // line 13: only one order spelled
+                            std::memory_order_acq_rel);
+  g.compare_exchange_weak(e, 1, std::memory_order_relaxed,  // line 15: failure > success
+                          std::memory_order_acquire);
+  g.compare_exchange_weak(e, 1, std::memory_order_acq_rel,  // line 17: failure = release
+                          std::memory_order_release);
+  g.load(std::memory_order_acquire);                   // fine
+  g.compare_exchange_weak(e, 1, std::memory_order_acq_rel,
+                          std::memory_order_acquire);  // fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// R3 fixture: ill-formed shared-memory structs. The path ends in
+// obs/layout.h so the linter treats it as an shm layout header. Linted,
+// never compiled. test_lint.cc asserts the exact lines below.
+#pragma once
+#include <string>
+
+struct BadShmRecord {  // line 7: r3 non-trivial member + layout not computed
+  unsigned a = 0;
+  std::string name;
+};
+
+struct BadShmView {  // line 12: r3 pointer member
+  int* data = nullptr;
+  unsigned n = 0;
+};

@@ -1,0 +1,14 @@
+// R4 fixture: fault-point / metric names spelled as raw string literals at
+// the use site instead of through the manifest headers. Linted, never
+// compiled. test_lint.cc asserts the exact lines below.
+namespace fault {
+bool fires(const char* name);
+}
+struct Registry {
+  int counter(const char* name);
+};
+
+void f(Registry& reg) {
+  fault::fires("shm.create.fail");  // line 12: r4 raw fault-point name
+  reg.counter("log.tail");          // line 13: r4 raw metric name
+}

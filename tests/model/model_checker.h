@@ -1,0 +1,129 @@
+// An exhaustive-interleaving model checker for small lock-free protocols
+// (DESIGN.md §9). Bounded DFS over every schedule of the model's atomic
+// steps under sequential-consistency semantics, with an optional DPOR-style
+// sleep-set reduction (CDSChecker / Godefroid: after exploring thread t
+// from a state, t is put to sleep for the sibling branches and woken only
+// by a dependent action — schedules that differ solely by commuting
+// independent steps are explored once).
+//
+// Deliberately deterministic: no wall clock, no randomness, no real
+// threads. Thread choice order is ascending thread index, so two runs over
+// the same model produce identical statistics and identical first
+// violations. The reduction is sound for terminal-state properties: every
+// Mazurkiewicz trace (and therefore every reachable terminal state) is
+// still visited — test_model.cc cross-checks this against the unreduced
+// explorer on small configurations.
+//
+// A model M provides:
+//   struct State;                          // copyable value type
+//   int num_threads() const;
+//   bool enabled(const State&, int t) const;       // t has a next step
+//   Action next_action(const State&, int t) const; // shared var it touches
+//   void step(State*, int t) const;                // run t's next step
+//   std::string check_terminal(const State&) const;  // "" = invariants hold
+//   std::string fingerprint(const State&) const;     // canonical encoding
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace teeperf::model {
+
+// One atomic step's footprint on shared memory. Two steps commute unless
+// they touch the same variable and at least one writes it.
+struct Action {
+  int var = 0;
+  bool write = false;
+};
+
+inline bool dependent(const Action& a, const Action& b) {
+  return a.var == b.var && (a.write || b.write);
+}
+
+struct CheckResult {
+  bool ok = true;
+  std::string violation;            // first failing invariant, "" if ok
+  std::vector<int> violating_trace; // schedule (thread ids) that failed
+  u64 interleavings = 0;            // complete schedules executed
+  u64 states = 0;                   // explore() invocations
+  u64 pruned = 0;                   // branches cut by the sleep sets
+  std::set<std::string> terminals;  // distinct terminal-state fingerprints
+};
+
+template <typename M>
+class Checker {
+ public:
+  // `reduce` false runs the plain exhaustive DFS (the oracle the reduced
+  // run is validated against in tests).
+  explicit Checker(const M& model, bool reduce = true)
+      : model_(model), reduce_(reduce) {}
+
+  CheckResult run() {
+    result_ = CheckResult{};
+    trace_.clear();
+    explore(model_.initial(), 0u);
+    return result_;
+  }
+
+ private:
+  using State = typename M::State;
+
+  void explore(const State& s, u32 sleep) {
+    ++result_.states;
+    u32 enabled = 0;
+    for (int t = 0; t < model_.num_threads(); ++t) {
+      if (model_.enabled(s, t)) enabled |= 1u << t;
+    }
+    if (enabled == 0) {
+      ++result_.interleavings;
+      result_.terminals.insert(model_.fingerprint(s));
+      if (result_.ok) {
+        std::string err = model_.check_terminal(s);
+        if (!err.empty()) {
+          result_.ok = false;
+          result_.violation = err;
+          result_.violating_trace = trace_;
+        }
+      }
+      return;
+    }
+    u32 runnable = enabled & ~sleep;
+    if (runnable == 0) {
+      // Every enabled thread is asleep: any completion of this schedule is
+      // a reordering of one already explored elsewhere.
+      ++result_.pruned;
+      return;
+    }
+    u32 done = 0;  // threads already explored from this state
+    for (int t = 0; t < model_.num_threads(); ++t) {
+      if (!(runnable >> t & 1)) continue;
+      Action action = model_.next_action(s, t);
+      State child = s;
+      model_.step(&child, t);
+      u32 child_sleep = 0;
+      if (reduce_) {
+        for (int u = 0; u < model_.num_threads(); ++u) {
+          if (u == t || !((sleep | done) >> u & 1)) continue;
+          if (model_.enabled(s, u) &&
+              !dependent(model_.next_action(s, u), action)) {
+            child_sleep |= 1u << u;
+          }
+        }
+      }
+      trace_.push_back(t);
+      explore(child, child_sleep);
+      trace_.pop_back();
+      done |= 1u << t;
+    }
+  }
+
+  const M& model_;
+  bool reduce_;
+  CheckResult result_;
+  std::vector<int> trace_;
+};
+
+}  // namespace teeperf::model

@@ -1,0 +1,251 @@
+// Model of the v2 sharded-log publication protocol (core/log_format.cc:
+// LogBatch::flush -> ProfileLog::append_batch) for the model checker:
+//
+//   reserve:  base = shard.tail.fetch_add(n)      (one atomic RMW per batch)
+//   store i:  entries[base + i] = e_i             (plain stores, in order)
+//
+// Both modeled writers hit the SAME shard (the contended case; distinct
+// shards are trivially independent). A writer may crash — be truncated —
+// after any step, which is exactly how a batched writer leaves reserved-
+// but-never-written slots: the torn-tail tombstones the analyzer accounts
+// for (count_torn_tail). The terminal check replays the dump-time reader:
+// scan [0, tail), committed entries are nonzero, all-zero reserved slots
+// are tombstones; asserts no entry lost, none published twice, per-writer
+// program order preserved, and tombstone accounting exact.
+//
+// Two seeded protocol bugs prove the checker can see a violation:
+//   kSplitReserve     — reservation as load-then-store instead of an atomic
+//                       fetch_add: two writers can claim overlapping runs
+//                       (double publication / lost entries / lost tail).
+//   kNoTombstoneScan  — the reader treats reserved-unwritten slots as
+//                       committed entries instead of tombstones.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "tests/model/model_checker.h"
+
+namespace teeperf::model {
+
+enum class Bug {
+  kNone,
+  kSplitReserve,     // writer side: non-atomic tail reservation
+  kNoTombstoneScan,  // reader side: torn slots recovered as entries
+};
+
+struct WriterProgram {
+  std::vector<int> batches;  // one flush per element; element = batch size
+  int crash_after = -1;      // execute only this many steps; -1 = all
+};
+
+class ShmLogModel {
+ public:
+  static constexpr int kCapacity = 16;
+  static constexpr int kMaxWriters = 2;
+
+  struct WriterState {
+    u8 pc = 0;      // next step index
+    u8 base = 0;    // slot run claimed by the current flush
+    u8 loaded = 0;  // kSplitReserve: the stale tail read by the load half
+  };
+  struct State {
+    std::array<u8, kCapacity> slots{};  // 0 = never written
+    u8 tail = 0;
+    std::array<WriterState, kMaxWriters> w{};
+  };
+
+  ShmLogModel(std::vector<WriterProgram> writers, Bug bug = Bug::kNone)
+      : bug_(bug) {
+    int total = 0;
+    for (const WriterProgram& p : writers) {
+      std::vector<Step> steps;
+      for (usize f = 0; f < p.batches.size(); ++f) {
+        int n = p.batches[f];
+        total += n;
+        if (bug_ == Bug::kSplitReserve) {
+          steps.push_back({Step::kReserveLoad, static_cast<u8>(f), 0,
+                           static_cast<u8>(n)});
+          steps.push_back({Step::kReserveStore, static_cast<u8>(f), 0,
+                           static_cast<u8>(n)});
+        } else {
+          steps.push_back(
+              {Step::kReserve, static_cast<u8>(f), 0, static_cast<u8>(n)});
+        }
+        for (int i = 0; i < n; ++i) {
+          steps.push_back({Step::kStore, static_cast<u8>(f),
+                           static_cast<u8>(i), static_cast<u8>(n)});
+        }
+      }
+      int len = static_cast<int>(steps.size());
+      if (p.crash_after >= 0 && p.crash_after < len) len = p.crash_after;
+      steps_.push_back(std::move(steps));
+      len_.push_back(len);
+    }
+    // The model has no drop path: configurations must fit the shard.
+    if (total > kCapacity) len_.assign(len_.size(), 0);
+  }
+
+  State initial() const { return State{}; }
+  int num_threads() const { return static_cast<int>(steps_.size()); }
+
+  bool enabled(const State& s, int t) const {
+    return s.w[t].pc < len_[static_cast<usize>(t)];
+  }
+
+  Action next_action(const State& s, int t) const {
+    const Step& st = steps_[static_cast<usize>(t)][s.w[t].pc];
+    switch (st.kind) {
+      case Step::kReserve:      return {0, true};
+      case Step::kReserveLoad:  return {0, false};
+      case Step::kReserveStore: return {0, true};
+      case Step::kStore:        return {1 + s.w[t].base + st.idx, true};
+    }
+    return {0, false};
+  }
+
+  void step(State* s, int t) const {
+    WriterState& w = s->w[t];
+    const Step& st = steps_[static_cast<usize>(t)][w.pc];
+    switch (st.kind) {
+      case Step::kReserve:
+        w.base = s->tail;
+        s->tail = static_cast<u8>(s->tail + st.n);
+        break;
+      case Step::kReserveLoad:
+        w.loaded = s->tail;
+        break;
+      case Step::kReserveStore:
+        w.base = w.loaded;
+        s->tail = static_cast<u8>(w.loaded + st.n);
+        break;
+      case Step::kStore:
+        s->slots[w.base + st.idx] = value_of(t, st.flush, st.idx);
+        break;
+    }
+    ++w.pc;
+  }
+
+  // Dump-time reader + invariants. Returns "" when all hold.
+  std::string check_terminal(const State& s) const {
+    // What the programs committed / reserved, schedule-independently.
+    int reserved = 0;
+    std::vector<u8> committed;
+    for (int t = 0; t < num_threads(); ++t) {
+      for (int i = 0; i < len_[static_cast<usize>(t)]; ++i) {
+        const Step& st = steps_[static_cast<usize>(t)][static_cast<usize>(i)];
+        if (st.kind == Step::kReserve || st.kind == Step::kReserveStore) {
+          reserved += st.n;
+        } else if (st.kind == Step::kStore) {
+          committed.push_back(value_of(t, st.flush, st.idx));
+        }
+      }
+    }
+    if (s.tail != reserved) {
+      return "shard tail " + std::to_string(s.tail) + " != slots reserved " +
+             std::to_string(reserved);
+    }
+    // The reader: committed entries and tombstones in [0, tail).
+    std::vector<u8> recovered;
+    int tombstones = 0;
+    for (int i = 0; i < s.tail && i < kCapacity; ++i) {
+      if (s.slots[static_cast<usize>(i)] == 0 && bug_ != Bug::kNoTombstoneScan) {
+        ++tombstones;  // reserved, never written: a torn-tail tombstone
+      } else {
+        recovered.push_back(s.slots[static_cast<usize>(i)]);
+      }
+    }
+    // Every recovered entry is a committed one, exactly once (no double
+    // publication, no garbage); every committed one is recovered (no loss).
+    std::vector<u8> pool = committed;
+    for (u8 v : recovered) {
+      bool found = false;
+      for (u8& p : pool) {
+        if (p == v) {
+          p = 0xff;  // consumed
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return "recovered entry " + std::to_string(v) +
+               " was never committed (double publication or torn slot "
+               "recovered as data)";
+      }
+    }
+    for (u8 p : pool) {
+      if (p != 0xff) {
+        return "committed entry " + std::to_string(p) + " lost";
+      }
+    }
+    if (tombstones != reserved - static_cast<int>(committed.size())) {
+      return "tombstone count " + std::to_string(tombstones) +
+             " != reserved-but-unwritten " +
+             std::to_string(reserved - static_cast<int>(committed.size()));
+    }
+    // Per-writer order: a writer's entries appear in program order along
+    // the slot array (all the analyzer needs for reconstruction).
+    for (int t = 0; t < num_threads(); ++t) {
+      int last = -1;
+      for (u8 v : recovered) {
+        if (writer_of(v) != t) continue;
+        int key = order_key(v);
+        if (key <= last) {
+          return "writer " + std::to_string(t) +
+                 " entries out of program order";
+        }
+        last = key;
+      }
+    }
+    return "";
+  }
+
+  std::string fingerprint(const State& s) const {
+    std::string fp;
+    fp.reserve(kCapacity * 4 + 4);
+    fp += std::to_string(s.tail);
+    for (u8 v : s.slots) {
+      fp += ':';
+      fp += std::to_string(v);
+    }
+    return fp;
+  }
+
+  // Reserved-but-never-stored slots this configuration must produce (crash
+  // truncation), so tests can assert the tombstone path is actually
+  // exercised. Meaningful for the correct protocol only.
+  int expected_tombstones() const {
+    int reserved = 0, stores = 0;
+    for (usize t = 0; t < steps_.size(); ++t) {
+      for (int i = 0; i < len_[t]; ++i) {
+        const Step& st = steps_[t][static_cast<usize>(i)];
+        if (st.kind == Step::kReserve) reserved += st.n;
+        if (st.kind == Step::kStore) ++stores;
+      }
+    }
+    return reserved - stores;
+  }
+
+ private:
+  struct Step {
+    enum Kind : u8 { kReserve, kReserveLoad, kReserveStore, kStore } kind;
+    u8 flush;
+    u8 idx;
+    u8 n;
+  };
+
+  // Unique nonzero value per (writer, flush, index); decodable for the
+  // order check. Fits u8 for 2 writers x <=4 flushes x batch <=9.
+  static u8 value_of(int writer, int flush, int idx) {
+    return static_cast<u8>(1 + writer * 100 + flush * 10 + idx);
+  }
+  static int writer_of(u8 v) { return (v - 1) / 100; }
+  static int order_key(u8 v) { return (v - 1) % 100; }
+
+  std::vector<std::vector<Step>> steps_;
+  std::vector<int> len_;
+  Bug bug_;
+};
+
+}  // namespace teeperf::model

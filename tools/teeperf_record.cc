@@ -69,6 +69,7 @@
 #include "core/counter.h"
 #include "core/log_format.h"
 #include "obs/export.h"
+#include "obs/metric_names.h"
 #include "obs/session.h"
 #include "obs/watchdog.h"
 
@@ -240,7 +241,7 @@ int main(int argc, char** argv) {
     telem->journal().record(obs::EventType::kAttach,
                             static_cast<u64>(getpid()), 0, counter);
     if (active) telem->journal().record(obs::EventType::kActivate);
-    telem->registry().gauge("log.capacity").set(max_entries);
+    telem->registry().gauge(obs::metric_names::kLogCapacity).set(max_entries);
     LogHeader* header = log.header();
     watchdog = std::make_unique<obs::Watchdog>(
         &telem->registry(), &telem->journal(),
@@ -286,20 +287,20 @@ int main(int argc, char** argv) {
   std::atomic<bool> child_done{false};
   std::thread toggler([&] {
     auto wait_ms = [&](long ms) {
-      for (long waited = 0; waited < ms && !child_done.load(); waited += 10) {
+      for (long waited = 0; waited < ms && !child_done.load(std::memory_order_acquire); waited += 10) {
         usleep(10'000);
       }
     };
     if (start_after_ms >= 0) {
       wait_ms(start_after_ms);
-      if (!child_done.load()) {
+      if (!child_done.load(std::memory_order_acquire)) {
         log.set_active(true);
         if (telem) telem->journal().record(obs::EventType::kActivate);
       }
     }
     if (stop_after_ms >= 0) {
       wait_ms(stop_after_ms - (start_after_ms > 0 ? start_after_ms : 0));
-      if (!child_done.load()) {
+      if (!child_done.load(std::memory_order_acquire)) {
         log.set_active(false);
         if (telem) telem->journal().record(obs::EventType::kDeactivate);
       }
@@ -326,7 +327,7 @@ int main(int argc, char** argv) {
     // demos and tests attach teeperf_stats during this window.
     usleep(static_cast<useconds_t>(hold_ms) * 1000);
   }
-  child_done.store(true);
+  child_done.store(true, std::memory_order_release);
   toggler.join();
   if (freezer.joinable()) freezer.join();
   log.header()->pid = static_cast<u64>(child);
@@ -363,7 +364,7 @@ int main(int argc, char** argv) {
   if (telem) {
     obs::MetricsRegistry& reg = telem->registry();
     if (u64 torn = log.count_torn_tail()) {
-      reg.gauge("log.torn_tail").set(torn);
+      reg.gauge(obs::metric_names::kLogTornTail).set(torn);
       telem->journal().record(obs::EventType::kTornTail, torn, tail);
     }
     if (watchdog) watchdog->stop();

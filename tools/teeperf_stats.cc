@@ -29,6 +29,7 @@
 
 #include "common/stringutil.h"
 #include "obs/export.h"
+#include "obs/metric_names.h"
 #include "obs/session.h"
 
 using namespace teeperf;
@@ -128,7 +129,7 @@ int main(int argc, char** argv) {
   // External fault arming: write the request gauges; the session's watchdog
   // polls them, arms the named points in-process and zeroes the gauges.
   for (const auto& [point, n] : arms) {
-    telemetry->registry().gauge("fault.arm." + point).set(n);
+    telemetry->registry().gauge(teeperf::obs::metric_names::kFaultArmPrefix + point).set(n);
     std::fprintf(stderr, "teeperf_stats: armed %s (nth=%llu) in %s\n",
                  point.c_str(), static_cast<unsigned long long>(n),
                  telemetry->shm_name().c_str());
