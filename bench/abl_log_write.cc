@@ -13,6 +13,13 @@
 // v1/v2 speedup ratios against the checked-in baseline and exits non-zero
 // on a >25% regression — ratios, not absolute ns, so the gate is stable
 // across machine speeds.
+//
+// The sweep also measures each config on a pre-wrapped ring (shard tails
+// advanced one full lap before the run), gating the wrap penalty: a flush
+// landing past the wrap must still publish as at most two memcpy spans,
+// not degrade to the per-entry modulo loop. And a spill-drain smoke pushes
+// four writers through a log a fraction of the session size with a live
+// drainer, gating zero drops and nonzero spilled bytes.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -27,7 +34,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/fileutil.h"
 #include "core/profiler.h"
+#include "drain/drainer.h"
 
 namespace {
 
@@ -136,7 +145,11 @@ BENCHMARK(BM_ScopeDetached);
 // shared log. v1 uses the classic single-tail append; v2 routes through the
 // per-thread LogBatch into an 8-shard log — the same path the runtime probes
 // take. Ring mode so the measurement never stalls on a full log.
-double run_config(int writers, u64 ops, bool sharded) {
+// `prewrap` starts every shard's tail one full lap in, so every flush of the
+// run reserves past capacity and exercises the wrapped publication path —
+// the regression being gated is that path falling off the two-span memcpy
+// onto the per-entry modulo loop.
+double run_config(int writers, u64 ops, bool sharded, bool prewrap = false) {
   constexpr u64 kEntries = 1u << 20;
   const u32 shards = sharded ? 8 : 0;
   std::vector<u8> buf(ProfileLog::bytes_for(kEntries, shards));
@@ -146,6 +159,12 @@ double run_config(int writers, u64 ops, bool sharded) {
                     log_flags::kRingBuffer,
                 shards)) {
     return -1.0;
+  }
+  if (prewrap) {
+    for (u32 s = 0; s < log.shard_count(); ++s) {
+      LogShard* sh = log.shard(s);
+      sh->tail.store(sh->capacity, std::memory_order_relaxed);
+    }
   }
 
   std::atomic<int> ready{0};
@@ -185,59 +204,162 @@ struct SweepRow {
   int writers;
   double v1_ns;
   double v2_ns;
+  double v2_wrap_ns;  // v2 on a pre-wrapped ring: every flush publishes wrapped
   double speedup() const { return v2_ns > 0 ? v1_ns / v2_ns : 0.0; }
+  double wrap_penalty() const { return v2_ns > 0 ? v2_wrap_ns / v2_ns : 0.0; }
 };
 
 std::vector<SweepRow> run_sweep(u64 ops, int reps) {
   std::vector<SweepRow> rows;
   for (int writers : {1, 2, 4, 8}) {
-    SweepRow row{writers, 1e30, 1e30};
+    SweepRow row{writers, 1e30, 1e30, 1e30};
     // Best-of-reps: contention sweeps on shared CI machines are noisy in one
     // direction only (interference slows runs down), so min is the estimator.
     for (int r = 0; r < reps; ++r) {
       double v1 = run_config(writers, ops, false);
       double v2 = run_config(writers, ops, true);
+      double v2w = run_config(writers, ops, true, /*prewrap=*/true);
       if (v1 > 0 && v1 < row.v1_ns) row.v1_ns = v1;
       if (v2 > 0 && v2 < row.v2_ns) row.v2_ns = v2;
+      if (v2w > 0 && v2w < row.v2_wrap_ns) row.v2_wrap_ns = v2w;
     }
-    std::fprintf(stderr, "sweep writers=%d v1=%.2fns v2=%.2fns speedup=%.2fx\n",
-                 row.writers, row.v1_ns, row.v2_ns, row.speedup());
+    std::fprintf(stderr,
+                 "sweep writers=%d v1=%.2fns v2=%.2fns v2_wrap=%.2fns "
+                 "speedup=%.2fx wrap_penalty=%.2fx\n",
+                 row.writers, row.v1_ns, row.v2_ns, row.v2_wrap_ns,
+                 row.speedup(), row.wrap_penalty());
     rows.push_back(row);
   }
   return rows;
 }
 
-std::string render_json(const std::vector<SweepRow>& rows) {
+// Spill-drain smoke: `writers` threads push `ops` events each through a log
+// an eighth of the session size while a live drainer spills consumed windows
+// to chunk files. Healthy drain means the session completes with zero drops
+// and a nonzero spill — writers waited on reclaim instead of discarding.
+struct DrainSmoke {
+  double ns_per_op = -1.0;
+  u64 drained = 0;
+  u64 spilled_bytes = 0;
+  u64 chunks = 0;
+  u64 dropped = 0;
+};
+
+DrainSmoke run_drain_smoke(int writers, u64 ops) {
+  DrainSmoke out;
+  const u64 total = static_cast<u64>(writers) * ops;
+  const u32 shards = 4;
+  const u64 entries = total / 8 < 1024 ? 1024 : total / 8;
+  std::vector<u8> buf(ProfileLog::bytes_for(entries, shards));
+  ProfileLog log;
+  if (!log.init(buf.data(), buf.size(), 1,
+                log_flags::kActive | log_flags::kMultithread |
+                    log_flags::kSpillDrain,
+                shards)) {
+    return out;
+  }
+  // The gate asserts zero drops, so writers must outwait any drainer
+  // scheduling hiccup rather than force-advance past it.
+  u64 saved_spins = ProfileLog::spill_wait_spins();
+  ProfileLog::set_spill_wait_spins(~u64{0});
+
+  std::string dir = make_temp_dir("teeperf_bench_drain_");
+  drain::DrainerOptions dopts;
+  dopts.prefix = dir + "/bench";
+  dopts.poll_interval_us = 200;
+  drain::Drainer drainer(&log, dopts);
+  if (!drainer.start()) {
+    ProfileLog::set_spill_wait_spins(saved_spins);
+    remove_tree(dir);
+    return out;
+  }
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      const u64 tid = static_cast<u64>(w);
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      LogBatch batch;
+      for (u64 i = 0; i < ops; ++i) {
+        batch.record(log, EventKind::kCall, 0x1000 + tid, tid, i + 1);
+      }
+      batch.flush(log);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < writers) {
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  drainer.final_drain();
+  auto t1 = std::chrono::steady_clock::now();
+  ProfileLog::set_spill_wait_spins(saved_spins);
+
+  drain::Drainer::Stats stats = drainer.stats();
+  out.ns_per_op = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                  static_cast<double>(total);
+  out.drained = stats.drained_entries;
+  out.spilled_bytes = stats.spilled_bytes;
+  out.chunks = stats.chunks;
+  out.dropped = log.dropped();
+  remove_tree(dir);
+  return out;
+}
+
+std::string render_json(const std::vector<SweepRow>& rows,
+                        const DrainSmoke& drain_smoke) {
   std::ostringstream out;
   out << "{\n  \"benchmark\": \"abl_log_write.sweep\",\n"
       << "  \"unit\": \"ns_per_append\",\n  \"configs\": [\n";
   for (usize i = 0; i < rows.size(); ++i) {
-    char line[256];
+    char line[320];
     std::snprintf(line, sizeof(line),
                   "    {\"writers\": %d, \"v1_ns_per_op\": %.3f, "
-                  "\"v2_ns_per_op\": %.3f, \"speedup\": %.3f}%s\n",
+                  "\"v2_ns_per_op\": %.3f, \"speedup\": %.3f, "
+                  "\"v2_wrap_ns_per_op\": %.3f, \"wrap_penalty\": %.3f}%s\n",
                   rows[i].writers, rows[i].v1_ns, rows[i].v2_ns,
-                  rows[i].speedup(), i + 1 < rows.size() ? "," : "");
+                  rows[i].speedup(), rows[i].v2_wrap_ns,
+                  rows[i].wrap_penalty(), i + 1 < rows.size() ? "," : "");
     out << line;
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  char drain_line[320];
+  std::snprintf(drain_line, sizeof(drain_line),
+                "  \"drain\": {\"writers\": 4, \"ns_per_op\": %.3f, "
+                "\"drained_entries\": %llu, \"spilled_bytes\": %llu, "
+                "\"chunks\": %llu, \"dropped\": %llu}\n",
+                drain_smoke.ns_per_op,
+                static_cast<unsigned long long>(drain_smoke.drained),
+                static_cast<unsigned long long>(drain_smoke.spilled_bytes),
+                static_cast<unsigned long long>(drain_smoke.chunks),
+                static_cast<unsigned long long>(drain_smoke.dropped));
+  out << drain_line << "}\n";
   return out.str();
 }
 
-// Minimal extraction of {writers, speedup} pairs from the baseline JSON —
-// the file is machine-written by this binary, so line-based parsing is safe.
-std::map<int, double> parse_speedups(const std::string& json) {
+// Minimal extraction of per-writer-count {writers, <key>} pairs from the
+// baseline JSON — the file is machine-written by this binary, so line-based
+// parsing is safe. Returns an empty map when the key is absent (older
+// baselines predating a field).
+std::map<int, double> parse_field(const std::string& json,
+                                  const std::string& key) {
   std::map<int, double> out;
+  const std::string pattern = "\"" + key + "\":";
   std::istringstream in(json);
   std::string line;
   while (std::getline(in, line)) {
     int writers = 0;
-    double speedup = 0.0;
+    double value = 0.0;
     const char* w = std::strstr(line.c_str(), "\"writers\":");
-    const char* s = std::strstr(line.c_str(), "\"speedup\":");
+    const char* s = std::strstr(line.c_str(), pattern.c_str());
     if (w && s && std::sscanf(w, "\"writers\": %d", &writers) == 1 &&
-        std::sscanf(s, "\"speedup\": %lf", &speedup) == 1) {
-      out[writers] = speedup;
+        std::sscanf(s + pattern.size(), "%lf", &value) == 1) {
+      out[writers] = value;
     }
   }
   return out;
@@ -246,7 +368,23 @@ std::map<int, double> parse_speedups(const std::string& json) {
 int sweep_main(const std::string& out_path, const std::string& check_path,
                u64 ops, int reps) {
   std::vector<SweepRow> rows = run_sweep(ops, reps);
-  std::string json = render_json(rows);
+  DrainSmoke drain_smoke;
+  for (int r = 0; r < reps; ++r) {
+    DrainSmoke d = run_drain_smoke(4, ops);
+    if (d.ns_per_op > 0 &&
+        (drain_smoke.ns_per_op < 0 || d.ns_per_op < drain_smoke.ns_per_op)) {
+      drain_smoke = d;
+    }
+  }
+  std::fprintf(stderr,
+               "drain writers=4 ns_per_op=%.2f drained=%llu spilled=%llu "
+               "chunks=%llu dropped=%llu\n",
+               drain_smoke.ns_per_op,
+               static_cast<unsigned long long>(drain_smoke.drained),
+               static_cast<unsigned long long>(drain_smoke.spilled_bytes),
+               static_cast<unsigned long long>(drain_smoke.chunks),
+               static_cast<unsigned long long>(drain_smoke.dropped));
+  std::string json = render_json(rows, drain_smoke);
   if (!out_path.empty()) {
     std::ofstream f(out_path, std::ios::binary);
     f << json;
@@ -263,7 +401,9 @@ int sweep_main(const std::string& out_path, const std::string& check_path,
   std::ifstream f(check_path, std::ios::binary);
   std::stringstream baseline_buf;
   baseline_buf << f.rdbuf();
-  std::map<int, double> baseline = parse_speedups(baseline_buf.str());
+  std::map<int, double> baseline = parse_field(baseline_buf.str(), "speedup");
+  std::map<int, double> wrap_baseline =
+      parse_field(baseline_buf.str(), "wrap_penalty");
   if (baseline.empty()) {
     std::fprintf(stderr, "FAIL: no configs parsed from %s\n", check_path.c_str());
     return 1;
@@ -289,6 +429,33 @@ int sweep_main(const std::string& out_path, const std::string& check_path,
                    row.speedup());
       ++failures;
     }
+  }
+  // Wrap-penalty gate: a flush past the wrap must cost about the same as an
+  // unwrapped one (two memcpy spans). Falling back onto the per-entry modulo
+  // loop shows up as a multiple, far outside the relative band and the
+  // absolute ceiling.
+  for (const SweepRow& row : rows) {
+    double penalty = row.wrap_penalty();
+    auto it = wrap_baseline.find(row.writers);
+    double ceiling = it != wrap_baseline.end()
+                         ? (it->second * 1.35 > 2.5 ? it->second * 1.35 : 2.5)
+                         : 2.5;
+    bool ok = penalty > 0 && penalty <= ceiling;
+    std::fprintf(stderr,
+                 "check writers=%d wrap_penalty=%.2fx ceiling=%.2fx %s\n",
+                 row.writers, penalty, ceiling, ok ? "OK" : "REGRESSION");
+    if (!ok) ++failures;
+  }
+  // Drain smoke gate: a live drainer must keep an undersized log lossless
+  // (writers wait on reclaim, never discard) and actually spill to disk.
+  {
+    bool ok = drain_smoke.ns_per_op > 0 && drain_smoke.dropped == 0 &&
+              drain_smoke.spilled_bytes > 0;
+    std::fprintf(stderr, "check drain dropped=%llu spilled=%llu %s\n",
+                 static_cast<unsigned long long>(drain_smoke.dropped),
+                 static_cast<unsigned long long>(drain_smoke.spilled_bytes),
+                 ok ? "OK" : "FAIL");
+    if (!ok) ++failures;
   }
   return failures ? 1 : 0;
 }

@@ -10,6 +10,7 @@
 #include "common/fileutil.h"
 #include "common/stringutil.h"
 #include "core/symbol_registry.h"
+#include "drain/chunk_format.h"
 
 namespace teeperf::analyzer {
 
@@ -24,6 +25,12 @@ struct ParsedDump {
   // v2 into one per directory entry (possibly empty). A thread's entries
   // live entirely inside one window.
   std::vector<std::vector<LogEntry>> shards;
+  // Per-window absolute start cursor, parallel to `shards`: the serialized
+  // directory's `drained` field. 0 for v1 dumps and for v2 logs that never
+  // drained or wrapped; spill chunks and spill residue dumps record where
+  // in the shard's stream each window begins, which is what lets the
+  // multi-chunk loader stitch and deduplicate.
+  std::vector<u64> starts;
   double ns_per_tick = 0.0;
 
   bool single() const { return shards.size() <= 1; }
@@ -64,6 +71,7 @@ std::optional<ParsedDump> parse_dump(std::string_view bytes) {
     u64 tail = h->tail.load(std::memory_order_relaxed);
     u64 n = std::min({available, tail, h->max_entries});
     d.shards.emplace_back();
+    d.starts.push_back(0);
     d.shards[0].resize(static_cast<usize>(n));
     if (n > 0) {
       std::memcpy(d.shards[0].data(), bytes.data() + sizeof(LogHeader),
@@ -89,7 +97,9 @@ std::optional<ParsedDump> parse_dump(std::string_view bytes) {
   u64 available = (bytes.size() - sizeof(LogHeader) - dir_bytes) / sizeof(LogEntry);
   u64 budget = available;  // total entries any directory may make us copy
   d.shards.resize(nshards);
+  d.starts.resize(nshards, 0);
   for (u32 s = 0; s < nshards; ++s) {
+    d.starts[s] = dir[s].drained.load(std::memory_order_relaxed);
     u64 off = dir[s].entry_offset;
     if (off >= available) continue;  // also rejects u64-overflow offsets
     u64 n = dir[s].tail.load(std::memory_order_relaxed);
@@ -119,11 +129,83 @@ std::optional<Profile> Profile::load_bytes(
 }
 
 std::optional<Profile> Profile::load(const std::string& prefix) {
+  if (file_exists(drain::chunk_path(prefix, 0))) return load_spill(prefix);
   auto raw = read_file(prefix + ".log");
   if (!raw) return std::nullopt;
   std::unordered_map<u64, std::string> symbols;
   if (auto sym = read_file(prefix + ".sym")) symbols = SymbolRegistry::parse(*sym);
   return load_bytes(*raw, std::move(symbols));
+}
+
+std::optional<Profile> Profile::load_spill(const std::string& prefix) {
+  std::unordered_map<u64, std::string> symbols;
+  if (auto sym = read_file(prefix + ".sym")) symbols = SymbolRegistry::parse(*sym);
+
+  std::vector<std::string> chunks;
+  for (u32 seq = 0;; ++seq) {
+    auto raw = read_file(drain::chunk_path(prefix, seq));
+    if (!raw) break;
+    chunks.push_back(std::move(*raw));
+  }
+
+  // Per-shard streams plus the absolute cursor each stream has reached.
+  // Windows arrive in cursor order (chunks in sequence, residue last); a
+  // window starting below the cursor overlaps what a crashed drainer
+  // already persisted and the duplicate prefix is skipped, a window
+  // starting above it sits after force-dropped entries (already accounted
+  // in the drop counters) and simply appends.
+  std::vector<std::vector<LogEntry>> streams;
+  std::vector<u64> cursors;
+  double ns_per_tick = 0.0;
+  auto absorb = [&](const ParsedDump& pd) -> bool {
+    if (streams.empty()) {
+      streams.resize(pd.shards.size());
+      cursors.assign(pd.shards.size(), 0);
+    }
+    if (pd.shards.size() != streams.size()) return false;
+    for (usize s = 0; s < streams.size(); ++s) {
+      const std::vector<LogEntry>& win = pd.shards[s];
+      u64 start = pd.starts[s];
+      u64 skip = 0;
+      if (start < cursors[s]) {
+        skip = cursors[s] - start;
+        if (skip >= win.size()) continue;  // fully duplicate window
+      }
+      streams[s].insert(streams[s].end(),
+                        win.begin() + static_cast<i64>(skip), win.end());
+      cursors[s] = start + win.size();
+    }
+    if (pd.ns_per_tick > 0.0) ns_per_tick = pd.ns_per_tick;
+    return true;
+  };
+
+  for (usize i = 0; i < chunks.size(); ++i) {
+    std::string_view payload;
+    if (!drain::parse_chunk(chunks[i], nullptr, &payload, nullptr)) {
+      // A torn *trailing* chunk means the drainer died mid-write and never
+      // resumed: its window was not marked drained, so the same entries
+      // reappear in the residue dump and nothing is lost. A bad chunk
+      // followed by good ones cannot come from the protocol — corruption.
+      if (i + 1 == chunks.size()) break;
+      return std::nullopt;
+    }
+    auto pd = parse_dump(payload);
+    if (!pd || !absorb(*pd)) return std::nullopt;
+  }
+
+  // The final residue dump — optional: a session killed before dump time
+  // still analyzes from its chunks alone.
+  if (auto raw = read_file(prefix + ".log")) {
+    auto pd = parse_dump(*raw);
+    if (!pd || !absorb(*pd)) return std::nullopt;
+  }
+
+  if (streams.empty()) return std::nullopt;
+  if (streams.size() == 1) {
+    return build(streams[0].data(), streams[0].size(), std::move(symbols),
+                 ns_per_tick);
+  }
+  return build_sharded(streams, std::move(symbols), ns_per_tick);
 }
 
 Profile Profile::from_log(const ProfileLog& log,

@@ -88,7 +88,20 @@ struct ValidationIssue {
 class Profile {
  public:
   // Loads "<prefix>.log" + "<prefix>.sym" written by Recorder::dump().
+  // Sessions recorded with --spill are detected automatically (by the
+  // presence of "<prefix>.seg.0000") and routed through load_spill().
   static std::optional<Profile> load(const std::string& prefix);
+
+  // Loads a spill session: stitches the drainer's chunk files
+  // ("<prefix>.seg.NNNN", in sequence order) plus the final residue dump
+  // ("<prefix>.log", optional — a session killed before dump still loads)
+  // into one profile. Per-thread order is preserved because shards drain
+  // in order; the absolute start cursor every chunk records per window is
+  // used to skip the overlap a drainer crash between persist and
+  // cursor-advance leaves behind. A torn trailing chunk is tolerated (its
+  // window was never marked drained, so the residue re-covers it); a bad
+  // chunk in the middle of the sequence is corruption and fails the load.
+  static std::optional<Profile> load_spill(const std::string& prefix);
 
   // Builds from serialized dump bytes already in memory (the fuzz runner's
   // entry point, and what load() uses underneath). Never trusts the bytes:

@@ -16,12 +16,31 @@ inline bool is_tombstone(const LogEntry& e) {
   return e.kind_and_counter == 0 && e.addr == 0 && e.tid == 0;
 }
 
+// Spill-mode space-wait budget (ProfileLog::set_spill_wait_spins). Process-
+// wide rather than per-log: it is a tuning knob, not log state, and keeping
+// it out of the shared header means a misbehaving peer cannot zero it.
+std::atomic<u64> g_spill_wait_spins{u64{1} << 27};
+
 }  // namespace
+
+void ProfileLog::set_spill_wait_spins(u64 n) {
+  g_spill_wait_spins.store(n, std::memory_order_relaxed);
+}
+
+u64 ProfileLog::spill_wait_spins() {
+  return g_spill_wait_spins.load(std::memory_order_relaxed);
+}
 
 bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags,
                       u32 shard_count) {
   if (!buffer) return false;
   if (shard_count > kMaxLogShards) return false;
+  // Spill-drain is a v2 protocol (the cursors live in the shard directory)
+  // and supersedes ring wrap: the two reclaim policies cannot coexist.
+  if ((initial_flags & log_flags::kSpillDrain) &&
+      (shard_count == 0 || (initial_flags & log_flags::kRingBuffer))) {
+    return false;
+  }
   usize overhead =
       sizeof(LogHeader) + static_cast<usize>(shard_count) * sizeof(LogShard);
   if (size < overhead + sizeof(LogEntry) * (shard_count ? shard_count : 1)) {
@@ -59,7 +78,6 @@ bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags,
     shards_ = nullptr;
   }
   entries_ = reinterpret_cast<LogEntry*>(base + overhead);
-  dropped_.store(0, std::memory_order_relaxed);
   return true;
 }
 
@@ -122,7 +140,9 @@ bool ProfileLog::append(EventKind kind, u64 addr, u64 tid, u64 counter) {
     if (header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer) {
       slot %= header_->max_entries;  // overwrite the oldest window
     } else {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      // Counted in the shared header, not a process-local member, so a
+      // reader attached from another process sees the app's drops.
+      header_->dropped.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
   }
@@ -142,6 +162,9 @@ bool ProfileLog::append(EventKind kind, u64 addr, u64 tid, u64 counter) {
 
 bool ProfileLog::append_one(const LogEntry& e, u64 tid) {
   LogShard& sh = shards_[tid % header_->shard_count];
+  if (header_->flags.load(std::memory_order_relaxed) & log_flags::kSpillDrain) {
+    return spill_store(sh, &e, 1);
+  }
   u64 slot = sh.tail.fetch_add(1, std::memory_order_relaxed);
   if (slot >= sh.capacity) {
     if (header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer) {
@@ -170,6 +193,8 @@ bool ProfileLog::append_batch(const LogEntry* batch, u32 n, u64 tid) {
     return ok;
   }
   LogShard& sh = shards_[tid % header_->shard_count];
+  u64 f = header_->flags.load(std::memory_order_relaxed);
+  if (f & log_flags::kSpillDrain) return spill_store(sh, batch, n);
   // One reservation covers the whole batch: this fetch-and-add is the only
   // shared-memory RMW the hot path pays per kCapacity events.
   u64 first = sh.tail.fetch_add(n, std::memory_order_relaxed);
@@ -178,13 +203,42 @@ bool ProfileLog::append_batch(const LogEntry* batch, u32 n, u64 tid) {
   // slots, which the analyzer's tombstone accounting must absorb.
   if (fault::fires(fault_points::kLogFlushDie))
     raise(SIGKILL);  // teeperf-lint: allow(r1): the fault IS the syscall
-  bool ring =
-      header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer;
+  bool ring = (f & log_flags::kRingBuffer) != 0;
   LogEntry* seg = entries_ + sh.entry_offset;
-  if (first + n <= sh.capacity &&
-      !fault::Registry::instance().any_armed()) {
-    std::memcpy(seg + first, batch, static_cast<usize>(n) * sizeof(LogEntry));
-    return true;
+  u64 cap = sh.capacity;
+  if (!fault::Registry::instance().any_armed()) {
+    if (first + n <= cap) {
+      std::memcpy(seg + first, batch,
+                  static_cast<usize>(n) * sizeof(LogEntry));
+      return true;
+    }
+    if (ring && n <= cap) {
+      // A wrapped run still publishes as at most two memcpy spans. Gating
+      // the fast path on `first + n <= capacity` alone sent every flush
+      // after the first wrap down the per-entry modulo loop for the rest
+      // of the run — the tail only ever grows.
+      u64 start = first % cap;
+      u64 head = cap - start < n ? cap - start : n;
+      std::memcpy(seg + start, batch,
+                  static_cast<usize>(head) * sizeof(LogEntry));
+      if (head < n) {
+        std::memcpy(seg, batch + head,
+                    static_cast<usize>(n - head) * sizeof(LogEntry));
+      }
+      return true;
+    }
+    if (!ring) {
+      // Bounded log out of space: store what fits, count the rest.
+      u64 fit = first < cap ? cap - first : 0;
+      if (fit > 0) {
+        std::memcpy(seg + first, batch,
+                    static_cast<usize>(fit) * sizeof(LogEntry));
+      }
+      sh.dropped.fetch_add(n - fit, std::memory_order_relaxed);
+      return false;
+    }
+    // Ring run longer than the whole segment: fall through to the
+    // per-entry loop (degenerate; only the newest window survives anyway).
   }
   bool any_stored = false;
   for (u32 i = 0; i < n; ++i) {
@@ -208,6 +262,67 @@ bool ProfileLog::append_batch(const LogEntry* batch, u32 n, u64 tid) {
   return any_stored && (ring || first + n <= sh.capacity);
 }
 
+bool ProfileLog::spill_store(LogShard& sh, const LogEntry* batch, u32 n) {
+  u64 cap = sh.capacity;
+  if (n > cap) {
+    // A run larger than the whole segment can never have space; refuse it
+    // outright rather than deadlocking on a wait that cannot succeed.
+    sh.dropped.fetch_add(n, std::memory_order_relaxed);
+    return false;
+  }
+  u64 first = sh.tail.fetch_add(n, std::memory_order_relaxed);
+  // Fault point: same tear semantics as the bounded flush path — a writer
+  // dying here leaves the whole reserved run as tombstones.
+  if (fault::fires(fault_points::kLogFlushDie))
+    raise(SIGKILL);  // teeperf-lint: allow(r1): the fault IS the syscall
+  // Space wait: the run may only be stored over slots the drainer has
+  // already consumed and zeroed, i.e. once first + n <= drained + capacity.
+  // If the drainer is dead or hopelessly behind, the spin budget runs out
+  // and the writer force-advances the drain cursor itself: the oldest
+  // undrained entries are sacrificed (keep-newest policy) and every
+  // discarded slot is accounted as dropped. CAS so a racing force-advance
+  // or a revived drainer is never rolled back.
+  u64 budget = g_spill_wait_spins.load(std::memory_order_relaxed);
+  u64 d = sh.drained.load(std::memory_order_acquire);
+  while (first + n > d + cap) {
+    if (budget == 0) {
+      u64 target = first + n - cap;
+      if (sh.drained.compare_exchange_strong(d, target,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        sh.dropped.fetch_add(target - d, std::memory_order_relaxed);
+        d = target;
+      }
+      budget = g_spill_wait_spins.load(std::memory_order_relaxed);
+      continue;
+    }
+    --budget;
+    d = sh.drained.load(std::memory_order_acquire);
+  }
+  // Store modulo capacity: at most two spans, same shape as the ring path.
+  LogEntry* seg = entries_ + sh.entry_offset;
+  u64 start = first % cap;
+  u64 head = cap - start < n ? cap - start : n;
+  std::memcpy(seg + start, batch, static_cast<usize>(head) * sizeof(LogEntry));
+  if (head < n) {
+    std::memcpy(seg, batch + head,
+                static_cast<usize>(n - head) * sizeof(LogEntry));
+  }
+  // In-order publish: wait for every earlier reservation to commit, then
+  // release this run. Commit order == reservation order is what makes
+  // [drained, published) a contiguous fully-stored window the drainer can
+  // consume while the application keeps writing.
+  while (sh.published.load(std::memory_order_acquire) != first) {
+  }
+  // Fault point: dying between store and publish — the run (and everything
+  // reserved after it) stays unpublished and surfaces as tombstones in the
+  // final residue, never as a torn chunk.
+  if (fault::fires(fault_points::kLogAppendDie))
+    raise(SIGKILL);  // teeperf-lint: allow(r1): the fault IS the syscall
+  sh.published.store(first + n, std::memory_order_release);
+  return true;
+}
+
 void ProfileLog::shard_snapshot(u32 s, std::vector<LogEntry>* out) const {
   out->clear();
   if (!shards_ || s >= header_->shard_count) return;
@@ -215,8 +330,23 @@ void ProfileLog::shard_snapshot(u32 s, std::vector<LogEntry>* out) const {
   u64 tail = sh.tail.load(std::memory_order_acquire);
   u64 cap = sh.capacity;
   const LogEntry* seg = entries_ + sh.entry_offset;
-  bool ring =
-      header_->flags.load(std::memory_order_relaxed) & log_flags::kRingBuffer;
+  if (cap == 0) return;
+  u64 f = header_->flags.load(std::memory_order_relaxed);
+  if (f & log_flags::kSpillDrain) {
+    // Residue window: everything the drainer has not consumed,
+    // [drained, min(tail, drained + capacity)), addressed modulo capacity.
+    u64 d = sh.drained.load(std::memory_order_acquire);
+    u64 hi = tail < d + cap ? tail : d + cap;
+    if (hi <= d) return;
+    u64 len = hi - d;
+    u64 start = d % cap;
+    u64 head = cap - start < len ? cap - start : len;
+    out->reserve(len);
+    out->insert(out->end(), seg + start, seg + start + head);
+    out->insert(out->end(), seg, seg + (len - head));
+    return;
+  }
+  bool ring = (f & log_flags::kRingBuffer) != 0;
   if (!ring || tail <= cap) {
     u64 n = tail < cap ? tail : cap;
     out->assign(seg, seg + n);
@@ -264,8 +394,9 @@ std::string ProfileLog::serialize_compact() const {
   if (!header_) return out;
   LogHeader header_copy;
   std::memcpy(static_cast<void*>(&header_copy), header_, sizeof(LogHeader));
-  header_copy.flags.store(flags() & ~log_flags::kRingBuffer,
-                          std::memory_order_relaxed);
+  header_copy.flags.store(
+      flags() & ~(log_flags::kRingBuffer | log_flags::kSpillDrain),
+      std::memory_order_relaxed);
   if (!shards_) {
     std::vector<LogEntry> ordered;
     snapshot_ordered(&ordered);
@@ -289,6 +420,11 @@ std::string ProfileLog::serialize_compact() const {
     dir[s].tail.store(windows[s].size(), std::memory_order_relaxed);
     dir[s].dropped.store(shards_[s].dropped.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    // On disk `drained` carries the window's absolute start cursor (0 for
+    // logs that never drained/wrapped, so plain dumps stay byte-identical).
+    // The spill loader uses it to stitch chunk files and the final residue
+    // into one stream and to skip overlap after a drainer crash/resume.
+    dir[s].drained.store(shard_window_start(s), std::memory_order_relaxed);
     total += windows[s].size();
   }
   header_copy.max_entries = total;
@@ -303,13 +439,37 @@ std::string ProfileLog::serialize_compact() const {
   return out;
 }
 
+u64 ProfileLog::shard_window_start(u32 s) const {
+  if (!shards_ || s >= header_->shard_count) return 0;
+  const LogShard& sh = shards_[s];
+  u64 f = header_->flags.load(std::memory_order_relaxed);
+  if (f & log_flags::kSpillDrain) {
+    return sh.drained.load(std::memory_order_acquire);
+  }
+  if (f & log_flags::kRingBuffer) {
+    u64 t = sh.tail.load(std::memory_order_acquire);
+    if (t > sh.capacity) return t - sh.capacity;
+  }
+  return 0;
+}
+
 u64 ProfileLog::size() const {
   if (!header_) return 0;
   if (shards_) {
+    u64 spill =
+        header_->flags.load(std::memory_order_relaxed) & log_flags::kSpillDrain;
     u64 n = 0;
     for (u32 s = 0; s < header_->shard_count; ++s) {
       u64 t = shards_[s].tail.load(std::memory_order_acquire);
-      n += t < shards_[s].capacity ? t : shards_[s].capacity;
+      u64 cap = shards_[s].capacity;
+      if (spill) {
+        // Undrained residue only; spilled entries live in chunk files.
+        u64 d = shards_[s].drained.load(std::memory_order_acquire);
+        u64 hi = t < d + cap ? t : d + cap;
+        n += hi > d ? hi - d : 0;
+      } else {
+        n += t < cap ? t : cap;
+      }
     }
     return n;
   }
@@ -330,6 +490,7 @@ u64 ProfileLog::attempted() const {
 }
 
 u64 ProfileLog::dropped() const {
+  if (!header_) return 0;
   if (shards_) {
     u64 n = 0;
     for (u32 s = 0; s < header_->shard_count; ++s) {
@@ -337,7 +498,7 @@ u64 ProfileLog::dropped() const {
     }
     return n;
   }
-  return dropped_.load(std::memory_order_relaxed);
+  return header_->dropped.load(std::memory_order_relaxed);
 }
 
 void ProfileLog::set_active(bool on) {
@@ -367,22 +528,45 @@ u64 ProfileLog::flags() const {
 u64 ProfileLog::shard_torn_tail(u32 s, u64 window) const {
   if (!header_) return 0;
   const LogEntry* seg = entries_;
-  u64 n = 0;
+  u64 t = 0;
+  u64 cap = 0;
+  u64 f = header_->flags.load(std::memory_order_relaxed);
   if (shards_) {
     if (s >= header_->shard_count) return 0;
     const LogShard& sh = shards_[s];
-    u64 t = sh.tail.load(std::memory_order_acquire);
-    n = t < sh.capacity ? t : sh.capacity;
+    t = sh.tail.load(std::memory_order_acquire);
+    cap = sh.capacity;
     seg = entries_ + sh.entry_offset;
   } else {
     if (s != 0) return 0;
-    n = size();
+    t = header_->tail.load(std::memory_order_acquire);
+    cap = header_->max_entries;
   }
-  if (n == 0) return 0;
-  u64 start = n > window ? n - window : 0;
+  if (cap == 0) return 0;
+  // The written window in absolute slot numbers. Bounded logs hold
+  // [0, min(tail, cap)); a wrapped ring holds the newest capacity-sized
+  // window [tail - cap, tail); a spill log holds the undrained residue
+  // [drained, min(tail, drained + cap)). Slot a lives at seg[a % cap] —
+  // indexing the scan from the clamped tail (the old code) walked the
+  // wrong slots once a ring tail passed capacity: the newest entry sits
+  // at (tail - 1) % cap, not at cap - 1.
+  u64 lo = 0;
+  u64 hi = t;
+  if (shards_ && (f & log_flags::kSpillDrain)) {
+    lo = shards_[s].drained.load(std::memory_order_acquire);
+    u64 end = lo + cap;
+    if (hi > end) hi = end;
+  } else if (f & log_flags::kRingBuffer) {
+    if (t > cap) lo = t - cap;
+  } else if (hi > cap) {
+    hi = cap;
+  }
+  if (hi <= lo) return 0;
+  u64 from = hi > window ? hi - window : 0;
+  if (from < lo) from = lo;
   u64 torn = 0;
-  for (u64 i = start; i < n; ++i) {
-    if (is_tombstone(seg[i])) ++torn;
+  for (u64 a = from; a < hi; ++a) {
+    if (is_tombstone(seg[a % cap])) ++torn;
   }
   return torn;
 }

@@ -43,6 +43,9 @@ inline constexpr u64 kRecordCalls = 1ull << 1;    // record function entries
 inline constexpr u64 kRecordReturns = 1ull << 2;  // record function exits
 inline constexpr u64 kMultithread = 1ull << 16;   // entries carry thread ids
 inline constexpr u64 kRingBuffer = 1ull << 17;    // wrap instead of dropping
+inline constexpr u64 kSpillDrain = 1ull << 18;    // a host-side drainer reclaims
+                                                  // consumed windows (src/drain);
+                                                  // v2 only, excludes kRingBuffer
 }  // namespace log_flags
 
 inline constexpr u32 kLogVersion = 1;         // single shared tail
@@ -100,7 +103,13 @@ struct LogHeader {
   double ns_per_tick = 0.0;       // measured at dump time; lets the analyzer
                                   // report human time (relative profiles do
                                   // not depend on its accuracy)
-  u8 reserved1[128 - 11 * 8] = {};  // pad so entries start cache-aligned;
+  std::atomic<u64> dropped{0};    // v1: appends refused when full. Lives in
+                                  // the shared header (not the writer
+                                  // process) so cross-process readers — the
+                                  // watchdog, teeperf_stats, dump-time
+                                  // health — see app-side drops. v2 logs
+                                  // keep it 0 and count per shard instead.
+  u8 reserved1[128 - 12 * 8] = {};  // pad so entries start cache-aligned;
                                     // zeroed so serialized headers are
                                     // byte-deterministic (corpus --gen)
 };
@@ -114,7 +123,21 @@ struct alignas(64) LogShard {
   u64 capacity = 0;                // segment length in entries
   std::atomic<u64> tail{0};        // slots reserved (may run past capacity)
   std::atomic<u64> dropped{0};     // appends refused when full (non-ring)
-  u8 reserved[64 - 4 * 8] = {};  // zeroed: keeps serialized directories
+  // Spill-drain cursor pair (kSpillDrain, DESIGN.md §10). Absolute entry
+  // counts, like tail; the segment is addressed modulo capacity and the
+  // live window is [drained, tail):
+  //   published — contiguous prefix fully stored: writers commit their runs
+  //               in reservation order, so [drained, published) is safe for
+  //               the drainer to consume while the application runs.
+  //   drained   — entries the host-side drainer has consumed (spilled to a
+  //               chunk file and zeroed); writers reuse the space, which is
+  //               what makes session length unbounded.
+  // In serialized compact dumps/chunks `drained` is repurposed to carry the
+  // window's absolute start cursor, so the multi-chunk loader can stitch
+  // and deduplicate; `published` is kept 0 on disk.
+  std::atomic<u64> published{0};
+  std::atomic<u64> drained{0};
+  u8 reserved[64 - 6 * 8] = {};  // zeroed: keeps serialized directories
                                  // byte-deterministic
 };
 static_assert(sizeof(LogShard) == 64);
@@ -190,9 +213,26 @@ class ProfileLog {
   // the sum of shard tails (v2).
   u64 attempted() const;
 
-  // Appends refused because the log was full: the in-process count for v1,
-  // the (cross-process, shm-resident) shard counters summed for v2.
+  // Appends refused because the log was full: the shm-resident header word
+  // for v1, the (equally shm-resident) shard counters summed for v2. Either
+  // way the count is visible to cross-process readers attached to the same
+  // region — the watchdog's log.dropped gauge depends on that.
   u64 dropped() const;
+
+  // True when this log runs the spill-drain protocol (kSpillDrain set): a
+  // host-side drainer consumes published windows and writers reclaim the
+  // space (DESIGN.md §10).
+  bool spill() const {
+    return shards_ != nullptr && (flags() & log_flags::kSpillDrain) != 0;
+  }
+
+  // Spill mode: how many times a writer re-reads the drain cursor waiting
+  // for reclaimed space before it force-advances the cursor and sacrifices
+  // the oldest undrained entries (counted as drops). The default is a few
+  // hundred ms of spinning — far beyond a healthy drainer's poll interval;
+  // tests shrink it to exercise the overflow path deterministically.
+  static void set_spill_wait_spins(u64 n);
+  static u64 spill_wait_spins();
 
   const LogEntry& entry(u64 i) const { return entries_[i]; }
   LogEntry* entries() { return entries_; }
@@ -224,10 +264,18 @@ class ProfileLog {
  private:
   bool append_one(const LogEntry& e, u64 tid);
 
+  // Spill-mode store: reserves `n` slots in `sh`, waits for the drainer to
+  // reclaim enough space, stores the run modulo capacity (at most two
+  // spans), then publishes it in reservation order via `sh.published`.
+  bool spill_store(LogShard& sh, const LogEntry* batch, u32 n);
+
+  // Absolute cursor of the first entry shard_snapshot(s) would return:
+  // `drained` for spill logs, `tail - capacity` for a wrapped ring, else 0.
+  u64 shard_window_start(u32 s) const;
+
   LogHeader* header_ = nullptr;
   LogShard* shards_ = nullptr;  // null for v1 logs
   LogEntry* entries_ = nullptr;
-  std::atomic<u64> dropped_{0};
 };
 
 // Thread-local batching front-end for the hot path (§II-B stage #2, v2):

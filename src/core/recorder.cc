@@ -39,6 +39,7 @@ std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
   auto rec = std::unique_ptr<Recorder>(new Recorder());
   rec->options_ = options;
   u32 shards = pick_shard_count(options);
+  if (options.spill_drain && shards == 0) return nullptr;  // spill needs v2
   usize bytes = ProfileLog::bytes_for(options.max_entries, shards);
   bool ok = options.shm_name.empty() ? rec->shm_.create_anonymous(bytes)
                                      : rec->shm_.create(options.shm_name, bytes);
@@ -46,6 +47,7 @@ std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
 
   u64 flags = log_flags::kMultithread;
   if (options.ring_buffer) flags |= log_flags::kRingBuffer;
+  if (options.spill_drain) flags |= log_flags::kSpillDrain;
   if (options.start_active) flags |= log_flags::kActive;
   if (options.record_calls) flags |= log_flags::kRecordCalls;
   if (options.record_returns) flags |= log_flags::kRecordReturns;
@@ -100,10 +102,17 @@ bool Recorder::attach() {
       s.capacity = log_.capacity();
       s.active = log_.active();
       s.ring = (log_.flags() & log_flags::kRingBuffer) != 0;
+      s.spill = log_.spill();
       s.dropped = log_.dropped();
       for (u32 i = 0; i < log_.shard_count(); ++i) {
         s.shard_tails.push_back(
             log_.shard(i)->tail.load(std::memory_order_relaxed));
+      }
+      if (s.spill && drain_sampler_) {
+        DrainSample d = drain_sampler_();
+        s.drain_lag = d.lag_entries;
+        s.drain_spilled_bytes = d.spilled_bytes;
+        s.drained_entries = d.drained_entries;
       }
       return s;
     });

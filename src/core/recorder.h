@@ -42,6 +42,14 @@ struct RecorderOptions {
   // Ring mode: when the log fills, overwrite the oldest entries instead of
   // dropping new ones — long-running sessions keep the most recent window.
   bool ring_buffer = false;
+
+  // Spill-drain mode (DESIGN.md §10): a host-side drainer (drain::Drainer,
+  // owned by the embedding tool — teeperf_record — not by the Recorder)
+  // continuously consumes published windows and writers reclaim the space,
+  // so sessions are unbounded without ring-mode data loss. Requires a v2
+  // layout (shards >= 1) and excludes ring_buffer; create() fails on a
+  // conflicting combination.
+  bool spill_drain = false;
   bool record_calls = true;
   bool record_returns = true;
 
@@ -73,6 +81,20 @@ class Recorder {
   // configured). False if another session is already attached.
   bool attach();
   void detach();
+
+  // Spill sessions: drainer health fed into the watchdog's log sample. The
+  // embedding tool owns the drain::Drainer (core sits below drain in the
+  // layering) and registers this callback before attach(); without it the
+  // watchdog still suppresses wrap/saturation alarms for spill logs but
+  // publishes no drain.* gauges.
+  struct DrainSample {
+    u64 lag_entries = 0;
+    u64 spilled_bytes = 0;
+    u64 drained_entries = 0;
+  };
+  void set_drain_sampler(std::function<DrainSample()> sampler) {
+    drain_sampler_ = std::move(sampler);
+  }
 
   // Dynamic de/activation (§II-B: flags are changed atomically while the
   // application executes). Toggles are journaled as telemetry events.
@@ -109,6 +131,7 @@ class Recorder {
   RecorderOptions options_;
   SharedMemoryRegion shm_;
   ProfileLog log_;
+  std::function<DrainSample()> drain_sampler_;
   std::unique_ptr<SoftwareCounter> counter_;
   std::unique_ptr<obs::SelfTelemetry> telemetry_;
   std::unique_ptr<obs::Watchdog> watchdog_;

@@ -1,0 +1,104 @@
+#include "drain/chunk_format.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace teeperf::drain {
+
+std::string serialize_chunk(const LogHeader& session,
+                            const std::vector<ShardWindow>& windows, u32 seq) {
+  u32 nshards = static_cast<u32>(windows.size());
+  LogHeader h;
+  std::memcpy(static_cast<void*>(&h), &session, sizeof(LogHeader));
+  h.version = kLogVersionSharded;
+  h.shard_count = nshards;
+  h.flags.store(session.flags.load(std::memory_order_relaxed) &
+                    ~(log_flags::kActive | log_flags::kRingBuffer |
+                      log_flags::kSpillDrain),
+                std::memory_order_relaxed);
+  h.tail.store(0, std::memory_order_relaxed);
+  // Drop accounting lives in the session's final residue dump, not in the
+  // chunks — a loader summing both would double count.
+  h.dropped.store(0, std::memory_order_relaxed);
+
+  std::vector<LogShard> dir(nshards);
+  u64 total = 0;
+  for (u32 s = 0; s < nshards; ++s) {
+    u64 len = windows[s].entries.size();
+    dir[s].entry_offset = total;
+    dir[s].capacity = len;
+    dir[s].tail.store(len, std::memory_order_relaxed);
+    dir[s].dropped.store(0, std::memory_order_relaxed);
+    dir[s].published.store(0, std::memory_order_relaxed);
+    dir[s].drained.store(windows[s].start, std::memory_order_relaxed);
+    total += len;
+  }
+  h.max_entries = total;
+
+  std::string payload;
+  payload.reserve(sizeof(LogHeader) +
+                  static_cast<usize>(nshards) * sizeof(LogShard) +
+                  static_cast<usize>(total) * sizeof(LogEntry));
+  payload.assign(reinterpret_cast<const char*>(&h), sizeof(LogHeader));
+  payload.append(reinterpret_cast<const char*>(dir.data()),
+                 static_cast<usize>(nshards) * sizeof(LogShard));
+  for (u32 s = 0; s < nshards; ++s) {
+    payload.append(reinterpret_cast<const char*>(windows[s].entries.data()),
+                   windows[s].entries.size() * sizeof(LogEntry));
+  }
+
+  ChunkFrame frame;
+  frame.magic = kChunkMagic;
+  frame.seq = seq;
+  frame.payload_bytes = payload.size();
+  frame.payload_crc = crc32c_mask(crc32c(payload.data(), payload.size()));
+  frame.header_crc = crc32c_mask(
+      crc32c(&frame, sizeof(ChunkFrame) - 2 * sizeof(u32)));
+
+  std::string out;
+  out.reserve(sizeof(ChunkFrame) + payload.size());
+  out.assign(reinterpret_cast<const char*>(&frame), sizeof(ChunkFrame));
+  out.append(payload);
+  return out;
+}
+
+bool parse_chunk(std::string_view bytes, u32* seq, std::string_view* payload,
+                 std::string* error) {
+  if (bytes.size() < sizeof(ChunkFrame)) {
+    if (error) *error = "chunk shorter than its frame";
+    return false;
+  }
+  ChunkFrame frame;
+  std::memcpy(&frame, bytes.data(), sizeof(ChunkFrame));
+  if (frame.magic != kChunkMagic) {
+    if (error) *error = "bad chunk magic";
+    return false;
+  }
+  u32 want = crc32c_mask(crc32c(bytes.data(), sizeof(ChunkFrame) - 2 * sizeof(u32)));
+  if (frame.header_crc != want) {
+    if (error) *error = "chunk frame checksum mismatch";
+    return false;
+  }
+  if (frame.payload_bytes != bytes.size() - sizeof(ChunkFrame)) {
+    if (error) *error = "chunk payload truncated";
+    return false;
+  }
+  std::string_view body = bytes.substr(sizeof(ChunkFrame));
+  if (frame.payload_crc != crc32c_mask(crc32c(body.data(), body.size()))) {
+    if (error) *error = "chunk payload checksum mismatch";
+    return false;
+  }
+  if (seq) *seq = frame.seq;
+  if (payload) *payload = body;
+  return true;
+}
+
+std::string chunk_path(const std::string& prefix, u32 seq) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".seg.%04u", seq);
+  return prefix + suffix;
+}
+
+}  // namespace teeperf::drain

@@ -1,0 +1,63 @@
+// On-disk chunk format for the streaming spill drainer (DESIGN.md §10).
+//
+// Each drain round persists the windows it consumed as one chunk file,
+// `<prefix>.seg.NNNN`. A chunk is a CRC32C-framed compact v2 sub-log:
+//
+//   ChunkFrame (32 bytes, checksummed)
+//   LogHeader copy           |
+//   rewritten LogShard dir   | the payload — loadable with the same code
+//   packed shard windows     | path as any compact dump
+//
+// The directory's `drained` field is repurposed on disk to carry each
+// window's absolute start cursor (the shard's `drained` value when the
+// window was copied). That is what lets the multi-chunk loader stitch
+// chunks and the final residue into one per-shard stream — and skip the
+// overlap a drainer crash between persist and cursor-advance leaves behind.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "core/log_format.h"
+
+namespace teeperf::drain {
+
+inline constexpr u64 kChunkMagic = 0x5450534547303031ull;  // "TPSEG001"
+
+// Fixed-size frame ahead of the payload. `header_crc` covers the first 24
+// bytes of the frame, `payload_crc` the payload; both are stored masked
+// (crc32c_mask) following the LevelDB convention used by the kvstore.
+struct ChunkFrame {
+  u64 magic = 0;
+  u32 seq = 0;
+  u32 reserved = 0;  // zeroed: keeps serialized frames byte-deterministic
+  u64 payload_bytes = 0;
+  u32 payload_crc = 0;
+  u32 header_crc = 0;
+};
+static_assert(sizeof(ChunkFrame) == 32);
+
+// One shard's consumed window: `start` is the absolute cursor of
+// entries.front() within that shard's stream.
+struct ShardWindow {
+  u64 start = 0;
+  std::vector<LogEntry> entries;
+};
+
+// Serializes one drain round as a framed chunk. `session` supplies the
+// immutable header fields (pid, counter_mode, ...); ring/spill/active flags
+// are cleared so the payload reads as a plain bounded compact dump.
+std::string serialize_chunk(const LogHeader& session,
+                            const std::vector<ShardWindow>& windows, u32 seq);
+
+// Verifies the frame and both CRCs. On success fills *seq and *payload (a
+// view into `bytes`) and returns true; on failure fills *error.
+bool parse_chunk(std::string_view bytes, u32* seq, std::string_view* payload,
+                 std::string* error);
+
+// "<prefix>.seg.NNNN" (zero-padded to four digits; more digits if needed).
+std::string chunk_path(const std::string& prefix, u32 seq);
+
+}  // namespace teeperf::drain

@@ -31,6 +31,8 @@ inline constexpr char kEpcExhaust[] = "epc.exhaust";
 inline constexpr char kWalAppendTorn[] = "wal.append.torn";
 inline constexpr char kWalReadFlip[] = "wal.read.flip";
 inline constexpr char kSstableOpenFlip[] = "sstable.open.flip";
+inline constexpr char kDrainDie[] = "drain.die";
+inline constexpr char kDrainChunkTorn[] = "drain.chunk.torn";
 
 // The byte-corruption prefix consumed by fault::apply_byte_faults(); it
 // expands to kDumpTorn / kDumpBitflip.
@@ -42,6 +44,7 @@ inline constexpr const char* kAll[] = {
     kLogFlushDie,   kLogShardAllocFail, kCounterStall, kCounterBackjump,
     kDumpFail,      kDumpTorn,      kDumpBitflip,     kEpcAllocFail,
     kEpcExhaust,    kWalAppendTorn, kWalReadFlip,     kSstableOpenFlip,
+    kDrainDie,      kDrainChunkTorn,
 };
 
 }  // namespace teeperf::fault_points

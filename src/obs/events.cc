@@ -22,6 +22,7 @@ const char* event_type_name(EventType type) {
     case EventType::kTornTail: return "torn_tail";
     case EventType::kSamplerStart: return "sampler_start";
     case EventType::kSamplerStop: return "sampler_stop";
+    case EventType::kDrainStall: return "drain_stall";
   }
   return "?";
 }

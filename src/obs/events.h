@@ -30,6 +30,8 @@ enum class EventType : u32 {
                        // (arg0 = torn entry count)
   kSamplerStart = 12,  // perfsim sampler armed (arg0 = frequency hz)
   kSamplerStop = 13,   // perfsim sampler stopped (arg0 = samples, arg1 = dropped)
+  kDrainStall = 14,    // spill drainer stopped consuming while writers lag
+                       // (arg0 = lag entries, arg1 = entries drained so far)
 };
 
 const char* event_type_name(EventType type);

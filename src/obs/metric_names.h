@@ -37,6 +37,12 @@ inline constexpr char kLogActive[] = "log.active";
 inline constexpr char kLogShards[] = "log.shards";
 inline constexpr char kLogTornTail[] = "log.torn_tail";
 
+// Streaming spill drainer (obs/watchdog.cc; fed by drain/drainer.cc via
+// the recorder's log sample).
+inline constexpr char kDrainLagEntries[] = "drain.lag_entries";
+inline constexpr char kDrainSpilledBytes[] = "drain.spilled_bytes";
+inline constexpr char kDrainStall[] = "drain.stall";
+
 // EPC paging (tee/epc.cc).
 inline constexpr char kEpcPageIns[] = "epc.page_ins";
 inline constexpr char kEpcPageOuts[] = "epc.page_outs";

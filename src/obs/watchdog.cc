@@ -158,8 +158,11 @@ void Watchdog::observe_log() {
       registry_->gauge(str_format(metric_names::kLogShardTailFmt, i))
           .set(s.shard_tails[i]);
     }
-    if (s.dropped > 0) g_dropped_.set(s.dropped);
   }
+  // Both layouts keep their drop counter in the shared region (the v1
+  // header word, the v2 shard counters), so the gauge reflects app-side
+  // drops even when the watchdog runs in the recorder process.
+  if (s.dropped > 0) g_dropped_.set(s.dropped);
 
   if (now > last_tail_ns_ && s.tail >= last_tail_) {
     double rate = static_cast<double>(s.tail - last_tail_) * 1e9 /
@@ -173,6 +176,40 @@ void Watchdog::observe_log() {
   last_tail_ = s.tail;
   last_tail_ns_ = now;
 
+  if (s.spill) {
+    // Spill sessions run the tail past capacity by design (the drainer
+    // reclaims the space), so wrap/saturation alarms don't apply; drainer
+    // health is the signal instead.
+    if (!drain_gauges_ready_) {
+      drain_gauges_ready_ = true;
+      g_drain_lag_ = registry_->gauge(metric_names::kDrainLagEntries);
+      g_drain_spilled_ = registry_->gauge(metric_names::kDrainSpilledBytes);
+      g_drain_stall_ = registry_->gauge(metric_names::kDrainStall);
+    }
+    g_drain_lag_.set(s.drain_lag);
+    g_drain_spilled_.set(s.drain_spilled_bytes);
+    // Stall: consumable work published but the drained total not moving —
+    // a dead or wedged drainer. Writers are about to block on the space
+    // wait and then start force-dropping, so this alarms ahead of loss.
+    if (s.drain_lag > 0 && s.drained_entries == last_drained_) {
+      ++drain_idle_windows_;
+      if (!drain_stalled_ && drain_idle_windows_ >= options_.stall_windows) {
+        drain_stalled_ = true;
+        g_drain_stall_.set(1);
+        journal_->record(EventType::kDrainStall, s.drain_lag,
+                         s.drained_entries);
+      }
+    } else {
+      if (drain_stalled_) {
+        drain_stalled_ = false;
+        g_drain_stall_.set(0);
+      }
+      drain_idle_windows_ = 0;
+    }
+    last_drained_ = s.drained_entries;
+    return;
+  }
+
   if (s.capacity == 0 || s.tail <= s.capacity) return;
   if (s.ring) {
     u64 wraps = s.tail / s.capacity;
@@ -181,12 +218,12 @@ void Watchdog::observe_log() {
       g_wraps_.set(wraps);
       journal_->record(EventType::kRingWrap, wraps);
     }
-  } else {
-    g_dropped_.set(s.tail - s.capacity);
-    if (!saturation_reported_) {
-      saturation_reported_ = true;
-      journal_->record(EventType::kLogSaturated, s.tail, s.capacity);
-    }
+  } else if (!saturation_reported_) {
+    // The drop gauge above already carries the precise count (shm-resident
+    // for v1 too, since the counter moved into the header); the journal
+    // event marks the first moment of saturation.
+    saturation_reported_ = true;
+    journal_->record(EventType::kLogSaturated, s.tail, s.capacity);
   }
 }
 

@@ -43,7 +43,17 @@ struct LogSample {
   u64 capacity = 0;  // max entries
   bool active = false;
   bool ring = false;
-  u64 dropped = 0;   // appends refused (v2 sums the per-shard counters)
+  u64 dropped = 0;   // appends refused (v1 reads the shm header word, v2
+                     // sums the per-shard counters — either way visible
+                     // cross-process)
+  // Spill-drain sessions (log_flags::kSpillDrain): drainer health, filled
+  // from drain::Drainer::stats() by the owner. `drained_entries` is
+  // monotonic — the watchdog flags a stall when it stops advancing while
+  // lag is nonzero.
+  bool spill = false;
+  u64 drain_lag = 0;            // published-but-unconsumed entries
+  u64 drain_spilled_bytes = 0;  // chunk bytes persisted so far
+  u64 drained_entries = 0;      // entries consumed so far
   // v2 sharded logs: each shard's raw tail, in directory order (empty for
   // v1). Published as log.shard.<i>.tail gauges so a scraper can spot one
   // hot thread saturating its shard while the log as a whole looks empty.
@@ -113,11 +123,19 @@ class Watchdog {
   bool saturation_reported_ = false;
   double peak_rate_ = 0.0;
 
+  // Drain-watch state (spill sessions only; gauges register lazily on the
+  // first spill sample so plain sessions don't carry drain.* slots).
+  bool drain_gauges_ready_ = false;
+  u64 last_drained_ = 0;
+  u32 drain_idle_windows_ = 0;
+  bool drain_stalled_ = false;
+
   // Published metrics.
   Counter wd_ticks_, stall_events_, drift_events_;
   Gauge g_ns_per_tick_, g_stalled_, g_drifting_;
   Gauge g_tail_, g_occupancy_, g_rate_, g_peak_rate_, g_dropped_, g_wraps_,
       g_active_;
+  Gauge g_drain_lag_, g_drain_spilled_, g_drain_stall_;
   Histogram h_ns_per_tick_;
 };
 

@@ -120,4 +120,44 @@ test -s "$OUT/die.log" || { echo "FAIL: die.log missing after fault run"; exit 1
 "$BIN/tools/teeperf_analyze" "$OUT/die" --validate > "$OUT/die.out" || {
   echo "FAIL: analyze rejected fault-run dump"; cat "$OUT/die.out"; exit 1; }
 
+# Spill-drain end to end (DESIGN.md §10): a session several times the shm
+# capacity streams through the live drainer — with the drainer killed
+# mid-run by fault injection. The wrapper must restart it, resume must be
+# exact (chunks persist before the cursor advances), and the analyzer must
+# stitch chunks + residue into one lossless profile.
+mkdir -p "$OUT/sp"
+"$BIN/tools/teeperf_record" -o "$OUT/sp/run" -n 4096 -c tsc \
+    --spill "$OUT/sp" --spill-chunk-entries 512 \
+    --faults "drain.die:nth=2" --fault-seed 1 -- \
+    "$BIN/examples/instrumented_app" "$OUT/ignored6" > "$OUT/spill.out" 2>&1 || {
+  echo "FAIL: spill-drain record run failed"; cat "$OUT/spill.out"; exit 1; }
+grep -q "drainer died; resuming" "$OUT/spill.out" || {
+  echo "FAIL: injected drainer death never restarted"; cat "$OUT/spill.out"; exit 1; }
+grep -q "spilled" "$OUT/spill.out" || {
+  echo "FAIL: spill session reported no spill summary"; cat "$OUT/spill.out"; exit 1; }
+test -s "$OUT/sp/run.seg.0000" || { echo "FAIL: no chunk files persisted"; exit 1; }
+"$BIN/tools/teeperf_analyze" "$OUT/sp/run" --top 5 > "$OUT/spill_analyze.out" || {
+  echo "FAIL: analyze rejected spill session"; cat "$OUT/spill_analyze.out"; exit 1; }
+grep -q "fibonacci" "$OUT/spill_analyze.out" || {
+  echo "FAIL: spill session lost symbolization"; cat "$OUT/spill_analyze.out"; exit 1; }
+# Lossless: every attempted entry analyzed (no drops, no torn slots), and
+# the session really overran the in-memory window more than 4x.
+ATTEMPTED=$(sed -n 's/.*(\([0-9][0-9]*\) attempted).*/\1/p' "$OUT/spill.out" | head -1)
+ENTRIES=$(sed -n 's/.*entries=\([0-9][0-9]*\).*/\1/p' "$OUT/spill_analyze.out" | head -1)
+TOMB=$(sed -n 's/.*tombstones=\([0-9][0-9]*\).*/\1/p' "$OUT/spill_analyze.out" | head -1)
+[ "${ENTRIES:-0}" -gt 16384 ] || {
+  echo "FAIL: spill session entries=$ENTRIES did not exceed 4x the shm window"
+  cat "$OUT/spill_analyze.out"; exit 1; }
+[ "${ENTRIES:-0}" -eq "${ATTEMPTED:-1}" ] || {
+  echo "FAIL: spill session dropped entries ($ENTRIES analyzed of $ATTEMPTED attempted)"
+  cat "$OUT/spill.out" "$OUT/spill_analyze.out"; exit 1; }
+[ "${TOMB:-1}" -eq 0 ] || {
+  echo "FAIL: spill session analyzed with tombstones=$TOMB"
+  cat "$OUT/spill_analyze.out"; exit 1; }
+# And the two reclaim policies stay mutually exclusive at the CLI.
+if "$BIN/tools/teeperf_record" --spill "$OUT/sp" --ring -- true \
+    > "$OUT/spillring.out" 2>&1; then
+  echo "FAIL: record accepted --spill with --ring"; exit 1
+fi
+
 echo "PASS"

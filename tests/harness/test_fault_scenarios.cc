@@ -18,6 +18,9 @@
 #include "common/shm.h"
 #include "core/profiler.h"
 #include "faultsim/fault.h"
+#include "obs/metric_names.h"
+#include "obs/session.h"
+#include "obs/watchdog.h"
 #include "tee/enclave.h"
 #include "tee/epc.h"
 
@@ -230,6 +233,156 @@ TEST_P(KillMidBatchFlushTest, PerShardTornTailAccountsWholeBatch) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KillMidBatchFlushTest, ::testing::Values(1, 2, 3));
+
+// --- ring-wrap torn tail ----------------------------------------------------
+
+// Regression for the ring-mode torn-tail scan: once a ring shard's tail has
+// passed capacity, the newest entry lives at (tail - 1) % capacity, not at
+// capacity - 1. The old scan indexed from the clamped tail, so after a wrap
+// it walked the top of the physical segment — reporting phantom tombstones
+// for a fully stored newest window and missing the real torn batch behind
+// it.
+class RingWrapTornTailTest : public FaultScenarioTest,
+                             public ::testing::WithParamInterface<u64> {};
+
+TEST_P(RingWrapTornTailTest, WrappedWindowScansPhysicalSlots) {
+  const u64 seed = GetParam();
+  constexpr u64 kCap = 64;
+  constexpr u64 kTid = 7;
+
+  SharedMemoryRegion shm;
+  ASSERT_TRUE(shm.create_anonymous(ProfileLog::bytes_for(kCap, 1)));
+  ProfileLog log;
+  ASSERT_TRUE(log.init(shm.data(), shm.size(), 1234,
+                       log_flags::kActive | log_flags::kRecordCalls |
+                           log_flags::kRecordReturns |
+                           log_flags::kMultithread | log_flags::kRingBuffer,
+                       1));
+  ASSERT_EQ(log.shard_count(), 1u);
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Flush 1 ([0, 32)) completes; flush 2 reserves [32, 64) and dies before
+    // storing a single entry, leaving half the segment zero.
+    fault::Spec s;
+    s.mode = fault::Mode::kNth;
+    s.n = 2;
+    fault::Registry::instance().set_seed(seed);
+    fault::Registry::instance().arm("log.flush.die", s);
+    LogBatch b;
+    u64 c = 100;
+    for (u64 i = 0; i < kCap; ++i) {
+      b.record(log, i % 2 == 0 ? EventKind::kCall : EventKind::kReturn,
+               0xC000 + (i / 2) % 4, kTid, c += 3);
+    }
+    b.flush(log);
+    _exit(0);  // unreachable: the final flush dies mid-publication
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+  ASSERT_EQ(log.shard(0)->tail.load(std::memory_order_acquire), kCap);
+
+  // A surviving writer keeps recording and wraps: the next flush reserves
+  // [64, 96) and publishes it over physical slots [0, 32) as two spans.
+  LogBatch survivor;
+  u64 c = 1000;
+  for (u64 i = 0; i < 32; ++i) {
+    survivor.record(log, i % 2 == 0 ? EventKind::kCall : EventKind::kReturn,
+                    0xD000, kTid, c += 3);
+  }
+  ASSERT_TRUE(survivor.flush(log));
+  ASSERT_EQ(log.shard(0)->tail.load(std::memory_order_acquire), kCap + 32);
+
+  // The live window is [tail - cap, tail) = [32, 96): the torn flush's 32
+  // zero slots followed by the wrapped survivor. The default window covers
+  // all of it...
+  EXPECT_EQ(log.shard_torn_tail(0), 32u);
+  EXPECT_EQ(log.count_torn_tail(~0ull), 32u);
+  // ...while the newest 32 entries — physical slots [0, 32) after the wrap
+  // — are fully stored. The pre-fix clamped scan walked slots [32, 64) here
+  // and reported 32 phantom tombstones.
+  EXPECT_EQ(log.shard_torn_tail(0, 32), 0u);
+
+  // The wrapped span really landed at the low physical slots: the ordered
+  // window starts with the torn zeros and ends with the survivor's batch.
+  std::vector<LogEntry> window;
+  log.shard_snapshot(0, &window);
+  ASSERT_EQ(window.size(), kCap);
+  for (u64 i = 0; i < 32; ++i) {
+    EXPECT_EQ(window[i].kind_and_counter, 0u) << "slot " << i;
+    EXPECT_EQ(window[i + 32].addr, 0xD000u) << "slot " << (i + 32);
+  }
+
+  // The analyzer sees exactly the torn batch as tombstones.
+  auto profile = analyzer::Profile::from_log(log, {}, 1.0);
+  EXPECT_EQ(profile.recon_stats().tombstones, 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingWrapTornTailTest, ::testing::Values(1, 2, 3));
+
+// --- cross-process drop visibility ------------------------------------------
+
+// The v1 drop counter lives in the shared header, not in a process-local
+// member: an app process overrunning a bounded log must surface its drops to
+// the recorder process attached to the same region — and from there to the
+// watchdog's log.dropped gauge.
+TEST_F(FaultScenarioTest, DroppedCountIsVisibleAcrossProcesses) {
+  constexpr u64 kCap = 8;
+  constexpr u64 kAttempts = 20;
+  SharedMemoryRegion shm;
+  ASSERT_TRUE(shm.create_anonymous(ProfileLog::bytes_for(kCap)));
+  ProfileLog log;
+  ASSERT_TRUE(log.init(shm.data(), shm.size(), 1234,
+                       log_flags::kActive | log_flags::kRecordCalls));
+  ASSERT_EQ(log.dropped(), 0u);
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // App side: overruns the bounded log by 12 appends, then exits cleanly.
+    for (u64 i = 0; i < kAttempts; ++i) {
+      log.append(EventKind::kCall, 0xA000, 0, 100 + i);
+    }
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  // Recorder side: the same mapping reads the header word the child bumped.
+  // Before the counter moved into shared memory this read 0 here.
+  EXPECT_EQ(log.dropped(), kAttempts - kCap);
+  EXPECT_EQ(log.header()->dropped.load(std::memory_order_relaxed),
+            kAttempts - kCap);
+
+  // And the watchdog publishes it: one observe tick turns the sample into
+  // the log.dropped gauge the exporters scrape.
+  obs::TelemetryOptions topts;  // no shm_name → anonymous region
+  auto t = obs::SelfTelemetry::create(topts);
+  ASSERT_NE(t, nullptr);
+  obs::WatchdogOptions wopts;
+  wopts.interval_ms = 1;
+  obs::Watchdog wd(&t->registry(), &t->journal(),
+                   [n = u64{0}]() mutable { return ++n; }, "test", wopts);
+  wd.watch_log([&] {
+    obs::LogSample s;
+    s.tail = log.size();
+    s.capacity = kCap;
+    s.active = true;
+    s.dropped = log.dropped();
+    return s;
+  });
+  wd.start();
+  for (int i = 0; i < 2000 && wd.ticks() < 2; ++i) usleep(1000);
+  wd.stop();
+  EXPECT_EQ(t->registry().gauge(obs::metric_names::kLogDropped).value(),
+            kAttempts - kCap);
+}
 
 // --- shard allocation failure ----------------------------------------------
 

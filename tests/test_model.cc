@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "tests/model/model_checker.h"
+#include "tests/model/spill_model.h"
 
 namespace teeperf::model {
 namespace {
@@ -123,6 +124,112 @@ TEST(ModelChecker, DetectsReaderIgnoringTombstones) {
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.violation.find("never committed"), std::string::npos)
       << r.violation;
+}
+
+// ---- Spill-drain protocol (tests/model/spill_model.h) ----
+//
+// Spill configurations always run UNREDUCED: the model blocks threads via
+// enabled() conditions over other threads' variables (the space wait, the
+// in-order publish wait, the drainer's work wait), which the sleep-set
+// reduction does not track. Configurations are sized for plain DFS.
+
+CheckResult check_spill(const SpillLogModel& m) {
+  Checker<SpillLogModel> checker(m, /*reduce=*/false);
+  return checker.run();
+}
+
+TEST(SpillModel, MinimalConfigScheduleCountIsExact) {
+  // One writer, one entry, one drain round. The writer's three steps are
+  // forced sequential (reserve -> store -> publish), and the drainer's snap
+  // blocks until the publish — so exactly ONE schedule exists. This pins
+  // down that the waits are modeled as enabledness, not spinning.
+  SpillLogModel m({{{1}}}, /*cap=*/2, /*rounds=*/1, /*chunk=*/2);
+  CheckResult r = check_spill(m);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_EQ(r.interleavings, 1u);
+}
+
+TEST(SpillModel, ReclaimAllInterleavingsWithWrap) {
+  // Two writers through a 3-slot ring, 4 total entries — every schedule
+  // wraps, so reclaimed slots are re-reserved and re-stored. Across ALL
+  // interleavings: spilled + residue is exactly the committed multiset, in
+  // per-writer order, with no tombstone ever reaching a chunk.
+  SpillLogModel m({{{2, 1}}, {{1}}}, /*cap=*/3, /*rounds=*/3, /*chunk=*/2);
+  CheckResult r = check_spill(m);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_GT(r.interleavings, 100u);  // genuinely concurrent, not collapsed
+}
+
+TEST(SpillModel, CrashAtEveryStepKeepsRecoveryExact) {
+  // Truncate writer 0 after every prefix (kLogFlushDie / kLogAppendDie in
+  // spill mode): a window reserved but never published wedges later
+  // publishers and is never drained — it must surface as residue
+  // tombstones, never as chunk content.
+  const std::vector<int> w0 = {2, 1};
+  const int w0_steps = 2 * 1 + 3 + 1 + 2;  // 2 reserves + 3 stores + 2 pubs
+  for (int crash = 0; crash <= w0_steps; ++crash) {
+    SpillLogModel m({{w0, crash}, {{1}}}, /*cap=*/3, /*rounds=*/3,
+                    /*chunk=*/2);
+    CheckResult r = check_spill(m);
+    ASSERT_TRUE(r.ok) << "crash after " << crash << ": " << r.violation;
+  }
+}
+
+TEST(SpillModel, DrainerStoppingEarlyLosesNothing) {
+  // The drainer runs fewer rounds than the workload needs (a dead drainer
+  // that is never restarted). Writers block on the space wait forever —
+  // a legal terminal — and everything already committed is still recovered
+  // exactly once from chunks + residue.
+  for (int rounds = 0; rounds <= 2; ++rounds) {
+    SpillLogModel m({{{2, 2}}, {{1}}}, /*cap=*/3, rounds, /*chunk=*/2);
+    CheckResult r = check_spill(m);
+    ASSERT_TRUE(r.ok) << "rounds " << rounds << ": " << r.violation;
+  }
+}
+
+TEST(SpillModel, DetectsMissingSpaceWait) {
+  // Seeded bug: writers store without waiting for the drainer to hand the
+  // space back. A wrapped window clobbers published-but-undrained slots —
+  // some schedule must lose an entry.
+  SpillLogModel m({{{2, 2}}}, /*cap=*/2, /*rounds=*/2, /*chunk=*/2,
+                  SpillBug::kNoSpaceCheck);
+  CheckResult r = check_spill(m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.violating_trace.empty());
+}
+
+TEST(SpillModel, DetectsMissingReclaimZero) {
+  // Seeded bug: the drainer advances without zeroing. A writer reserving
+  // the recycled slot and crashing before its store leaves the STALE value
+  // where recovery expects a tombstone — an already-spilled entry is
+  // resurrected (counted twice).
+  SpillLogModel m({{{1, 1, 1}, /*crash_after=*/7}}, /*cap=*/2, /*rounds=*/3,
+                  /*chunk=*/1, SpillBug::kNoReclaimZero);
+  CheckResult r = check_spill(m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("never committed, or twice"), std::string::npos)
+      << r.violation;
+}
+
+TEST(SpillModel, DetectsConsumingPastPublished) {
+  // Seeded bug: the drainer snapshots tail instead of published, spilling
+  // reserved-but-unstored slots — torn entries in a durable chunk.
+  SpillLogModel m({{{2}}}, /*cap=*/3, /*rounds=*/2, /*chunk=*/2,
+                  SpillBug::kConsumeToTail);
+  CheckResult r = check_spill(m);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.violation.empty());
+}
+
+TEST(SpillModel, DeterministicAcrossRuns) {
+  SpillLogModel m({{{2, 1}, 4}, {{1}}}, /*cap=*/3, /*rounds=*/3,
+                  /*chunk=*/2);
+  CheckResult a = check_spill(m);
+  CheckResult b = check_spill(m);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.interleavings, b.interleavings);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.terminals, b.terminals);
 }
 
 TEST(ModelChecker, DeterministicAcrossRuns) {

@@ -28,6 +28,15 @@
 //   --stop-after-ms N    deactivate measurement after N ms
 //   --ring               ring mode: overwrite oldest entries when full
 //                        (keep the newest window of a long run)
+//   --spill <dir>        spill-drain mode (DESIGN.md §10): a drainer thread
+//                        in this wrapper continuously consumes published
+//                        entries to chunk files "<dir>/<prefix-base>.seg.NNNN"
+//                        and writers reclaim the space — unbounded sessions
+//                        with no ring-mode data loss. Pass the prefix's own
+//                        directory so teeperf_analyze finds the chunks next
+//                        to the .log. Excludes --ring and --shards 0
+//   --spill-chunk-entries N   per-shard entries consumed per chunk
+//                        (default: 32768)
 //   --no-telemetry       skip the self-telemetry region / watchdog
 //   --hold-ms N          keep the session (shm log, telemetry region,
 //                        watchdog) alive N ms after the child exits — lets
@@ -68,6 +77,7 @@
 #include "common/stringutil.h"
 #include "core/counter.h"
 #include "core/log_format.h"
+#include "drain/drainer.h"
 #include "obs/export.h"
 #include "obs/metric_names.h"
 #include "obs/session.h"
@@ -96,6 +106,8 @@ int main(int argc, char** argv) {
   long start_after_ms = -1, stop_after_ms = -1;
   long shards = -1;  // -1 = auto, 0 = v1 single tail, >0 = explicit v2
   bool ring = false;
+  std::string spill_dir;
+  u64 spill_chunk_entries = 1u << 15;
   bool telemetry = true;
   long hold_ms = 0, freeze_counter_after_ms = -1;
   std::string fault_spec;
@@ -127,6 +139,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--ring") {
       ring = true;
+    } else if (arg == "--spill" && i + 1 < argc) {
+      spill_dir = argv[++i];
+    } else if (arg == "--spill-chunk-entries" && i + 1 < argc) {
+      spill_chunk_entries = static_cast<u64>(std::atoll(argv[++i]));
+      if (spill_chunk_entries == 0) {
+        usage();
+        return 2;
+      }
     } else if (arg == "--no-telemetry") {
       telemetry = false;
     } else if (arg == "--hold-ms" && i + 1 < argc) {
@@ -151,6 +171,16 @@ int main(int argc, char** argv) {
   }
   if (i >= argc || max_entries == 0) {
     usage();
+    return 2;
+  }
+  if (!spill_dir.empty() && ring) {
+    std::fprintf(stderr, "teeperf_record: --spill excludes --ring (the two "
+                         "reclaim policies cannot coexist)\n");
+    return 2;
+  }
+  if (!spill_dir.empty() && shards == 0) {
+    std::fprintf(stderr, "teeperf_record: --spill requires a sharded (v2) "
+                         "log; drop --shards 0\n");
     return 2;
   }
 
@@ -201,6 +231,7 @@ int main(int argc, char** argv) {
   ProfileLog log;
   u64 flags = log_flags::kMultithread;
   if (ring) flags |= log_flags::kRingBuffer;
+  if (!spill_dir.empty()) flags |= log_flags::kSpillDrain;
   if (active) flags |= log_flags::kActive;
   if (calls) flags |= log_flags::kRecordCalls;
   if (returns) flags |= log_flags::kRecordReturns;
@@ -209,6 +240,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   log.header()->counter_mode = static_cast<u32>(mode);
+
+  // Spill-drain mode: the drainer thread runs in this wrapper for the whole
+  // session, consuming published windows into "<dir>/<prefix-base>.seg.NNNN"
+  // chunk files while writers reclaim the space (DESIGN.md §10). Started
+  // before the fork so the child's very first batches already have a
+  // consumer.
+  std::unique_ptr<drain::Drainer> drainer;
+  if (!spill_dir.empty()) {
+    std::string base = prefix;
+    if (auto slash = base.find_last_of('/'); slash != std::string::npos) {
+      base = base.substr(slash + 1);
+    }
+    drain::DrainerOptions dopts;
+    dopts.prefix = spill_dir + "/" + base;
+    dopts.chunk_entries = spill_chunk_entries;
+    drainer = std::make_unique<drain::Drainer>(&log, dopts);
+    drainer->start();
+  }
 
   // Self-telemetry region, scraped live by teeperf_stats and written to by
   // both this wrapper (watchdog gauges, journal) and the child (per-thread
@@ -246,16 +295,24 @@ int main(int argc, char** argv) {
     watchdog = std::make_unique<obs::Watchdog>(
         &telem->registry(), &telem->journal(),
         [mode, header] { return read_counter(mode, header); }, counter);
-    watchdog->watch_log([&log, ring] {
+    drain::Drainer* dr = drainer.get();
+    watchdog->watch_log([&log, ring, dr] {
       obs::LogSample s;
       s.tail = log.attempted();
       s.capacity = log.capacity();
       s.active = log.active();
       s.ring = ring;
+      s.spill = log.spill();
       s.dropped = log.dropped();
       for (u32 si = 0; si < log.shard_count(); ++si) {
         s.shard_tails.push_back(
             log.shard(si)->tail.load(std::memory_order_relaxed));
+      }
+      if (dr) {
+        drain::Drainer::Stats st = dr->stats();
+        s.drain_lag = st.lag_entries;
+        s.drain_spilled_bytes = st.spilled_bytes;
+        s.drained_entries = st.drained_entries;
       }
       return s;
     });
@@ -321,7 +378,21 @@ int main(int argc, char** argv) {
   }
 
   int status = 0;
-  waitpid(child, &status, 0);
+  if (drainer) {
+    // Supervise child and drainer together. A dead drainer (fault injection,
+    // chunk I/O failure) is restarted in place — resume is safe because
+    // chunks are persisted before the drained cursor advances, and the next
+    // sequence number is recovered from the files already on disk.
+    while (waitpid(child, &status, WNOHANG) == 0) {
+      if (drainer->dead()) {
+        std::fprintf(stderr, "teeperf_record: drainer died; resuming\n");
+        drainer->restart();
+      }
+      usleep(2'000);
+    }
+  } else {
+    waitpid(child, &status, 0);
+  }
   if (hold_ms > 0) {
     // Keep the session (and its live telemetry) scrapeable for a while —
     // demos and tests attach teeperf_stats during this window.
@@ -336,6 +407,13 @@ int main(int argc, char** argv) {
   log.header()->ns_per_tick = counter_ns_per_tick(mode, log.header());
   if (sw) sw->stop();
   log.set_active(false);
+  if (drainer) {
+    // Writers are gone: drain every remaining published window to chunks.
+    // Unpublished residue (a writer killed between reserve and publish)
+    // stays in the shm windows and lands in the compact .log below.
+    if (drainer->dead()) drainer->restart();
+    drainer->final_drain();
+  }
 
   u64 tail = log.attempted();
   u64 n = log.size();
@@ -368,11 +446,10 @@ int main(int argc, char** argv) {
       telem->journal().record(obs::EventType::kTornTail, torn, tail);
     }
     if (watchdog) watchdog->stop();
-    // v2 drop counters live in shared memory (the child's drops are visible
-    // here); v1's are process-local, so reconstruct from the shared tail.
-    u64 dropped = log.sharded() ? log.dropped()
-                  : (tail > max_entries && !ring ? tail - max_entries : 0);
-    telem->journal().record(obs::EventType::kDetach, n, dropped);
+    // Both layouts keep their drop counters in shared memory (v1's moved
+    // into a reserved header word), so the child's drops are visible here
+    // directly — no reconstruction from the tail.
+    telem->journal().record(obs::EventType::kDetach, n, log.dropped());
     if (!write_file(prefix + ".health",
                     obs::health_text(reg, telem->journal()))) {
       std::fprintf(stderr, "teeperf_record: writing %s.health failed\n",
@@ -386,6 +463,16 @@ int main(int argc, char** argv) {
     obs::uninstall(telem.get());
   }
 
+  if (drainer) {
+    drain::Drainer::Stats st = drainer->stats();
+    std::fprintf(stderr,
+                 "teeperf_record: spilled %llu entries to %u chunks "
+                 "(%llu bytes) under %s\n",
+                 static_cast<unsigned long long>(st.drained_entries),
+                 static_cast<unsigned>(st.chunks),
+                 static_cast<unsigned long long>(st.spilled_bytes),
+                 spill_dir.c_str());
+  }
   std::fprintf(stderr,
                "teeperf_record: %llu entries (%llu attempted), counter=%s, "
                "wrote %s.log%s%s\n",
