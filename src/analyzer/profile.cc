@@ -232,6 +232,12 @@ Profile Profile::from_log(const ProfileLog& log,
   return build(&log.entry(0), log.size(), std::move(symbols), ns_per_tick);
 }
 
+Profile Profile::from_entries(const LogEntry* entries, u64 n,
+                              std::unordered_map<u64, std::string> symbols,
+                              double ns_per_tick) {
+  return build(entries, n, std::move(symbols), ns_per_tick);
+}
+
 Profile Profile::build_sharded(const std::vector<std::vector<LogEntry>>& shards,
                                std::unordered_map<u64, std::string> symbols,
                                double ns_per_tick) {

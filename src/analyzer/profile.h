@@ -125,6 +125,13 @@ class Profile {
                           std::unordered_map<u64, std::string> symbols,
                           double ns_per_tick = 0.0);
 
+  // Builds from a bare entry window already copied out of a log — the
+  // live-monitoring path (teeperf_monitord's rolling flame-graph snapshots
+  // reconstruct bounded windows without adopting the whole region).
+  static Profile from_entries(const LogEntry* entries, u64 n,
+                              std::unordered_map<u64, std::string> symbols,
+                              double ns_per_tick = 0.0);
+
   const std::vector<Invocation>& invocations() const { return invocations_; }
   const ReconstructionStats& recon_stats() const { return recon_; }
   double ns_per_tick() const { return ns_per_tick_; }

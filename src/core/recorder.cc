@@ -1,5 +1,6 @@
 #include "core/recorder.h"
 
+#include <csignal>
 #include <unistd.h>
 
 #include <cstring>
@@ -8,6 +9,9 @@
 #include <vector>
 
 #include "common/fileutil.h"
+#include "common/session_registry.h"
+#include "common/spin.h"
+#include "common/stringutil.h"
 #include "core/runtime.h"
 #include "faultsim/fault.h"
 #include "faultsim/fault_points.h"
@@ -41,8 +45,24 @@ std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
   u32 shards = pick_shard_count(options);
   if (options.spill_drain && shards == 0) return nullptr;  // spill needs v2
   usize bytes = ProfileLog::bytes_for(options.max_entries, shards);
-  bool ok = options.shm_name.empty() ? rec->shm_.create_anonymous(bytes)
-                                     : rec->shm_.create(options.shm_name, bytes);
+  bool ok;
+  if (options.shm_name == "auto") {
+    // Fresh multi-session name "/teeperf.<pid>.<nonce>.log"; the nonce
+    // makes concurrent sessions (and pid reuse) collision-free. create() is
+    // O_EXCL, so a nonce collision just retries with a new one.
+    ok = false;
+    for (int attempt = 0; attempt < 4 && !ok; ++attempt) {
+      rec->options_.shm_name =
+          session_registry::shm_base(static_cast<u64>(getpid()),
+                                     session_registry::make_nonce()) +
+          ".log";
+      ok = rec->shm_.create(rec->options_.shm_name, bytes);
+    }
+  } else {
+    ok = options.shm_name.empty()
+             ? rec->shm_.create_anonymous(bytes)
+             : rec->shm_.create(options.shm_name, bytes);
+  }
   if (!ok) return nullptr;
 
   u64 flags = log_flags::kMultithread;
@@ -57,18 +77,53 @@ std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
   }
   rec->log_.header()->counter_mode = static_cast<u32>(options.counter_mode);
 
+  // The telemetry region shares the session's shm base: "<base>.obs" next
+  // to "<base>.log" in the multi-session scheme, legacy "<name>.obs" for
+  // names without the ".log" suffix.
+  const std::string& log_name = rec->options_.shm_name;
+  std::string obs_base = log_name;
+  if (ends_with(obs_base, ".log")) obs_base.resize(obs_base.size() - 4);
   if (options.telemetry) {
     obs::TelemetryOptions topts;
-    if (!options.shm_name.empty()) topts.shm_name = options.shm_name + ".obs";
+    if (!log_name.empty()) topts.shm_name = obs_base + ".obs";
     rec->telemetry_ = obs::SelfTelemetry::create(topts);
     // A failed telemetry region (e.g. shm exhaustion) degrades to a blind
     // session rather than failing the profile.
+  }
+
+  // Named sessions announce themselves in the on-disk registry so
+  // host-side observers (teeperf_monitord, teeperf_stats --list) can
+  // discover and attach without guessing shm names. Withdrawn in the
+  // destructor; a crashed session is reclaimed by stale-session GC.
+  if (!log_name.empty() && options.publish_session) {
+    session_registry::SessionDescriptor desc;
+    std::string name = obs_base;
+    for (char& c : name) {
+      if (c == '/') c = '.';
+    }
+    while (!name.empty() && name.front() == '.') name.erase(name.begin());
+    desc.name = name;
+    desc.pid = static_cast<u64>(getpid());
+    desc.log_shm = log_name;
+    if (rec->telemetry_) desc.obs_shm = rec->telemetry_->shm_name();
+    desc.capacity = options.max_entries;
+    desc.shards = rec->log_.shard_count();
+    desc.start_ns = monotonic_ns();
+    rec->session_dir_ = options.session_dir.empty()
+                            ? session_registry::registry_dir()
+                            : options.session_dir;
+    if (session_registry::publish_session(rec->session_dir_, desc)) {
+      rec->session_name_ = desc.name;
+    }
   }
   return rec;
 }
 
 Recorder::~Recorder() {
   detach();
+  if (!session_name_.empty()) {
+    session_registry::unpublish_session(session_dir_, session_name_);
+  }
   if (telemetry_) obs::uninstall(telemetry_.get());
 }
 
@@ -163,6 +218,12 @@ Recorder::Stats Recorder::stats() const {
 }
 
 bool Recorder::dump(const std::string& prefix) {
+  // Fault point: the whole session dying at dump time — nothing persisted,
+  // descriptor and shm segments left orphaned for stale-session GC.
+  if (fault::fires(fault_points::kRecorderDumpDie)) {
+    raise(SIGKILL);  // teeperf-lint: allow(r1): the fault IS the syscall
+  }
+
   // Measure the tick rate before serialising so the analyzer can convert.
   log_.header()->ns_per_tick =
       counter_ns_per_tick(options_.counter_mode, log_.header());

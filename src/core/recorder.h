@@ -53,9 +53,22 @@ struct RecorderOptions {
   bool record_calls = true;
   bool record_returns = true;
 
-  // Named POSIX shared memory ("/teeperf.<pid>"-style) when set; anonymous
-  // shared mapping otherwise. Named shm is the cross-process path.
+  // Named POSIX shared memory when set; anonymous shared mapping otherwise.
+  // Named shm is the cross-process path. The sentinel "auto" picks a fresh
+  // collision-free session name "/teeperf.<pid>.<nonce>.log" (the
+  // multi-session scheme session_registry.h documents); an explicit name is
+  // used verbatim. The telemetry region lives at the same base with ".obs"
+  // (for names not ending in ".log", legacy "<name>.obs").
   std::string shm_name;
+
+  // Named sessions publish a discovery descriptor into the session registry
+  // (session_registry.h) so teeperf_monitord / teeperf_stats can find them,
+  // and withdraw it on destruction. Off for tests that want invisibility.
+  bool publish_session = true;
+
+  // Registry directory override; empty uses $TEEPERF_SESSION_DIR / the
+  // per-host default.
+  std::string session_dir;
 
   // Selective profiling filter; must outlive the recorder. May be null.
   const Filter* filter = nullptr;
@@ -119,6 +132,10 @@ class Recorder {
   // The live telemetry region (null when options.telemetry is false).
   obs::SelfTelemetry* telemetry() { return telemetry_.get(); }
 
+  // The registry key this session published under ("" when unpublished —
+  // anonymous sessions, publish_session=false, or a failed publish).
+  const std::string& session_name() const { return session_name_; }
+
   // Writes "<prefix>.log" (raw header + entries, with ns_per_tick measured
   // and stored into the header) and "<prefix>.sym" (registered symbols plus
   // dladdr resolutions of raw addresses found in the log). Returns false on
@@ -129,6 +146,8 @@ class Recorder {
   Recorder() = default;
 
   RecorderOptions options_;
+  std::string session_name_;
+  std::string session_dir_;
   SharedMemoryRegion shm_;
   ProfileLog log_;
   std::function<DrainSample()> drain_sampler_;

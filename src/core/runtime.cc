@@ -1,6 +1,7 @@
 #include "core/runtime.h"
 
 #include "common/stringutil.h"
+#include "core/symbol_registry.h"
 #include "obs/metric_names.h"
 #include "obs/session.h"
 
@@ -16,6 +17,39 @@ struct Session {
 Session g_session;
 std::atomic<bool> g_attached{false};
 std::atomic<u64> g_next_tid{0};
+
+// First-sight table of raw function addresses (see runtime.h
+// seen_addresses): open addressing over a fixed power-of-two array, empty
+// slots are 0 (function addresses are never 0), insertion is a relaxed CAS.
+// No locks, no allocation — r1-clean by construction. The probe chain is
+// capped so a near-full table costs bounded work; beyond that new addresses
+// are dropped, which only degrades exit-time symbolization to the residual
+// log window.
+constexpr usize kSeenSlots = 1 << 14;  // 16k distinct instrumented functions
+constexpr usize kSeenMaxProbe = 64;
+std::atomic<u64> g_seen_addrs[kSeenSlots];
+
+TEEPERF_NO_INSTRUMENT void note_address(ThreadState& t, u64 addr) {
+  usize ci = (addr >> 4) & (ThreadState::kAddrCacheSize - 1);
+  if (t.addr_cache[ci] == addr) return;
+  t.addr_cache[ci] = addr;
+  u64 h = addr * 0x9E3779B97F4A7C15ull;
+  usize slot = static_cast<usize>(h ^ (h >> 29)) & (kSeenSlots - 1);
+  for (usize i = 0; i < kSeenMaxProbe; ++i) {
+    u64 cur = g_seen_addrs[slot].load(std::memory_order_relaxed);
+    if (cur == addr) return;
+    if (cur == 0) {
+      u64 expected = 0;
+      if (g_seen_addrs[slot].compare_exchange_strong(
+              expected, addr, std::memory_order_relaxed,
+              std::memory_order_relaxed)) {
+        return;
+      }
+      if (expected == addr) return;  // lost the race to the same address
+    }
+    slot = (slot + 1) & (kSeenSlots - 1);
+  }
+}
 
 // Wrapping the per-thread state gives its batch a flush-at-thread-exit hook
 // without making ThreadState itself non-trivial: pending entries publish
@@ -123,6 +157,7 @@ void on_enter(u64 addr) {
       (!g_session.filter || g_session.filter->passes(addr))) {
     t.batch.record(*log, EventKind::kCall, addr, tid_of(t),
                    read_counter(g_session.mode, log->header()));
+    if (!SymbolRegistry::is_registered_id(addr)) note_address(t, addr);
     if (std::atomic<u64>* cell = obs_entry_cell(t)) {
       cell->fetch_add(1, std::memory_order_relaxed);
     }
@@ -150,6 +185,7 @@ void on_exit(u64 addr) {
       (!g_session.filter || g_session.filter->passes(addr))) {
     t.batch.record(*log, EventKind::kReturn, addr, tid_of(t),
                    read_counter(g_session.mode, log->header()));
+    if (!SymbolRegistry::is_registered_id(addr)) note_address(t, addr);
     if (std::atomic<u64>* cell = obs_entry_cell(t)) {
       cell->fetch_add(1, std::memory_order_relaxed);
     }
@@ -176,6 +212,13 @@ int capture_own_stack(u64* out, int max) {
   return d;
 }
 
+void seen_addresses(std::vector<u64>* out) {
+  for (usize i = 0; i < kSeenSlots; ++i) {
+    u64 a = g_seen_addrs[i].load(std::memory_order_relaxed);
+    if (a != 0) out->push_back(a);
+  }
+}
+
 void reset_thread_for_test() {
   ThreadState& t = thread_state();
   t.tid = ~0ull;
@@ -184,6 +227,13 @@ void reset_thread_for_test() {
   t.obs_epoch = 0;
   t.stack.depth.store(0, std::memory_order_release);
   t.batch.abandon();
+  for (usize i = 0; i < ThreadState::kAddrCacheSize; ++i) t.addr_cache[i] = 0;
+}
+
+void reset_seen_addresses_for_test() {
+  for (usize i = 0; i < kSeenSlots; ++i) {
+    g_seen_addrs[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace teeperf::runtime

@@ -9,6 +9,8 @@
 // profiler (§III: "the injected code has to prevent to be measured itself").
 #pragma once
 
+#include <vector>
+
 #include "common/types.h"
 #include "core/counter.h"
 #include "core/filter.h"
@@ -28,6 +30,11 @@ struct ShadowStack {
 };
 
 struct ThreadState {
+  // Direct-mapped filter in front of the global first-sight address table
+  // (see seen_addresses): one TLS load + compare per recorded event in the
+  // steady state, global CAS probes only on conflict misses.
+  static constexpr usize kAddrCacheSize = 256;  // power of two
+  u64 addr_cache[kAddrCacheSize] = {};
   u64 tid = ~0ull;
   bool in_hook = false;  // reentrancy guard
   // Cached per-thread telemetry counter (entries appended by this thread),
@@ -68,8 +75,20 @@ u64 thread_count() TEEPERF_NO_INSTRUMENT;
 // returning the depth copied (≤ max). Async-signal-safe.
 int capture_own_stack(u64* out, int max) TEEPERF_NO_INSTRUMENT;
 
+// Appends every raw function address recorded since process start (or the
+// last reset) to `out`. A drained (spill mode) or wrapped (ring mode) log
+// no longer holds every address that passed through it, so exit-time
+// symbolization (symbol_dump) walks this set rather than only the residual
+// window. Backed by a fixed-capacity lock-free table; on saturation new
+// addresses are simply not tracked and symbolization degrades to whatever
+// the residue holds.
+void seen_addresses(std::vector<u64>* out);
+
 // Resets the calling thread's shadow stack and cached tid. Test-only: lets
 // one process run many independent sessions.
 void reset_thread_for_test() TEEPERF_NO_INSTRUMENT;
+
+// Clears the first-sight address table. Test-only, same purpose.
+void reset_seen_addresses_for_test();
 
 }  // namespace teeperf::runtime

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/stringutil.h"
+#include "core/runtime.h"
 #include "core/symbol_registry.h"
 
 namespace teeperf {
@@ -18,6 +19,15 @@ std::string build_symbol_file(const ProfileLog& log) {
   log.snapshot_ordered(&entries);
   for (const LogEntry& e : entries) {
     if (!SymbolRegistry::is_registered_id(e.addr)) raw_addrs.insert(e.addr);
+  }
+  // The residual window is not the whole session: spill mode drains entries
+  // out of shm continuously and ring mode overwrites them on wrap. The
+  // runtime's first-sight table holds every raw address that was ever
+  // recorded, so a fully drained/wrapped log still symbolizes completely.
+  std::vector<u64> seen;
+  runtime::seen_addresses(&seen);
+  for (u64 a : seen) {
+    if (!SymbolRegistry::is_registered_id(a)) raw_addrs.insert(a);
   }
   for (u64 a : raw_addrs) {
     Dl_info info{};

@@ -24,6 +24,7 @@ inline constexpr char kLogShardAllocFail[] = "log.shard.alloc.fail";
 inline constexpr char kCounterStall[] = "counter.stall";
 inline constexpr char kCounterBackjump[] = "counter.backjump";
 inline constexpr char kDumpFail[] = "dump.fail";
+inline constexpr char kRecorderDumpDie[] = "recorder.dump.die";
 inline constexpr char kDumpTorn[] = "dump.torn";
 inline constexpr char kDumpBitflip[] = "dump.bitflip";
 inline constexpr char kEpcAllocFail[] = "epc.alloc_fail";
@@ -42,9 +43,9 @@ inline constexpr char kDumpPrefix[] = "dump";
 inline constexpr const char* kAll[] = {
     kShmCreateFail, kShmOpenFail,   kShmOpenTruncate, kLogAppendDie,
     kLogFlushDie,   kLogShardAllocFail, kCounterStall, kCounterBackjump,
-    kDumpFail,      kDumpTorn,      kDumpBitflip,     kEpcAllocFail,
-    kEpcExhaust,    kWalAppendTorn, kWalReadFlip,     kSstableOpenFlip,
-    kDrainDie,      kDrainChunkTorn,
+    kDumpFail,      kRecorderDumpDie, kDumpTorn,      kDumpBitflip,
+    kEpcAllocFail,  kEpcExhaust,    kWalAppendTorn,   kWalReadFlip,
+    kSstableOpenFlip, kDrainDie,    kDrainChunkTorn,
 };
 
 }  // namespace teeperf::fault_points

@@ -1,0 +1,259 @@
+#include "monitord/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/stringutil.h"
+
+namespace teeperf::monitord {
+
+namespace {
+
+const char* reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void set_io_timeouts(int fd) {
+  struct timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    // MSG_NOSIGNAL: a scraper hanging up mid-response must not SIGPIPE the
+    // daemon (the "kill the scraper mid-scrape" e2e case).
+    isize n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<usize>(n));
+  }
+  return true;
+}
+
+// Reads until the header terminator, EOF, or the size cap.
+std::string read_request(int fd) {
+  std::string buf;
+  char chunk[1024];
+  while (buf.size() < 8192 && buf.find("\r\n\r\n") == std::string::npos) {
+    isize n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buf.append(chunk, static_cast<usize>(n));
+  }
+  return buf;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { shutdown(); }
+
+bool HttpServer::serve(const std::string& listen, std::string* error) {
+  if (running_) {
+    if (error) *error = "already serving";
+    return false;
+  }
+  if (starts_with(listen, "unix:")) {
+    unix_path_ = listen.substr(5);
+    if (unix_path_.empty() || unix_path_.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      if (error) *error = "bad unix socket path";
+      return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      if (error) *error = std::strerror(errno);
+      return false;
+    }
+    ::unlink(unix_path_.c_str());  // stale socket from a previous run
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, unix_path_.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd_, 16) != 0) {
+      if (error) *error = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    endpoint_ = listen;
+  } else {
+    std::string host = "127.0.0.1";
+    std::string port_text = listen;
+    if (usize colon = listen.rfind(':'); colon != std::string::npos) {
+      if (colon > 0) host = listen.substr(0, colon);
+      port_text = listen.substr(colon + 1);
+    }
+    long port = port_text.empty() ? 0 : std::atol(port_text.c_str());
+    if (port < 0 || port > 65535) {
+      if (error) *error = "bad port '" + port_text + "'";
+      return false;
+    }
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+      if (error) *error = std::strerror(errno);
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<u16>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      if (error) *error = "bad listen address '" + host + "'";
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd_, 16) != 0) {
+      if (error) *error = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+    endpoint_ = host + ":" + std::to_string(port_);
+  }
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  running_ = true;
+  return true;
+}
+
+void HttpServer::shutdown() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  running_ = false;
+}
+
+void HttpServer::loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    set_io_timeouts(client);
+    std::string request = read_request(client);
+
+    HttpResponse resp;
+    usize line_end = request.find("\r\n");
+    std::string first = request.substr(0, line_end);
+    auto parts = split(first, ' ');
+    if (parts.size() < 2) {
+      resp = HttpResponse{400, "text/plain", "bad request\n"};
+    } else if (parts[0] != "GET") {
+      resp = HttpResponse{405, "text/plain", "method not allowed\n"};
+    } else {
+      resp = handler_(std::string(parts[1]));
+    }
+
+    std::string head = str_format(
+        "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+        "Connection: close\r\n\r\n",
+        resp.status, reason_for(resp.status), resp.content_type.c_str(),
+        resp.body.size());
+    if (send_all(client, head)) send_all(client, resp.body);
+    ::close(client);
+  }
+}
+
+bool http_get(const std::string& url, int* status, std::string* body,
+              std::string* error) {
+  if (!starts_with(url, "http://")) {
+    if (error) *error = "only http:// urls are supported";
+    return false;
+  }
+  std::string rest = url.substr(7);
+  usize slash = rest.find('/');
+  std::string hostport = slash == std::string::npos ? rest : rest.substr(0, slash);
+  std::string path = slash == std::string::npos ? "/" : rest.substr(slash);
+  usize colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    if (error) *error = "url must name an explicit port";
+    return false;
+  }
+  std::string host = hostport.substr(0, colon);
+  long port = std::atol(hostport.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    if (error) *error = "bad port in url";
+    return false;
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error) *error = std::strerror(errno);
+    return false;
+  }
+  set_io_timeouts(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<u16>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad host '" + host + "' (use a literal IP)";
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + hostport +
+                        "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    if (error) *error = "send failed";
+    ::close(fd);
+    return false;
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    isize n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<usize>(n));
+  }
+  ::close(fd);
+
+  usize space = raw.find(' ');
+  if (!starts_with(raw, "HTTP/") || space == std::string::npos) {
+    if (error) *error = "malformed response";
+    return false;
+  }
+  *status = std::atoi(raw.c_str() + space + 1);
+  usize body_at = raw.find("\r\n\r\n");
+  *body = body_at == std::string::npos ? "" : raw.substr(body_at + 4);
+  return true;
+}
+
+}  // namespace teeperf::monitord

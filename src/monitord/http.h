@@ -1,0 +1,65 @@
+// Minimal local HTTP server + client for teeperf_monitord's scrape
+// endpoint. GET-only HTTP/1.0 with Connection: close — exactly what a
+// Prometheus scraper (or curl) needs, with no external dependency.
+// Listens on loopback TCP ("127.0.0.1:9464", ":0" for an ephemeral port)
+// or a unix-domain socket ("unix:/path/to.sock"). Requests are handled
+// sequentially on the accept thread; the handler must be thread-safe with
+// respect to the rest of the daemon (Monitord locks internally).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/types.h"
+
+namespace teeperf::monitord {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+};
+
+// Receives the request path including any query string ("/metrics",
+// "/flamegraph/foo?svg=1").
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpHandler handler) : handler_(std::move(handler)) {}
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds and starts the accept thread. `listen` is "host:port", ":port",
+  // a bare port, or "unix:<path>". False (with *error set) on failure.
+  bool serve(const std::string& listen, std::string* error);
+  void shutdown();
+
+  // The bound TCP port (resolved for ":0"); 0 for unix sockets.
+  u16 port() const { return port_; }
+  // Printable address ("127.0.0.1:9464" or "unix:/path").
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  void loop();
+
+  HttpHandler handler_;
+  int fd_ = -1;
+  u16 port_ = 0;
+  std::string endpoint_;
+  std::string unix_path_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+};
+
+// Blocking GET against "http://host:port/path" (loopback scrapes, and the
+// CLI's --get mode so the e2e harness needs no curl). False on connect /
+// protocol failure; *status is the HTTP status when true.
+bool http_get(const std::string& url, int* status, std::string* body,
+              std::string* error);
+
+}  // namespace teeperf::monitord

@@ -1,0 +1,204 @@
+#include "monitord/prom.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/histogram.h"
+#include "common/stringutil.h"
+#include "obs/metric_names.h"
+
+namespace teeperf::monitord {
+
+namespace {
+
+bool prom_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+// Matches "<head><digits><tail>" and extracts the digits — the shape of
+// the dynamic per-shard / per-thread obs names.
+bool split_dynamic(std::string_view name, std::string_view head,
+                   std::string_view tail, std::string* index) {
+  if (!starts_with(name, head) || !ends_with(name, tail)) return false;
+  if (name.size() <= head.size() + tail.size()) return false;
+  std::string_view mid =
+      name.substr(head.size(), name.size() - head.size() - tail.size());
+  for (char c : mid) {
+    if (c < '0' || c > '9') return false;
+  }
+  *index = std::string(mid);
+  return true;
+}
+
+}  // namespace
+
+std::string PromWriter::sanitize_name(std::string_view obs_name) {
+  std::string out = "teeperf_";
+  for (char c : obs_name) {
+    out += prom_name_char(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string PromWriter::escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromWriter::render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    if (out.size() > 1) out += ",";
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+PromWriter::Family& PromWriter::family_slot(std::string_view obs_name,
+                                            std::string_view help,
+                                            const char* type, bool is_hist) {
+  std::string key = sanitize_name(obs_name);
+  for (auto& [name, fam] : families_) {
+    if (name == key && fam.is_hist == is_hist) return fam;
+  }
+  families_.emplace_back(std::move(key), Family{});
+  Family& fam = families_.back().second;
+  fam.help = std::string(help);
+  fam.type = type;
+  fam.is_hist = is_hist;
+  return fam;
+}
+
+void PromWriter::family(std::string_view obs_name, obs::MetricType type,
+                        const Labels& labels, u64 value) {
+  const char* t = type == obs::MetricType::kCounter ? "counter" : "gauge";
+  Family& fam = family_slot(obs_name, obs_name, t, /*is_hist=*/false);
+  fam.scalars.push_back(Scalar{render_labels(labels), value});
+}
+
+void PromWriter::family_histogram(std::string_view obs_name,
+                                  const Labels& labels,
+                                  const obs::HistogramSlot& slot) {
+  Family& fam = family_slot(obs_name, obs_name, "histogram", /*is_hist=*/true);
+  Hist h;
+  std::string rendered = render_labels(labels);
+  if (!rendered.empty()) {
+    h.labels_inner = rendered.substr(1, rendered.size() - 2);
+  }
+  h.count = slot.count.load(std::memory_order_relaxed);
+  h.sum = slot.sum.load(std::memory_order_relaxed);
+  // Cumulative upper-bound buckets; trailing empty buckets are elided (the
+  // implicit +Inf bucket — rendered from `count` — closes the series).
+  usize last = 0;
+  u64 counts[obs::kHistBuckets];
+  for (usize b = 0; b < obs::kHistBuckets; ++b) {
+    counts[b] = slot.buckets[b].load(std::memory_order_relaxed);
+    if (counts[b] != 0) last = b + 1;
+  }
+  u64 cumulative = 0;
+  for (usize b = 0; b < last; ++b) {
+    cumulative += counts[b];
+    h.buckets.emplace_back(hist::bucket_high(b), cumulative);
+  }
+  fam.hists.push_back(std::move(h));
+}
+
+void PromWriter::collect(const obs::MetricsRegistry& registry,
+                         const Labels& labels) {
+  namespace names = obs::metric_names;
+  registry.visit_scalars([&](const obs::MetricSlot& slot) {
+    std::string_view name(slot.name,
+                          ::strnlen(slot.name, obs::kMetricNameLen));
+    u64 value = slot.value.load(std::memory_order_relaxed);
+    auto type = static_cast<obs::MetricType>(slot.type);
+    std::string index;
+    if (split_dynamic(name, "log.shard.", ".tail", &index)) {
+      Labels with = labels;
+      with.emplace_back("shard", index);
+      Family& fam = family_slot("log.shard.tail", "log.shard.<shard>.tail",
+                                "gauge", /*is_hist=*/false);
+      fam.scalars.push_back(Scalar{render_labels(with), value});
+      return;
+    }
+    if (split_dynamic(name, "app.thread.", ".entries", &index)) {
+      Labels with = labels;
+      with.emplace_back("thread", index);
+      Family& fam = family_slot("app.thread.entries",
+                                "app.thread.<tid>.entries", "counter",
+                                /*is_hist=*/false);
+      fam.scalars.push_back(Scalar{render_labels(with), value});
+      return;
+    }
+    if (starts_with(name, names::kFaultArmPrefix)) return;  // transient
+    family(name, type, labels, value);
+  });
+  registry.visit_histograms([&](const obs::HistogramSlot& slot) {
+    std::string_view name(slot.name,
+                          ::strnlen(slot.name, obs::kMetricNameLen));
+    family_histogram(name, labels, slot);
+  });
+}
+
+std::string PromWriter::render() const {
+  std::vector<const std::pair<std::string, Family>*> order;
+  order.reserve(families_.size());
+  for (const auto& entry : families_) order.push_back(&entry);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    if (a->first != b->first) return a->first < b->first;
+    return a->second.is_hist < b->second.is_hist;  // scalar before "_hist"
+  });
+
+  std::string out;
+  for (const auto* entry : order) {
+    std::string name = entry->first;
+    const Family& fam = entry->second;
+    if (fam.is_hist) {
+      // A scalar family under the same name claims the plain metric name;
+      // the histogram moves aside so the page stays a valid exposition.
+      for (const auto& other : families_) {
+        if (other.first == name && !other.second.is_hist) {
+          name += "_hist";
+          break;
+        }
+      }
+    }
+    out += "# HELP " + name + " obs metric " + fam.help + "\n";
+    out += "# TYPE " + name + " " + fam.type + "\n";
+    for (const Scalar& s : fam.scalars) {
+      out += name + s.labels + " " + std::to_string(s.value) + "\n";
+    }
+    for (const Hist& h : fam.hists) {
+      std::string prefix = h.labels_inner.empty() ? "" : h.labels_inner + ",";
+      for (const auto& [le, cumulative] : h.buckets) {
+        out += name + "_bucket{" + prefix + "le=\"" + std::to_string(le) +
+               "\"} " + std::to_string(cumulative) + "\n";
+      }
+      out += name + "_bucket{" + prefix + "le=\"+Inf\"} " +
+             std::to_string(h.count) + "\n";
+      std::string suffix = h.labels_inner.empty() ? "" : "{" + h.labels_inner + "}";
+      out += name + "_sum" + suffix + " " + std::to_string(h.sum) + "\n";
+      out += name + "_count" + suffix + " " + std::to_string(h.count) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace teeperf::monitord

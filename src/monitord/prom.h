@@ -1,0 +1,88 @@
+// Prometheus text-exposition writer (exposition format 0.0.4) for obs
+// metrics. TEEMon (PAPERS.md) exports TEE metrics into a standard
+// Prometheus scrape pipeline; this is the equivalent layer for
+// teeperf_monitord: obs dotted names ("log.tail") become metric families
+// ("teeperf_log_tail"), per-session samples carry {session,pid} labels,
+// dynamic per-shard / per-thread names fold into one family with a
+// "shard"/"thread" label, and the shm histograms render as cumulative
+// `le`-bucketed Prometheus histograms.
+//
+// The writer accumulates samples family-by-family and renders once, so a
+// family scraped from N sessions emits one HELP/TYPE block with N labeled
+// samples — the grouping the exposition format requires.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace teeperf::monitord {
+
+// One sample's label set, rendered in insertion order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class PromWriter {
+ public:
+  // Adds one scalar sample to the family derived from `obs_name` (which
+  // must be a metric_names.h constant at literal call sites — lint r4).
+  // `type` must be kCounter or kGauge.
+  void family(std::string_view obs_name, obs::MetricType type,
+              const Labels& labels, u64 value);
+
+  // Adds one histogram sample (cumulative log2 buckets + _sum/_count).
+  void family_histogram(std::string_view obs_name, const Labels& labels,
+                        const obs::HistogramSlot& slot);
+
+  // Walks a registry snapshot, adding every live scalar and histogram with
+  // `labels` attached. "log.shard.<N>.tail" and "app.thread.<T>.entries"
+  // fold into per-shard / per-thread labeled families; "fault.arm.<point>"
+  // gauges are transient arming requests and are skipped.
+  void collect(const obs::MetricsRegistry& registry, const Labels& labels);
+
+  // The full exposition page: families sorted by name, each with one HELP
+  // line (naming the source obs metric), one TYPE line, then its samples.
+  std::string render() const;
+
+  // "log.tail" -> "teeperf_log_tail": every non-[a-zA-Z0-9_] byte becomes
+  // '_' under a fixed "teeperf_" prefix. Injective over the registered
+  // names (the round-trip property test pins this).
+  static std::string sanitize_name(std::string_view obs_name);
+
+  // Label-value escaping per the exposition format: backslash, double
+  // quote and newline.
+  static std::string escape_label_value(std::string_view v);
+
+ private:
+  struct Scalar {
+    std::string labels;  // pre-rendered "{k=\"v\",...}" or ""
+    u64 value = 0;
+  };
+  struct Hist {
+    std::string labels_inner;  // pre-rendered "k=\"v\",..." without braces
+    u64 count = 0;
+    u64 sum = 0;
+    std::vector<std::pair<u64, u64>> buckets;  // (le, cumulative), no +Inf
+  };
+  struct Family {
+    std::string help;  // source obs name (or pattern, for folded families)
+    const char* type = "gauge";
+    bool is_hist = false;  // histogram families live in their own keyspace:
+                           // obs allows one name as both gauge and histogram
+                           // (the watchdog's counter.ns_per_tick_pico), and a
+                           // colliding histogram renders as "<name>_hist"
+    std::vector<Scalar> scalars;
+    std::vector<Hist> hists;
+  };
+
+  Family& family_slot(std::string_view obs_name, std::string_view help,
+                      const char* type, bool is_hist);
+  static std::string render_labels(const Labels& labels);
+
+  std::vector<std::pair<std::string, Family>> families_;  // sorted on render
+};
+
+}  // namespace teeperf::monitord

@@ -23,6 +23,7 @@ const char* event_type_name(EventType type) {
     case EventType::kSamplerStart: return "sampler_start";
     case EventType::kSamplerStop: return "sampler_stop";
     case EventType::kDrainStall: return "drain_stall";
+    case EventType::kSessionGc: return "session_gc";
   }
   return "?";
 }

@@ -32,6 +32,8 @@ enum class EventType : u32 {
   kSamplerStop = 13,   // perfsim sampler stopped (arg0 = samples, arg1 = dropped)
   kDrainStall = 14,    // spill drainer stopped consuming while writers lag
                        // (arg0 = lag entries, arg1 = entries drained so far)
+  kSessionGc = 15,     // stale-session GC reclaimed orphans (arg0 = stale
+                       // descriptors removed, arg1 = shm segments unlinked)
 };
 
 const char* event_type_name(EventType type);

@@ -57,11 +57,44 @@ inline constexpr char kSamplerDropped[] = "sampler.dropped";
 // Symbol registry (core/symbol_registry.cc).
 inline constexpr char kSymbolsRegistered[] = "symbols.registered";
 
+// Fleet-monitoring daemon (monitord/monitor.cc) — the daemon's own health,
+// registered in its private obs region and exported alongside the
+// per-session metrics it scrapes.
+inline constexpr char kMonitordSessionsAttached[] = "monitord.sessions.attached";
+inline constexpr char kMonitordSessionsSeen[] = "monitord.sessions.seen";
+inline constexpr char kMonitordSessionsGc[] = "monitord.sessions.gc";
+inline constexpr char kMonitordScrapes[] = "monitord.scrapes";
+inline constexpr char kMonitordScrapeLatencyUs[] = "monitord.scrape.latency_us";
+inline constexpr char kMonitordFlameBuilds[] = "monitord.flame.builds";
+// Per-session liveness marker the daemon synthesizes for every attached
+// session (value 1, labeled {session,pid}) — present even when the
+// session's own obs region has no metrics yet, so a scrape always names
+// every session the daemon watches.
+inline constexpr char kSessionUp[] = "session.up";
+
 // Dynamic-name patterns (composed with a tid / shard / fault-point
 // suffix at runtime).
 inline constexpr char kAppThreadEntriesFmt[] = "app.thread.%llu.entries";
 inline constexpr char kAppThreadOtherEntries[] = "app.thread.other.entries";
 inline constexpr char kLogShardTailFmt[] = "log.shard.%zu.tail";
 inline constexpr char kFaultArmPrefix[] = "fault.arm.";
+
+// Every statically named metric above (the dynamic patterns excluded) —
+// the Prometheus exporter's round-trip property test iterates this so a
+// name added here without exporter coverage fails the suite.
+inline constexpr const char* kAllStatic[] = {
+    kWatchdogTicks,        kWatchdogStallEvents,  kWatchdogDriftEvents,
+    kCounterNsPerTickPico, kCounterStalled,       kCounterDrifting,
+    kLogTail,              kLogCapacity,          kLogOccupancyPermille,
+    kLogEntryRatePerS,     kLogEntryRatePeakPerS, kLogDropped,
+    kLogRingWraps,         kLogActive,            kLogShards,
+    kLogTornTail,          kDrainLagEntries,      kDrainSpilledBytes,
+    kDrainStall,           kEpcPageIns,           kEpcPageOuts,
+    kEpcResidentPages,     kEpcResidentLimit,     kSamplerFrequencyHz,
+    kSamplerSamples,       kSamplerDropped,       kSymbolsRegistered,
+    kMonitordSessionsAttached, kMonitordSessionsSeen, kMonitordSessionsGc,
+    kMonitordScrapes,      kMonitordScrapeLatencyUs, kMonitordFlameBuilds,
+    kSessionUp,            kAppThreadOtherEntries,
+};
 
 }  // namespace teeperf::obs::metric_names

@@ -10,6 +10,12 @@ BIN="$1"
 OUT=$(mktemp -d /tmp/teeperf_xproc.XXXXXX)
 trap 'rm -rf "$OUT"' EXIT
 
+# Every session in this run publishes into a private registry dir, so the
+# pid/session arguments below resolve through discovery (and concurrent
+# CI jobs never see each other's sessions).
+TEEPERF_SESSION_DIR="$OUT/sessions"
+export TEEPERF_SESSION_DIR
+
 "$BIN/tools/teeperf_record" -o "$OUT/run" -n 262144 -c tsc -- \
     "$BIN/examples/instrumented_app" "$OUT/ignored" > "$OUT/app.out" 2>&1
 
@@ -158,6 +164,106 @@ TOMB=$(sed -n 's/.*tombstones=\([0-9][0-9]*\).*/\1/p' "$OUT/spill_analyze.out" |
 if "$BIN/tools/teeperf_record" --spill "$OUT/sp" --ring -- true \
     > "$OUT/spillring.out" 2>&1; then
   echo "FAIL: record accepted --spill with --ring"; exit 1
+fi
+
+# Fleet-monitoring daemon e2e (DESIGN.md §11): one teeperf_monitord
+# discovers three concurrent recorded apps through the session registry,
+# serves all three on /metrics with {session,pid} labels, drops a session
+# after its app exits, serves flame graphs — and dying mid-scrape must
+# never wedge the recorded apps.
+"$BIN/tools/teeperf_monitord" --listen 127.0.0.1:0 --port-file "$OUT/mon.port" \
+    --poll-ms 100 --gc-interval-ms 500 --flame-interval-ms 200 \
+    > "$OUT/mon.err" 2>&1 &
+MON_PID=$!
+for attempt in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  [ -s "$OUT/mon.port" ] && break
+  sleep 0.1
+done
+[ -s "$OUT/mon.port" ] || {
+  echo "FAIL: monitord never wrote its port file"; cat "$OUT/mon.err"; exit 1; }
+MON_PORT=$(cat "$OUT/mon.port")
+MON_URL="http://127.0.0.1:$MON_PORT"
+
+"$BIN/tools/teeperf_monitord" --get "$MON_URL/healthz" > "$OUT/healthz.out" || {
+  echo "FAIL: monitord /healthz not ok"; cat "$OUT/mon.err"; exit 1; }
+
+"$BIN/tools/teeperf_record" -o "$OUT/fleet1" --hold-ms 8000 -- \
+    "$BIN/examples/instrumented_app" "$OUT/ig_f1" > /dev/null 2>&1 &
+F1=$!
+"$BIN/tools/teeperf_record" -o "$OUT/fleet2" --hold-ms 8000 -- \
+    "$BIN/examples/instrumented_app" "$OUT/ig_f2" > /dev/null 2>&1 &
+F2=$!
+"$BIN/tools/teeperf_record" -o "$OUT/fleet3" --hold-ms 1500 -- \
+    "$BIN/examples/instrumented_app" "$OUT/ig_f3" > /dev/null 2>&1 &
+F3=$!
+
+# All three sessions must appear on /metrics, labeled by wrapper pid.
+FLEET=0
+for attempt in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 \
+               21 22 23 24 25 26 27 28 29 30; do
+  sleep 0.2
+  "$BIN/tools/teeperf_monitord" --get "$MON_URL/metrics" \
+      > "$OUT/fleet.scrape" 2>/dev/null || continue
+  if grep -q "pid=\"$F1\"" "$OUT/fleet.scrape" &&
+     grep -q "pid=\"$F2\"" "$OUT/fleet.scrape" &&
+     grep -q "pid=\"$F3\"" "$OUT/fleet.scrape"; then FLEET=1; break; fi
+done
+[ "$FLEET" = 1 ] || {
+  echo "FAIL: /metrics never showed all three fleet sessions"
+  cat "$OUT/fleet.scrape"; exit 1; }
+NSESS=$(grep -o 'session="teeperf\.[^"]*"' "$OUT/fleet.scrape" | sort -u | wc -l)
+[ "$NSESS" -ge 3 ] || {
+  echo "FAIL: expected >=3 distinct session labels, got $NSESS"
+  cat "$OUT/fleet.scrape"; exit 1; }
+grep -q "# TYPE teeperf_log_tail gauge" "$OUT/fleet.scrape" || {
+  echo "FAIL: scrape lacks TYPE line for log.tail"; cat "$OUT/fleet.scrape"; exit 1; }
+grep -q "teeperf_monitord_scrapes" "$OUT/fleet.scrape" || {
+  echo "FAIL: scrape lacks daemon self-metrics"; cat "$OUT/fleet.scrape"; exit 1; }
+
+# The registry CLI view agrees: three live sessions.
+"$BIN/tools/teeperf_stats" --list > "$OUT/list.out"
+NLIVE=$(grep -c " live " "$OUT/list.out" || true)
+[ "$NLIVE" -ge 3 ] || {
+  echo "FAIL: teeperf_stats --list shows $NLIVE live sessions, want >=3"
+  cat "$OUT/list.out"; exit 1; }
+
+# Rolling flame graph for one attached session.
+FLEET_SES=$(grep -o 'session="teeperf\.[^"]*"' "$OUT/fleet.scrape" \
+    | head -1 | sed 's/session="//; s/"//')
+"$BIN/tools/teeperf_monitord" --get "$MON_URL/flamegraph/$FLEET_SES" \
+    > "$OUT/fleet.folded" || {
+  echo "FAIL: /flamegraph/$FLEET_SES not served"; cat "$OUT/mon.err"; exit 1; }
+
+# The short-hold app exits; its series must disappear within a poll cycle.
+wait "$F3"
+GONE=0
+for attempt in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  sleep 0.2
+  "$BIN/tools/teeperf_monitord" --get "$MON_URL/metrics" \
+      > "$OUT/fleet2.scrape" 2>/dev/null || continue
+  if ! grep -q "pid=\"$F3\"" "$OUT/fleet2.scrape"; then GONE=1; break; fi
+done
+[ "$GONE" = 1 ] || {
+  echo "FAIL: exited session pid=$F3 still exported"; cat "$OUT/fleet2.scrape"; exit 1; }
+
+# Kill the daemon mid-scrape: the recorded apps must finish untouched.
+"$BIN/tools/teeperf_monitord" --get "$MON_URL/metrics" > /dev/null 2>&1 &
+SCRAPER=$!
+kill -9 "$MON_PID" 2>/dev/null
+wait "$SCRAPER" 2>/dev/null || true
+wait "$MON_PID" 2>/dev/null || true
+wait "$F1" || { echo "FAIL: fleet app 1 wedged by daemon death"; exit 1; }
+wait "$F2" || { echo "FAIL: fleet app 2 wedged by daemon death"; exit 1; }
+test -s "$OUT/fleet1.log" || { echo "FAIL: fleet1.log missing"; exit 1; }
+test -s "$OUT/fleet2.log" || { echo "FAIL: fleet2.log missing"; exit 1; }
+"$BIN/tools/teeperf_analyze" "$OUT/fleet1" --top 3 > /dev/null || {
+  echo "FAIL: fleet1 dump does not analyze"; exit 1; }
+
+# Clean exits withdrew their descriptors: nothing left to discover.
+"$BIN/tools/teeperf_stats" --list > "$OUT/list2.out"
+if grep -q " live " "$OUT/list2.out"; then
+  echo "FAIL: live sessions remain after all apps exited"
+  cat "$OUT/list2.out"; exit 1
 fi
 
 echo "PASS"

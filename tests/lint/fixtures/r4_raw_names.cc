@@ -6,9 +6,11 @@ bool fires(const char* name);
 }
 struct Registry {
   int counter(const char* name);
+  int family(const char* name);
 };
 
 void f(Registry& reg) {
-  fault::fires("shm.create.fail");  // line 12: r4 raw fault-point name
-  reg.counter("log.tail");          // line 13: r4 raw metric name
+  fault::fires("shm.create.fail");  // line 13: r4 raw fault-point name
+  reg.counter("log.tail");          // line 14: r4 raw metric name
+  reg.family("log.dropped");        // line 15: r4 raw exporter family name
 }

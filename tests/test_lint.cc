@@ -140,8 +140,9 @@ TEST(LintFixtures, ExactRuleIdsAndLines) {
       {"r3", "r3_case/obs/layout.h", 7},        // layout not computable
       {"r3", "r3_case/obs/layout.h", 7},        // std::string member
       {"r3", "r3_case/obs/layout.h", 12},       // pointer member
-      {"r4", "r4_raw_names.cc", 12},            // fires("shm.create.fail")
-      {"r4", "r4_raw_names.cc", 13},            // counter("log.tail")
+      {"r4", "r4_raw_names.cc", 13},            // fires("shm.create.fail")
+      {"r4", "r4_raw_names.cc", 14},            // counter("log.tail")
+      {"r4", "r4_raw_names.cc", 15},            // family("log.dropped")
   };
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(rows(res.findings), expected);

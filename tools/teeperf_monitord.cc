@@ -1,0 +1,196 @@
+// The fleet-monitoring daemon (TEEMon-style, PAPERS.md): one host agent
+// continuously discovering every live profiling session on this machine
+// through the session registry, scraping their obs regions, and serving
+// Prometheus metrics plus rolling flame graphs over local HTTP.
+//
+//   teeperf_monitord --listen 127.0.0.1:9464
+//   curl http://127.0.0.1:9464/metrics
+//
+// Endpoints:
+//   /metrics              Prometheus text exposition: every session's
+//                         gauges labeled {session,pid} (shard/thread labels
+//                         for the dynamic names) + daemon self-metrics
+//   /flamegraph/<name>    rolling folded-stack window for one session
+//                         (?svg=1 renders the SVG instead)
+//   /sessions             JSON-lines echo of the attached descriptors
+//   /healthz              liveness probe
+//
+// Options:
+//   --listen ADDR         "host:port", ":0" (ephemeral), or "unix:/path"
+//                         (default: 127.0.0.1:9464)
+//   --session-dir DIR     session registry directory
+//                         (default: $TEEPERF_SESSION_DIR or the per-host
+//                         default — see common/session_registry.h)
+//   --poll-ms N           registry scan / attach cadence   (default: 500)
+//   --gc-interval-ms N    stale-session GC cadence         (default: 2000)
+//   --no-gc               never unlink stale descriptors / orphaned shm
+//   --max-sessions N      attachment cap                   (default: 64)
+//   --flame-interval-ms N min interval between per-session flame rebuilds
+//   --flame-window N      max log entries copied per rebuild
+//   --flame-keep N        rolling snapshots retained per session
+//   --port-file PATH      write the resolved TCP port (for ":0" scripting)
+//   --once                poll once, print /metrics to stdout, exit
+//
+// Client mode (so the e2e harness needs no curl):
+//   teeperf_monitord --get http://127.0.0.1:9464/metrics
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/fileutil.h"
+#include "common/stringutil.h"
+#include "monitord/http.h"
+#include "monitord/monitor.h"
+
+using namespace teeperf;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: teeperf_monitord [--listen host:port|unix:path] "
+               "[--session-dir dir] [--poll-ms n] [--gc-interval-ms n] "
+               "[--no-gc] [--max-sessions n] [--flame-interval-ms n] "
+               "[--flame-window n] [--flame-keep n] [--port-file path] "
+               "[--once]\n"
+               "       teeperf_monitord --get <url>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen = "127.0.0.1:9464";
+  std::string port_file;
+  std::string get_url;
+  bool once = false;
+  monitord::MonitordOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--listen" && i + 1 < argc) {
+      listen = argv[++i];
+    } else if (arg == "--session-dir" && i + 1 < argc) {
+      opts.session_dir = argv[++i];
+    } else if (arg == "--poll-ms" && i + 1 < argc) {
+      opts.poll_interval_ms = static_cast<u64>(std::atoll(argv[++i]));
+    } else if (arg == "--gc-interval-ms" && i + 1 < argc) {
+      opts.gc_interval_ms = static_cast<u64>(std::atoll(argv[++i]));
+    } else if (arg == "--no-gc") {
+      opts.gc = false;
+    } else if (arg == "--max-sessions" && i + 1 < argc) {
+      opts.max_sessions = static_cast<u32>(std::atol(argv[++i]));
+    } else if (arg == "--flame-interval-ms" && i + 1 < argc) {
+      opts.flame_interval_ms = static_cast<u64>(std::atoll(argv[++i]));
+    } else if (arg == "--flame-window" && i + 1 < argc) {
+      opts.flame_window_entries = static_cast<u64>(std::atoll(argv[++i]));
+    } else if (arg == "--flame-keep" && i + 1 < argc) {
+      opts.flame_keep = static_cast<u32>(std::atol(argv[++i]));
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--get" && i + 1 < argc) {
+      get_url = argv[++i];
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (opts.poll_interval_ms == 0 || opts.max_sessions == 0 ||
+      opts.flame_keep == 0 || opts.flame_window_entries == 0) {
+    usage();
+    return 2;
+  }
+
+  if (!get_url.empty()) {
+    int status = 0;
+    std::string body, error;
+    if (!monitord::http_get(get_url, &status, &body, &error)) {
+      std::fprintf(stderr, "teeperf_monitord: GET %s failed: %s\n",
+                   get_url.c_str(), error.c_str());
+      return 1;
+    }
+    std::fputs(body.c_str(), stdout);
+    return status == 200 ? 0 : 1;
+  }
+
+  monitord::Monitord daemon(opts);
+
+  if (once) {
+    daemon.poll();
+    std::fputs(daemon.scrape_metrics().c_str(), stdout);
+    return 0;
+  }
+
+  monitord::HttpServer server([&daemon](const std::string& raw_path) {
+    std::string path = raw_path;
+    std::string query;
+    if (usize q = path.find('?'); q != std::string::npos) {
+      query = path.substr(q + 1);
+      path.resize(q);
+    }
+    if (path == "/metrics") {
+      return monitord::HttpResponse{200,
+                                    "text/plain; version=0.0.4; charset=utf-8",
+                                    daemon.scrape_metrics()};
+    }
+    if (path == "/healthz") {
+      return monitord::HttpResponse{200, "text/plain", "ok\n"};
+    }
+    if (path == "/sessions") {
+      return monitord::HttpResponse{200, "application/json",
+                                    daemon.sessions_json()};
+    }
+    if (starts_with(path, "/flamegraph/")) {
+      std::string session = path.substr(std::strlen("/flamegraph/"));
+      bool svg = query.find("svg") != std::string::npos;
+      auto body = svg ? daemon.flamegraph_svg(session)
+                      : daemon.flamegraph_folded(session);
+      if (!body) {
+        return monitord::HttpResponse{404, "text/plain",
+                                      "unknown session " + session + "\n"};
+      }
+      return monitord::HttpResponse{
+          200, svg ? "image/svg+xml" : "text/plain", std::move(*body)};
+    }
+    return monitord::HttpResponse{404, "text/plain", "not found\n"};
+  });
+
+  std::string error;
+  if (!server.serve(listen, &error)) {
+    std::fprintf(stderr, "teeperf_monitord: cannot listen on %s: %s\n",
+                 listen.c_str(), error.c_str());
+    return 1;
+  }
+  if (!port_file.empty() &&
+      !write_file(port_file, std::to_string(server.port()) + "\n")) {
+    std::fprintf(stderr, "teeperf_monitord: cannot write %s\n",
+                 port_file.c_str());
+    server.shutdown();
+    return 1;
+  }
+
+  signal(SIGINT, on_signal);
+  signal(SIGTERM, on_signal);
+  daemon.start();
+  std::fprintf(stderr,
+               "teeperf_monitord: serving %s (sessions from %s); "
+               "GET /metrics for the fleet\n",
+               server.endpoint().c_str(), daemon.session_dir().c_str());
+  while (!g_stop.load(std::memory_order_acquire)) {
+    usleep(100'000);
+  }
+  std::fprintf(stderr, "teeperf_monitord: shutting down\n");
+  server.shutdown();
+  daemon.stop();
+  return 0;
+}

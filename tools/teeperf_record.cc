@@ -52,10 +52,13 @@
 //                        (default: 1; exported as TEEPERF_FAULT_SEED)
 //
 // The wrapper also publishes self-telemetry: a second shared-memory region
-// "<shm>.obs" holds live metrics (ring occupancy, entry rates, counter
-// health) plus a structured event journal; a watchdog thread re-measures
-// the counter against CLOCK_MONOTONIC continuously. teeperf_stats attaches
-// to that region by wrapper pid. At exit the wrapper persists
+// "<base>.obs" next to the "<base>.log" segment (base =
+// "/teeperf.<pid>.<nonce>", the multi-session naming scheme) holds live
+// metrics (ring occupancy, entry rates, counter health) plus a structured
+// event journal; a watchdog thread re-measures the counter against
+// CLOCK_MONOTONIC continuously. The session is announced in the on-disk
+// session registry ($TEEPERF_SESSION_DIR), which is how teeperf_stats and
+// teeperf_monitord discover it. At exit the wrapper persists
 // "<prefix>.health" (human snapshot) and "<prefix>.events.jsonl", which
 // teeperf_analyze folds into its report as the "recorder health" section.
 #include <sys/wait.h>
@@ -72,7 +75,9 @@
 #include <vector>
 
 #include "common/fileutil.h"
+#include "common/session_registry.h"
 #include "common/shm.h"
+#include "common/spin.h"
 #include "faultsim/fault.h"
 #include "common/stringutil.h"
 #include "core/counter.h"
@@ -219,11 +224,35 @@ int main(int argc, char** argv) {
     while (shard_count > 1 && max_entries / shard_count < 1024) shard_count >>= 1;
   }
 
-  // Shared-memory log, owned by this wrapper.
-  std::string shm_name = str_format("/teeperf.%d", getpid());
+  // Stale-session GC on the way in: reclaim descriptors and shm segments
+  // orphaned by crashed sessions, so a host that loops crashing recorders
+  // never leaks /dev/shm (the same sweep teeperf_monitord runs
+  // continuously).
+  std::string session_dir = session_registry::registry_dir();
+  {
+    auto gc = session_registry::gc_stale_sessions(session_dir);
+    if (gc.descriptors || gc.segments) {
+      std::fprintf(stderr,
+                   "teeperf_record: reclaimed %u stale session descriptor(s), "
+                   "%u orphaned shm segment(s)\n",
+                   gc.descriptors, gc.segments);
+    }
+  }
+
+  // Shared-memory log, owned by this wrapper. The session base
+  // "/teeperf.<pid>.<nonce>" is collision-free across concurrent sessions
+  // (and pid reuse); creation is O_EXCL so a nonce collision just retries.
+  std::string shm_base;
+  std::string shm_name;
   SharedMemoryRegion shm;
   usize bytes = ProfileLog::bytes_for(max_entries, shard_count);
-  if (!shm.create(shm_name, bytes)) {
+  for (int attempt = 0; attempt < 4 && !shm.valid(); ++attempt) {
+    shm_base = session_registry::shm_base(static_cast<u64>(getpid()),
+                                          session_registry::make_nonce());
+    shm_name = shm_base + ".log";
+    shm.create(shm_name, bytes);
+  }
+  if (!shm.valid()) {
     std::fprintf(stderr, "teeperf_record: shm_open(%s, %zu bytes) failed\n",
                  shm_name.c_str(), bytes);
     return 1;
@@ -265,7 +294,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::SelfTelemetry> telem;
   if (telemetry) {
     obs::TelemetryOptions topts;
-    topts.shm_name = shm_name + ".obs";
+    topts.shm_name = shm_base + ".obs";
     telem = obs::SelfTelemetry::create(topts);
     if (!telem) {
       std::fprintf(stderr, "teeperf_record: telemetry shm failed, continuing "
@@ -275,6 +304,26 @@ int main(int argc, char** argv) {
       // (teeperf_stats --arm → "fault.arm.*" gauges → watchdog poll).
       obs::install(telem.get());
     }
+  }
+
+  // Announce the session in the on-disk registry so host-side observers
+  // (teeperf_monitord, teeperf_stats --list / <pid>) can discover it
+  // without guessing shm names. Withdrawn at exit; a crashed wrapper's
+  // descriptor is reclaimed by the stale-session GC above.
+  session_registry::SessionDescriptor session_desc;
+  session_desc.name = shm_base.substr(1);  // drop the leading '/'
+  session_desc.pid = static_cast<u64>(getpid());
+  session_desc.log_shm = shm_name;
+  if (telem) session_desc.obs_shm = telem->shm_name();
+  session_desc.prefix = prefix;
+  session_desc.capacity = max_entries;
+  session_desc.shards = log.shard_count();
+  session_desc.start_ns = monotonic_ns();
+  if (!session_registry::publish_session(session_dir, session_desc)) {
+    std::fprintf(stderr,
+                 "teeperf_record: cannot publish session descriptor under %s "
+                 "(monitoring tools will not discover this session)\n",
+                 session_dir.c_str());
   }
 
   // The software counter runs here, on the host — the measured application
@@ -462,6 +511,7 @@ int main(int argc, char** argv) {
     }
     obs::uninstall(telem.get());
   }
+  session_registry::unpublish_session(session_dir, session_desc.name);
 
   if (drainer) {
     drain::Drainer::Stats st = drainer->stats();

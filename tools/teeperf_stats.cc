@@ -3,11 +3,16 @@
 // with a named log) from an untrusted host process and prints its health
 // metrics and event journal — without touching the session.
 //
-//   teeperf_stats <pid | shm-name> [options]
+//   teeperf_stats <pid | session-name | shm-name> [options]
+//   teeperf_stats --list
 //
-// The positional argument is the recorder wrapper's pid (region
-// "/teeperf.<pid>.obs") or an explicit shm name (".obs" appended when
-// missing).
+// The positional argument is resolved through the session registry
+// ($TEEPERF_SESSION_DIR — see common/session_registry.h): a pid matches
+// the session that pid published (the newest, if it published several), a
+// session name ("teeperf.<pid>.<nonce>") matches its descriptor. An
+// explicit shm name (".obs" appended when missing) bypasses the registry;
+// a bare pid with no descriptor falls back to the legacy
+// "/teeperf.<pid>.obs" name. --list enumerates every registered session.
 //
 // Options:
 //   --json         JSON-lines instead of human text (metrics then events)
@@ -27,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/session_registry.h"
 #include "common/stringutil.h"
 #include "obs/export.h"
 #include "obs/metric_names.h"
@@ -38,8 +44,9 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: teeperf_stats <pid | shm-name> [--json] [--events N] "
-               "[--watch ms] [--no-events] [--arm name=N]\n");
+               "usage: teeperf_stats <pid | session | shm-name> [--json] "
+               "[--events N] [--watch ms] [--no-events] [--arm name=N]\n"
+               "       teeperf_stats --list\n");
 }
 
 bool all_digits(const char* s) {
@@ -50,11 +57,48 @@ bool all_digits(const char* s) {
   return true;
 }
 
+// Registry-first resolution: a pid or session name finds the obs segment
+// through the published descriptor, so concurrent sessions can never
+// cross-attach. Explicit shm names and the legacy "/teeperf.<pid>.obs"
+// convention keep working.
 std::string resolve_name(const char* arg) {
-  if (all_digits(arg)) return str_format("/teeperf.%s.obs", arg);
+  auto sessions = session_registry::list_sessions(session_registry::registry_dir());
+  if (all_digits(arg)) {
+    u64 pid = static_cast<u64>(std::atoll(arg));
+    const session_registry::SessionDescriptor* best = nullptr;
+    for (const auto& d : sessions) {
+      if (d.pid == pid && !d.obs_shm.empty() &&
+          (!best || d.start_ns > best->start_ns)) {
+        best = &d;
+      }
+    }
+    if (best) return best->obs_shm;
+    return str_format("/teeperf.%s.obs", arg);
+  }
+  for (const auto& d : sessions) {
+    if (d.name == arg && !d.obs_shm.empty()) return d.obs_shm;
+  }
   std::string name = arg;
   if (!ends_with(name, ".obs")) name += ".obs";
   return name;
+}
+
+// `teeperf_stats --list`: one line per registered session.
+int list_sessions_main() {
+  auto sessions = session_registry::list_sessions(session_registry::registry_dir());
+  if (sessions.empty()) {
+    std::printf("no registered sessions under %s\n",
+                session_registry::registry_dir().c_str());
+    return 0;
+  }
+  std::printf("%-36s %8s %-6s %s\n", "SESSION", "PID", "STATE", "OBS");
+  for (const auto& d : sessions) {
+    std::printf("%-36s %8llu %-6s %s\n", d.name.c_str(),
+                static_cast<unsigned long long>(d.pid),
+                session_registry::pid_alive(d.pid) ? "live" : "stale",
+                d.obs_shm.empty() ? "-" : d.obs_shm.c_str());
+  }
+  return 0;
 }
 
 void print_snapshot(obs::SelfTelemetry& t, bool json, bool events, usize limit) {
@@ -83,6 +127,13 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     usage();
     return 2;
+  }
+  if (std::strcmp(argv[1], "--list") == 0) {
+    if (argc != 2) {
+      usage();
+      return 2;
+    }
+    return list_sessions_main();
   }
   bool json = false, events = true;
   usize event_limit = 32;
