@@ -1,0 +1,94 @@
+#include "analyzer/dump_reader.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+namespace teeperf::analyzer {
+
+std::optional<ParsedDump> parse_dump(std::string_view bytes) {
+  if (bytes.size() < sizeof(LogHeader)) return std::nullopt;
+  alignas(LogHeader) unsigned char header_buf[sizeof(LogHeader)];
+  std::memcpy(header_buf, bytes.data(), sizeof(LogHeader));
+  const auto* h = reinterpret_cast<const LogHeader*>(header_buf);
+  if (h->magic != kLogMagic) return std::nullopt;
+  if (h->version != kLogVersion && h->version != kLogVersionSharded) {
+    return std::nullopt;
+  }
+  ParsedDump d;
+  d.ns_per_tick = h->ns_per_tick;
+  if (!std::isfinite(d.ns_per_tick) || d.ns_per_tick < 0.0) d.ns_per_tick = 0.0;
+
+  if (h->version == kLogVersion) {
+    // Only complete entries present in the buffer are consumed; a log
+    // truncated mid-write simply yields fewer entries (§II-B: the analyzer
+    // dismisses records "which might be wrong at the end of the log"). The
+    // clamp to `available` also defuses a corrupt tail/max_entries.
+    u64 available = (bytes.size() - sizeof(LogHeader)) / sizeof(LogEntry);
+    u64 tail = h->tail.load(std::memory_order_relaxed);
+    u64 n = std::min({available, tail, h->max_entries});
+    d.shards.emplace_back();
+    d.starts.push_back(0);
+    d.shards[0].resize(static_cast<usize>(n));
+    if (n > 0) {
+      std::memcpy(d.shards[0].data(), bytes.data() + sizeof(LogHeader),
+                  static_cast<usize>(n) * sizeof(LogEntry));
+    }
+    return d;
+  }
+
+  // v2: a shard directory follows the header; every field in it is as
+  // attacker-controlled as the header, so each window is independently
+  // clamped and the sum of all windows is budgeted against what the file
+  // actually holds — a hostile directory of kMaxLogShards overlapping
+  // full-size segments must not multiply a small file into gigabytes.
+  u32 nshards = h->shard_count;
+  if (nshards == 0 || nshards > kMaxLogShards) return std::nullopt;
+  usize dir_bytes = static_cast<usize>(nshards) * sizeof(LogShard);
+  if (bytes.size() - sizeof(LogHeader) < dir_bytes) return std::nullopt;
+  std::vector<LogShard> dir(nshards);
+  std::memcpy(static_cast<void*>(dir.data()), bytes.data() + sizeof(LogHeader),
+              dir_bytes);
+
+  const char* entry_base = bytes.data() + sizeof(LogHeader) + dir_bytes;
+  u64 available = (bytes.size() - sizeof(LogHeader) - dir_bytes) / sizeof(LogEntry);
+  u64 budget = available;  // total entries any directory may make us copy
+  d.shards.resize(nshards);
+  d.starts.resize(nshards, 0);
+  for (u32 s = 0; s < nshards; ++s) {
+    d.starts[s] = dir[s].drained.load(std::memory_order_relaxed);
+    u64 off = dir[s].entry_offset;
+    if (off >= available) continue;  // also rejects u64-overflow offsets
+    u64 n = dir[s].tail.load(std::memory_order_relaxed);
+    // Subtraction form: off + capacity could wrap u64.
+    n = std::min({n, dir[s].capacity, available - off, budget});
+    budget -= n;
+    d.shards[s].resize(static_cast<usize>(n));
+    if (n > 0) {
+      std::memcpy(d.shards[s].data(), entry_base + off * sizeof(LogEntry),
+                  static_cast<usize>(n) * sizeof(LogEntry));
+    }
+  }
+  return d;
+}
+
+bool SpillStitcher::absorb(const ParsedDump& dump, const WindowFn& fn) {
+  if (cursors_.empty()) cursors_.assign(dump.shards.size(), 0);
+  if (dump.shards.size() != cursors_.size()) return false;
+  for (usize s = 0; s < cursors_.size(); ++s) {
+    const std::vector<LogEntry>& win = dump.shards[s];
+    u64 start = dump.starts[s];
+    u64 skip = 0;
+    if (start < cursors_[s]) {
+      skip = cursors_[s] - start;
+      if (skip >= win.size()) continue;  // fully duplicate window
+    }
+    fn(static_cast<u32>(s), win.data() + skip, win.size() - skip);
+    cursors_[s] = start + win.size();
+  }
+  if (dump.ns_per_tick > 0.0) ns_per_tick_ = dump.ns_per_tick;
+  return true;
+}
+
+}  // namespace teeperf::analyzer

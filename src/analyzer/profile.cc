@@ -7,115 +7,13 @@
 #include <map>
 #include <thread>
 
+#include "analyzer/dump_reader.h"
 #include "common/fileutil.h"
 #include "common/stringutil.h"
 #include "core/symbol_registry.h"
 #include "drain/chunk_format.h"
 
 namespace teeperf::analyzer {
-
-namespace {
-
-// A serialized dump copied into properly typed, aligned storage. The raw
-// byte buffer guarantees neither alignment nor sanity — reading LogHeader's
-// atomics in place would be undefined, and every header field is attacker-
-// controlled once dumps come from a hostile host.
-struct ParsedDump {
-  // One window of entries per shard: v1 dumps parse into a single window,
-  // v2 into one per directory entry (possibly empty). A thread's entries
-  // live entirely inside one window.
-  std::vector<std::vector<LogEntry>> shards;
-  // Per-window absolute start cursor, parallel to `shards`: the serialized
-  // directory's `drained` field. 0 for v1 dumps and for v2 logs that never
-  // drained or wrapped; spill chunks and spill residue dumps record where
-  // in the shard's stream each window begins, which is what lets the
-  // multi-chunk loader stitch and deduplicate.
-  std::vector<u64> starts;
-  double ns_per_tick = 0.0;
-
-  bool single() const { return shards.size() <= 1; }
-  u64 total() const {
-    u64 n = 0;
-    for (const auto& s : shards) n += s.size();
-    return n;
-  }
-  // Concatenated windows, for consumers that want one flat span (validate).
-  // Per-thread order is preserved: a thread never spans two windows.
-  std::vector<LogEntry> flatten() const {
-    std::vector<LogEntry> out;
-    out.reserve(static_cast<usize>(total()));
-    for (const auto& s : shards) out.insert(out.end(), s.begin(), s.end());
-    return out;
-  }
-};
-
-std::optional<ParsedDump> parse_dump(std::string_view bytes) {
-  if (bytes.size() < sizeof(LogHeader)) return std::nullopt;
-  alignas(LogHeader) unsigned char header_buf[sizeof(LogHeader)];
-  std::memcpy(header_buf, bytes.data(), sizeof(LogHeader));
-  const auto* h = reinterpret_cast<const LogHeader*>(header_buf);
-  if (h->magic != kLogMagic) return std::nullopt;
-  if (h->version != kLogVersion && h->version != kLogVersionSharded) {
-    return std::nullopt;
-  }
-  ParsedDump d;
-  d.ns_per_tick = h->ns_per_tick;
-  if (!std::isfinite(d.ns_per_tick) || d.ns_per_tick < 0.0) d.ns_per_tick = 0.0;
-
-  if (h->version == kLogVersion) {
-    // Only complete entries present in the buffer are consumed; a log
-    // truncated mid-write simply yields fewer entries (§II-B: the analyzer
-    // dismisses records "which might be wrong at the end of the log"). The
-    // clamp to `available` also defuses a corrupt tail/max_entries.
-    u64 available = (bytes.size() - sizeof(LogHeader)) / sizeof(LogEntry);
-    u64 tail = h->tail.load(std::memory_order_relaxed);
-    u64 n = std::min({available, tail, h->max_entries});
-    d.shards.emplace_back();
-    d.starts.push_back(0);
-    d.shards[0].resize(static_cast<usize>(n));
-    if (n > 0) {
-      std::memcpy(d.shards[0].data(), bytes.data() + sizeof(LogHeader),
-                  static_cast<usize>(n) * sizeof(LogEntry));
-    }
-    return d;
-  }
-
-  // v2: a shard directory follows the header; every field in it is as
-  // attacker-controlled as the header, so each window is independently
-  // clamped and the sum of all windows is budgeted against what the file
-  // actually holds — a hostile directory of kMaxLogShards overlapping
-  // full-size segments must not multiply a small file into gigabytes.
-  u32 nshards = h->shard_count;
-  if (nshards == 0 || nshards > kMaxLogShards) return std::nullopt;
-  usize dir_bytes = static_cast<usize>(nshards) * sizeof(LogShard);
-  if (bytes.size() - sizeof(LogHeader) < dir_bytes) return std::nullopt;
-  std::vector<LogShard> dir(nshards);
-  std::memcpy(static_cast<void*>(dir.data()), bytes.data() + sizeof(LogHeader),
-              dir_bytes);
-
-  const char* entry_base = bytes.data() + sizeof(LogHeader) + dir_bytes;
-  u64 available = (bytes.size() - sizeof(LogHeader) - dir_bytes) / sizeof(LogEntry);
-  u64 budget = available;  // total entries any directory may make us copy
-  d.shards.resize(nshards);
-  d.starts.resize(nshards, 0);
-  for (u32 s = 0; s < nshards; ++s) {
-    d.starts[s] = dir[s].drained.load(std::memory_order_relaxed);
-    u64 off = dir[s].entry_offset;
-    if (off >= available) continue;  // also rejects u64-overflow offsets
-    u64 n = dir[s].tail.load(std::memory_order_relaxed);
-    // Subtraction form: off + capacity could wrap u64.
-    n = std::min({n, dir[s].capacity, available - off, budget});
-    budget -= n;
-    d.shards[s].resize(static_cast<usize>(n));
-    if (n > 0) {
-      std::memcpy(d.shards[s].data(), entry_base + off * sizeof(LogEntry),
-                  static_cast<usize>(n) * sizeof(LogEntry));
-    }
-  }
-  return d;
-}
-
-}  // namespace
 
 std::optional<Profile> Profile::load_bytes(
     std::string_view log_bytes, std::unordered_map<u64, std::string> symbols) {
@@ -141,57 +39,32 @@ std::optional<Profile> Profile::load_spill(const std::string& prefix) {
   std::unordered_map<u64, std::string> symbols;
   if (auto sym = read_file(prefix + ".sym")) symbols = SymbolRegistry::parse(*sym);
 
-  std::vector<std::string> chunks;
-  for (u32 seq = 0;; ++seq) {
-    auto raw = read_file(drain::chunk_path(prefix, seq));
-    if (!raw) break;
-    chunks.push_back(std::move(*raw));
-  }
-
-  // Per-shard streams plus the absolute cursor each stream has reached.
-  // Windows arrive in cursor order (chunks in sequence, residue last); a
-  // window starting below the cursor overlaps what a crashed drainer
-  // already persisted and the duplicate prefix is skipped, a window
-  // starting above it sits after force-dropped entries (already accounted
-  // in the drop counters) and simply appends.
+  // Per-shard streams stitched by the shared SpillStitcher (dump_reader.h):
+  // windows arrive in cursor order (chunks in sequence, residue last) and
+  // every deduplicated span is appended to its shard's stream. The streaming
+  // analyzer (stream.cc) walks the very same chunk sequence but feeds the
+  // spans into rolling reconstruction state instead of vectors.
   std::vector<std::vector<LogEntry>> streams;
-  std::vector<u64> cursors;
-  double ns_per_tick = 0.0;
+  SpillStitcher stitcher;
+  auto append = [&](u32 s, const LogEntry* e, u64 n) {
+    streams[s].insert(streams[s].end(), e, e + n);
+  };
   auto absorb = [&](const ParsedDump& pd) -> bool {
-    if (streams.empty()) {
-      streams.resize(pd.shards.size());
-      cursors.assign(pd.shards.size(), 0);
-    }
-    if (pd.shards.size() != streams.size()) return false;
-    for (usize s = 0; s < streams.size(); ++s) {
-      const std::vector<LogEntry>& win = pd.shards[s];
-      u64 start = pd.starts[s];
-      u64 skip = 0;
-      if (start < cursors[s]) {
-        skip = cursors[s] - start;
-        if (skip >= win.size()) continue;  // fully duplicate window
-      }
-      streams[s].insert(streams[s].end(),
-                        win.begin() + static_cast<i64>(skip), win.end());
-      cursors[s] = start + win.size();
-    }
-    if (pd.ns_per_tick > 0.0) ns_per_tick = pd.ns_per_tick;
-    return true;
+    if (streams.empty()) streams.resize(pd.shards.size());
+    return stitcher.absorb(pd, append);
   };
 
-  for (usize i = 0; i < chunks.size(); ++i) {
-    std::string_view payload;
-    if (!drain::parse_chunk(chunks[i], nullptr, &payload, nullptr)) {
-      // A torn *trailing* chunk means the drainer died mid-write and never
-      // resumed: its window was not marked drained, so the same entries
-      // reappear in the residue dump and nothing is lost. A bad chunk
-      // followed by good ones cannot come from the protocol — corruption.
-      if (i + 1 == chunks.size()) break;
-      return std::nullopt;
-    }
-    auto pd = parse_dump(payload);
-    if (!pd || !absorb(*pd)) return std::nullopt;
-  }
+  bool bad = false;
+  drain::ChunkScan scan = drain::for_each_chunk(
+      prefix, [&](u32, std::string_view payload) {
+        auto pd = parse_dump(payload);
+        if (!pd || !absorb(*pd)) {
+          bad = true;
+          return false;
+        }
+        return true;
+      });
+  if (bad || scan == drain::ChunkScan::kCorrupt) return std::nullopt;
 
   // The final residue dump — optional: a session killed before dump time
   // still analyzes from its chunks alone.
@@ -203,9 +76,9 @@ std::optional<Profile> Profile::load_spill(const std::string& prefix) {
   if (streams.empty()) return std::nullopt;
   if (streams.size() == 1) {
     return build(streams[0].data(), streams[0].size(), std::move(symbols),
-                 ns_per_tick);
+                 stitcher.ns_per_tick());
   }
-  return build_sharded(streams, std::move(symbols), ns_per_tick);
+  return build_sharded(streams, std::move(symbols), stitcher.ns_per_tick());
 }
 
 Profile Profile::from_log(const ProfileLog& log,
@@ -387,13 +260,18 @@ Profile Profile::build(const LogEntry* entries, u64 n,
   return p;
 }
 
-std::string Profile::name(u64 method) const {
-  auto it = symbols_.find(method);
-  if (it != symbols_.end()) return it->second;
+std::string resolve_name(const std::unordered_map<u64, std::string>& symbols,
+                         u64 method) {
+  auto it = symbols.find(method);
+  if (it != symbols.end()) return it->second;
   // Fall back to the live registry (in-process analysis without a .sym file).
   std::string live = SymbolRegistry::instance().name_of(method);
   if (!live.empty()) return live;
   return str_format("0x%llx", static_cast<unsigned long long>(method));
+}
+
+std::string Profile::name(u64 method) const {
+  return resolve_name(symbols_, method);
 }
 
 std::vector<MethodStats> Profile::method_stats() const {
@@ -413,8 +291,13 @@ std::vector<MethodStats> Profile::method_stats() const {
     (void)id;
     out.push_back(s);
   }
+  // Tie-break on method id: equal totals are common in synthetic workloads,
+  // and the map's iteration order tracks insertion order, which for spilled
+  // sessions depends on drainer chunk timing.
   std::sort(out.begin(), out.end(), [](const MethodStats& a, const MethodStats& b) {
-    return a.exclusive_total > b.exclusive_total;
+    if (a.exclusive_total != b.exclusive_total)
+      return a.exclusive_total > b.exclusive_total;
+    return a.method < b.method;
   });
   return out;
 }
@@ -453,8 +336,12 @@ std::vector<CallEdge> Profile::call_edges() const {
     (void)k;
     out.push_back(e);
   }
-  std::sort(out.begin(), out.end(),
-            [](const CallEdge& a, const CallEdge& b) { return a.count > b.count; });
+  std::sort(out.begin(), out.end(), [](const CallEdge& a, const CallEdge& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.caller != b.caller) return a.caller < b.caller;
+    if (a.callee != b.callee) return a.callee < b.callee;
+    return a.from_root < b.from_root;
+  });
   return out;
 }
 

@@ -19,6 +19,13 @@
 
 namespace teeperf::analyzer {
 
+// Shared name resolution: the explicit symbol map first, then the live
+// registry (in-process analysis without a .sym file), then hex. Used by
+// Profile::name and the streaming analyzer (stream.h) so both pipelines
+// symbolize identically — the differential tests depend on it.
+std::string resolve_name(const std::unordered_map<u64, std::string>& symbols,
+                         u64 method);
+
 // One reconstructed function execution.
 struct Invocation {
   u64 method = 0;       // function address / registered id

@@ -109,6 +109,60 @@ std::string call_graph_report(const Profile& profile, usize limit) {
   return out;
 }
 
+std::string mprof_method_report(const MergeableProfile& m, usize limit) {
+  // Sort by exclusive descending, like method_stats(); keys are already
+  // names, so rows are stable across hosts and merge orders.
+  std::vector<std::pair<const std::string*, const MprofMethod*>> rows;
+  rows.reserve(m.methods.size());
+  for (const auto& [name, mm] : m.methods) rows.push_back({&name, &mm});
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second->exclusive_total > b.second->exclusive_total;
+  });
+  u64 total_excl = m.total_exclusive();
+  auto to_ms = [&](u64 ticks) {
+    double ns = m.ns_per_tick > 0
+                    ? static_cast<double>(ticks) * m.ns_per_tick
+                    : static_cast<double>(ticks);
+    return ns / 1e6;
+  };
+
+  std::string out = str_format("%-52s %10s %12s %12s %7s\n", "method", "calls",
+                               "excl(ms)", "incl(ms)", "excl%");
+  usize shown = 0;
+  for (const auto& [name, mm] : rows) {
+    if (shown++ >= limit) {
+      out += str_format("... (%zu more methods)\n", rows.size() - limit);
+      break;
+    }
+    double pct = total_excl
+                     ? 100.0 * static_cast<double>(mm->exclusive_total) /
+                           static_cast<double>(total_excl)
+                     : 0.0;
+    out += str_format("%-52s %10llu %12.3f %12.3f %6.1f%%\n",
+                      ellipsize(*name, 52).c_str(),
+                      static_cast<unsigned long long>(mm->count),
+                      to_ms(mm->exclusive_total), to_ms(mm->inclusive_total),
+                      pct);
+  }
+  return out;
+}
+
+std::string mprof_summary(const MergeableProfile& m) {
+  return str_format(
+      "sessions=%llu entries=%llu threads=%llu methods=%zu edges=%zu "
+      "stacks=%zu stray_returns=%llu mismatched=%llu unwound=%llu "
+      "incomplete=%llu tombstones=%llu",
+      static_cast<unsigned long long>(m.sessions),
+      static_cast<unsigned long long>(m.stats.entries),
+      static_cast<unsigned long long>(m.stats.thread_count), m.methods.size(),
+      m.edges.size(), m.stacks.size(),
+      static_cast<unsigned long long>(m.stats.stray_returns),
+      static_cast<unsigned long long>(m.stats.mismatched_returns),
+      static_cast<unsigned long long>(m.stats.unwound_frames),
+      static_cast<unsigned long long>(m.stats.incomplete),
+      static_cast<unsigned long long>(m.stats.tombstones));
+}
+
 std::string recon_summary(const Profile& profile) {
   const auto& r = profile.recon_stats();
   return str_format(

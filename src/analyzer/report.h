@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "analyzer/mprof.h"
 #include "analyzer/profile.h"
 
 namespace teeperf::analyzer {
@@ -57,6 +58,15 @@ std::string health_report(const std::string& prefix);
 // gprof-style flat profile (the related-work §V comparison): %time,
 // cumulative/self seconds, calls, per-call costs, name.
 std::string gprof_flat_report(const Profile& profile, usize limit = 30);
+
+// Sorted method table rendered from a mergeable aggregate (DESIGN.md §12) —
+// the multi-GB / multi-session twin of method_report: same columns, fed by
+// `.mprof` rollups instead of materialized invocations.
+std::string mprof_method_report(const MergeableProfile& m, usize limit = 30);
+
+// Session/health summary of a mergeable aggregate: sessions folded in,
+// entries, threads, reconstruction defects, distinct methods/edges/stacks.
+std::string mprof_summary(const MergeableProfile& m);
 
 // Bottom-up view: for each of the top `leaf_limit` methods by exclusive
 // time, the callers that reach it with their share — perf report's

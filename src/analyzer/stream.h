@@ -1,0 +1,138 @@
+// Streaming, bounded-memory analysis (DESIGN.md §12).
+//
+// Profile::load_spill stitches a whole session into memory before
+// reconstructing — fine for sessions near the shm window, hopeless for the
+// multi-GB chunk streams the spill drainer produces. StreamAnalyzer runs
+// the same call-stack reconstruction as Profile::build in a single pass
+// over the chunk sequence, holding only:
+//
+//   - per-shard open-invocation stacks (bounded by live call depth),
+//   - rolling per-method / per-edge / folded-stack aggregates
+//     (bounded by the number of *distinct* methods, edges and paths),
+//   - one chunk file at a time.
+//
+// No Invocation is ever materialized. Shards aggregate in parallel (a
+// thread's entries are confined to one shard, and every aggregate is a
+// sum/min/max, so worker scheduling cannot change the result); finish()
+// folds shards in directory order into a MergeableProfile. The result is
+// held byte-identical to MergeableProfile::from_profile(Profile::load(...))
+// by the differential tests in tests/test_analyze_stream.cc.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analyzer/dump_reader.h"
+#include "analyzer/mprof.h"
+#include "common/types.h"
+#include "core/log_format.h"
+
+namespace teeperf::analyzer {
+
+class StreamAnalyzer {
+ public:
+  explicit StreamAnalyzer(std::unordered_map<u64, std::string> symbols = {});
+
+  // Feeds one span of a shard's stream, in per-shard order. Distinct shards
+  // may feed concurrently (their state is disjoint); one shard must not.
+  // Call ensure_shards() first when feeding from multiple threads.
+  void feed(u32 shard, const LogEntry* entries, u64 n);
+
+  // Feeds every window of a parsed dump, shards in parallel.
+  void feed_dump(const ParsedDump& dump);
+
+  // Grows the shard table (never shrinks). Required before concurrent
+  // feed() calls so the table is not resized under a reader.
+  void ensure_shards(usize n);
+
+  void set_ns_per_tick(double ns) { ns_per_tick_ = ns; }
+
+  // Closes every still-open frame (incomplete, ended at the thread's last
+  // counter — the same policy as Profile::build) and folds all shards, in
+  // shard order, into one aggregate with sessions == 1.
+  MergeableProfile finish();
+
+  // One-call entry points mirroring Profile::load / load_spill but reading
+  // one chunk file at a time. analyze() auto-detects spill sessions by the
+  // presence of "<prefix>.seg.0000"; both load "<prefix>.sym" when present.
+  static std::optional<MergeableProfile> analyze(const std::string& prefix,
+                                                 std::string* error = nullptr);
+  static std::optional<MergeableProfile> analyze_spill(
+      const std::string& prefix, std::string* error = nullptr);
+
+ private:
+  // One open invocation. `path_len` is the thread's folded-path length
+  // *before* this frame's name was appended — truncating back to it on
+  // close keeps one rolling string per thread instead of one per frame.
+  struct Frame {
+    u64 method = 0;
+    u64 start = 0;
+    u64 children = 0;
+    u64 parent_method = 0;
+    bool from_root = false;
+    usize path_len = 0;
+  };
+
+  struct ThreadState {
+    std::vector<Frame> open;
+    std::string path;  // names of open frames joined by ';'
+    u64 last_counter = 0;
+  };
+
+  struct MethodAgg {
+    u64 count = 0;
+    u64 inclusive_total = 0;
+    u64 exclusive_total = 0;
+    u64 min_inclusive = ~0ull;
+    u64 max_inclusive = 0;
+  };
+
+  struct EdgeKey {
+    u64 caller = 0;
+    u64 callee = 0;
+    bool from_root = false;
+    bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeKeyHash {
+    usize operator()(const EdgeKey& k) const {
+      return std::hash<u64>{}(k.caller * 1099511628211ull ^ k.callee ^
+                              (k.from_root ? 0x9e37ull : 0));
+    }
+  };
+
+  struct EdgeAgg {
+    u64 count = 0;
+    u64 inclusive_total = 0;
+  };
+
+  // All state one shard's reconstruction touches — disjoint across shards,
+  // which is what makes parallel feeding safe without locks.
+  struct ShardState {
+    std::map<u64, ThreadState> threads;
+    std::unordered_map<u64, MethodAgg> methods;
+    std::unordered_map<EdgeKey, EdgeAgg, EdgeKeyHash> edges;
+    std::unordered_map<std::string, u64> folded;
+    // Method-id → name memo: one registry/symbol lookup per distinct method
+    // instead of one per call entry (the probe-rate hot path of analysis).
+    std::unordered_map<u64, std::string> names;
+    ReconstructionStats recon;
+  };
+
+  const std::string& cached_name(ShardState& sh, u64 method) const;
+
+  std::string name_of(u64 method) const {
+    return resolve_name(symbols_, method);
+  }
+  // Closes the top frame of `t` at counter `end_counter`.
+  void close_top(ShardState& sh, ThreadState& t, u64 end_counter);
+
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::unordered_map<u64, std::string> symbols_;
+  double ns_per_tick_ = 0.0;
+};
+
+}  // namespace teeperf::analyzer

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/crc32c.h"
+#include "common/fileutil.h"
 
 namespace teeperf::drain {
 
@@ -99,6 +100,23 @@ std::string chunk_path(const std::string& prefix, u32 seq) {
   char suffix[32];
   std::snprintf(suffix, sizeof(suffix), ".seg.%04u", seq);
   return prefix + suffix;
+}
+
+ChunkScan for_each_chunk(
+    const std::string& prefix,
+    const std::function<bool(u32 seq, std::string_view payload)>& fn) {
+  for (u32 seq = 0;; ++seq) {
+    auto raw = read_file(chunk_path(prefix, seq));
+    if (!raw) return ChunkScan::kDone;
+    std::string_view payload;
+    if (!parse_chunk(*raw, nullptr, &payload, nullptr)) {
+      // Tolerate only a torn *trailing* chunk; a bad chunk followed by good
+      // ones cannot come from the persist-before-advance protocol.
+      if (file_exists(chunk_path(prefix, seq + 1))) return ChunkScan::kCorrupt;
+      return ChunkScan::kDone;
+    }
+    if (!fn(seq, payload)) return ChunkScan::kStopped;
+  }
 }
 
 }  // namespace teeperf::drain

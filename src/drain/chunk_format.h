@@ -15,6 +15,7 @@
 // overlap a drainer crash between persist and cursor-advance leaves behind.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,5 +60,24 @@ bool parse_chunk(std::string_view bytes, u32* seq, std::string_view* payload,
 
 // "<prefix>.seg.NNNN" (zero-padded to four digits; more digits if needed).
 std::string chunk_path(const std::string& prefix, u32 seq);
+
+// Outcome of a sequential chunk scan.
+enum class ChunkScan {
+  kDone,     // every chunk consumed (a torn trailing chunk is tolerated:
+             // the drainer died mid-write, so its window was never marked
+             // drained and the same entries reappear in the residue dump)
+  kCorrupt,  // a chunk failed verification but a later chunk exists on
+             // disk — that sequence cannot come from the protocol
+  kStopped,  // the callback returned false
+};
+
+// Visits "<prefix>.seg.NNNN" files in sequence order, reading ONE file into
+// memory at a time — the bounded-memory primitive under both the in-memory
+// spill loader and the streaming analyzer. `fn` receives each verified
+// chunk's payload (a compact v2 sub-log; the view dies with the call) and
+// returns false to stop the scan early.
+ChunkScan for_each_chunk(
+    const std::string& prefix,
+    const std::function<bool(u32 seq, std::string_view payload)>& fn);
 
 }  // namespace teeperf::drain

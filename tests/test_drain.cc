@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include "analyzer/mprof.h"
 #include "analyzer/profile.h"
+#include "analyzer/stream.h"
 #include "common/fileutil.h"
 #include "core/log_format.h"
 #include "drain/chunk_format.h"
@@ -40,6 +42,14 @@ struct PatientWriters {
   PatientWriters() { ProfileLog::set_spill_wait_spins(~0ull); }
   ~PatientWriters() { ProfileLog::set_spill_wait_spins(u64{1} << 27); }
 };
+
+u64 resident_bytes() {
+  auto statm = read_file("/proc/self/statm");
+  if (!statm) return 0;
+  unsigned long long total = 0, resident = 0;
+  std::sscanf(statm->c_str(), "%llu %llu", &total, &resident);
+  return static_cast<u64>(resident) * static_cast<u64>(sysconf(_SC_PAGESIZE));
+}
 
 std::string tmp_prefix(const char* name) {
   return testing::TempDir() + "teeperf_drain_" + name + "." +
@@ -146,6 +156,21 @@ TEST(Drain, SpillSessionMatchesUnboundedRunExactly) {
   EXPECT_EQ(spilled->recon_stats().entries, kTotalEntries);
   EXPECT_EQ(spilled->recon_stats().tombstones, 0u);
   expect_profiles_identical(*spilled, reference_profile());
+
+  // The second half of the acceptance property: the streaming analyzer over
+  // the same ≥8×-capacity session derives the byte-identical aggregate
+  // without materializing it — its RSS stays bounded while it runs.
+  u64 rss_before = resident_bytes();
+  std::string err;
+  auto streamed = analyzer::StreamAnalyzer::analyze(prefix, &err);
+  u64 rss_after = resident_bytes();
+  ASSERT_TRUE(streamed.has_value()) << err;
+  EXPECT_EQ(streamed->stats.entries, kTotalEntries);
+  EXPECT_EQ(streamed->save(),
+            analyzer::MergeableProfile::from_profile(*spilled).save());
+  ASSERT_GT(rss_before, 0u);
+  EXPECT_LT(rss_after, rss_before + (32ull << 20))
+      << "streaming analysis grew RSS by " << (rss_after - rss_before);
   remove_session(prefix);
 }
 

@@ -22,12 +22,24 @@
 //     --folded <file>   write flame-graph folded stacks
 //     --svg <file>      render the flame graph
 //     --diff <prefix2>  before/after comparison against a second profile
+//
+// Mergeable-profile commands (DESIGN.md §12) take no session prefix — they
+// run the streaming analyzer (bounded memory, one chunk file at a time) or
+// operate on `.mprof` aggregates directly:
+//   teeperf_analyze --mprof <prefix> <out.mprof>      stream-analyze a
+//                      session (spill or plain) into a mergeable profile
+//   teeperf_analyze --mprof-merge <out> <in.mprof>... fold aggregates
+//                      (associative + commutative; any order, any grouping)
+//   teeperf_analyze --mprof-info <file> [--top N] [--folded <out>]
+//                      inspect an aggregate / emit its flame-graph input
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "analyzer/mprof.h"
 #include "analyzer/profile.h"
+#include "analyzer/stream.h"
 #include "core/log_format.h"
 #include "analyzer/query.h"
 #include "analyzer/report.h"
@@ -37,10 +49,104 @@
 using namespace teeperf;
 using namespace teeperf::analyzer;
 
+namespace {
+
+int mprof_emit_main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: teeperf_analyze --mprof <prefix> <out.mprof>\n");
+    return 2;
+  }
+  std::string err;
+  auto m = StreamAnalyzer::analyze(argv[2], &err);
+  if (!m) {
+    std::fprintf(stderr, "teeperf_analyze: cannot analyze %s: %s\n", argv[2],
+                 err.c_str());
+    return 1;
+  }
+  if (!m->save_to(argv[3])) {
+    std::fprintf(stderr, "teeperf_analyze: cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("%s\nwrote %s\n", mprof_summary(*m).c_str(), argv[3]);
+  return 0;
+}
+
+int mprof_merge_main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: teeperf_analyze --mprof-merge <out.mprof> "
+                 "<in.mprof>...\n");
+    return 2;
+  }
+  MergeableProfile acc;
+  for (int i = 3; i < argc; ++i) {
+    std::string err;
+    auto m = MergeableProfile::load(argv[i], &err);
+    if (!m) {
+      std::fprintf(stderr, "teeperf_analyze: cannot load %s: %s\n", argv[i],
+                   err.c_str());
+      return 1;
+    }
+    if (!acc.merge(*m)) {
+      std::fprintf(stderr, "teeperf_analyze: merging %s overflows a counter\n",
+                   argv[i]);
+      return 1;
+    }
+  }
+  if (!acc.save_to(argv[2])) {
+    std::fprintf(stderr, "teeperf_analyze: cannot write %s\n", argv[2]);
+    return 1;
+  }
+  std::printf("%s\nwrote %s\n", mprof_summary(acc).c_str(), argv[2]);
+  return 0;
+}
+
+int mprof_info_main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: teeperf_analyze --mprof-info <file.mprof> [--top N] "
+                 "[--folded <out>]\n");
+    return 2;
+  }
+  std::string err;
+  auto m = MergeableProfile::load(argv[2], &err);
+  if (!m) {
+    std::fprintf(stderr, "teeperf_analyze: cannot load %s: %s\n", argv[2],
+                 err.c_str());
+    return 1;
+  }
+  std::printf("%s\n", mprof_summary(*m).c_str());
+  usize top = 30;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top = static_cast<usize>(std::atoll(argv[++i]));
+    } else if (arg == "--folded" && i + 1 < argc) {
+      std::string path = argv[++i];
+      if (!write_file(path, m->folded())) return 1;
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  std::printf("%s\n", mprof_method_report(*m, top).c_str());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "usage: teeperf_analyze <prefix> [options]\n");
     return 2;
+  }
+  if (std::strcmp(argv[1], "--mprof") == 0) return mprof_emit_main(argc, argv);
+  if (std::strcmp(argv[1], "--mprof-merge") == 0) {
+    return mprof_merge_main(argc, argv);
+  }
+  if (std::strcmp(argv[1], "--mprof-info") == 0) {
+    return mprof_info_main(argc, argv);
   }
   std::string prefix = argv[1];
   auto profile = Profile::load(prefix);

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "analyzer/mprof.h"
 #include "analyzer/profile.h"
 #include "analyzer/query.h"
 #include "analyzer/report.h"
@@ -280,13 +281,62 @@ std::vector<std::pair<std::string, std::string>> build_seed_corpus() {
   return corpus;
 }
 
+// `.mprof` seed inputs: the mergeable-profile loader joins the same
+// differential fuzz loop as the dump loader. Derived from the dump seeds
+// above (via the in-memory pipeline), so they stay deterministic and cover
+// realistic shapes: nested stacks, multi-thread, defects, a merged pair,
+// and the empty aggregate (the merge identity).
+std::vector<std::pair<std::string, std::string>> build_mprof_seed_corpus() {
+  std::vector<std::pair<std::string, std::string>> corpus;
+  auto dumps = build_seed_corpus();
+  auto mprof_of = [&](const char* dump_name) {
+    for (const auto& [name, bytes] : dumps) {
+      if (name == dump_name) {
+        auto p = analyzer::Profile::load_bytes(bytes);
+        return analyzer::MergeableProfile::from_profile(*p).save();
+      }
+    }
+    return std::string();
+  };
+  corpus.emplace_back("seed_nested.mprof", mprof_of("seed_nested.log"));
+  corpus.emplace_back("seed_threads.mprof", mprof_of("seed_threads.log"));
+  corpus.emplace_back("seed_defects.mprof", mprof_of("seed_defects.log"));
+  corpus.emplace_back("seed_empty.mprof",
+                      analyzer::MergeableProfile{}.save());
+  {
+    auto a = analyzer::MergeableProfile::load_bytes(
+        mprof_of("seed_recursion.log"));
+    auto b = analyzer::MergeableProfile::load_bytes(
+        mprof_of("seed_v2_shards.log"));
+    a->merge(*b);
+    corpus.emplace_back("seed_merged_pair.mprof", a->save());
+  }
+  return corpus;
+}
+
 // --------------------------------------------------------------- analysis --
 
 // The full analysis surface a hostile dump can reach. Runs inside a forked
 // child during fuzzing, so crashes and sanitizer aborts are contained.
 void exercise(const std::string& bytes) {
+  // The mergeable-profile surface: hostile `.mprof` bytes must be rejected
+  // or survive the full aggregate API — including another save/load cycle
+  // and self-merge (the operations a fleet rollup performs).
+  if (auto m = analyzer::MergeableProfile::load_bytes(bytes)) {
+    m->folded();
+    m->total_exclusive();
+    analyzer::mprof_summary(*m);
+    analyzer::mprof_method_report(*m);
+    analyzer::MergeableProfile::load_bytes(m->save());
+    analyzer::MergeableProfile acc;
+    acc.merge(*m);
+    acc.merge(*m);
+    acc.save();
+  }
+
   auto profile = analyzer::Profile::load_bytes(bytes);
   if (!profile) return;  // rejected: that is a pass
+  analyzer::MergeableProfile::from_profile(*profile).save();
   profile->method_stats();
   profile->call_edges();
   profile->folded_stacks();
@@ -553,9 +603,13 @@ std::vector<std::string> list_corpus(const std::string& dir) {
   std::vector<std::string> files;
   DIR* d = opendir(dir.c_str());
   if (!d) return files;
+  auto has_suffix = [](const std::string& name, const char* suffix) {
+    usize n = std::strlen(suffix);
+    return name.size() > n && name.compare(name.size() - n, n, suffix) == 0;
+  };
   while (dirent* entry = readdir(d)) {
     std::string name = entry->d_name;
-    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".log") == 0) {
+    if (has_suffix(name, ".log") || has_suffix(name, ".mprof")) {
       files.push_back(dir + "/" + name);
     }
   }
@@ -605,7 +659,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "teeperf_fuzz: cannot create %s\n", corpus_dir.c_str());
       return 1;
     }
-    for (const auto& [name, bytes] : build_seed_corpus()) {
+    auto seeds = build_seed_corpus();
+    auto mprof_seeds = build_mprof_seed_corpus();
+    seeds.insert(seeds.end(), mprof_seeds.begin(), mprof_seeds.end());
+    for (const auto& [name, bytes] : seeds) {
       std::string path = corpus_dir + "/" + name;
       if (!write_file(path, bytes)) {
         std::fprintf(stderr, "teeperf_fuzz: cannot write %s\n", path.c_str());
@@ -637,6 +694,22 @@ int main(int argc, char** argv) {
   // file (corpus files are trusted inputs: analyzed in-process, any crash
   // here fails the whole run loudly, which is what a regression should do).
   for (usize f = 0; f < corpus.size(); ++f) {
+    // `.mprof` corpus files: format invariants instead of reorder
+    // invariance — the canonical serialization must roundtrip exactly, and
+    // merging into the empty aggregate must be the identity.
+    if (auto m = analyzer::MergeableProfile::load_bytes(corpus[f])) {
+      bool bad = m->save() != corpus[f];
+      analyzer::MergeableProfile folded;
+      if (!folded.merge(*m) || !(folded == *m)) bad = true;
+      if (bad) {
+        ++mismatch_count;
+        std::fprintf(stderr,
+                     "teeperf_fuzz: mprof roundtrip/identity violated for "
+                     "corpus file %zu\n",
+                     f);
+      }
+      continue;
+    }
     auto base_profile = analyzer::Profile::load_bytes(corpus[f]);
     if (!base_profile) continue;  // a checked-in crasher the loader rejects
     std::string base_sig = signature(*base_profile);

@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "analyzer/mprof.h"
+#include "analyzer/report.h"
 #include "common/session_registry.h"
 #include "common/stringutil.h"
 #include "obs/export.h"
@@ -46,7 +48,23 @@ void usage() {
   std::fprintf(stderr,
                "usage: teeperf_stats <pid | session | shm-name> [--json] "
                "[--events N] [--watch ms] [--no-events] [--arm name=N]\n"
-               "       teeperf_stats --list\n");
+               "       teeperf_stats --list\n"
+               "       teeperf_stats --mprof <file.mprof>\n");
+}
+
+// `teeperf_stats --mprof <file>`: offline inspection of a mergeable profile
+// aggregate (DESIGN.md §12) — summary line plus the sorted method table.
+int mprof_main(const char* path) {
+  std::string err;
+  auto m = analyzer::MergeableProfile::load(path, &err);
+  if (!m) {
+    std::fprintf(stderr, "teeperf_stats: cannot load %s: %s\n", path,
+                 err.c_str());
+    return 1;
+  }
+  std::printf("%s\n%s", analyzer::mprof_summary(*m).c_str(),
+              analyzer::mprof_method_report(*m).c_str());
+  return 0;
 }
 
 bool all_digits(const char* s) {
@@ -134,6 +152,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     return list_sessions_main();
+  }
+  if (std::strcmp(argv[1], "--mprof") == 0) {
+    if (argc != 3) {
+      usage();
+      return 2;
+    }
+    return mprof_main(argv[2]);
   }
   bool json = false, events = true;
   usize event_limit = 32;
