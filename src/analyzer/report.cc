@@ -44,6 +44,12 @@ std::string health_report(const std::string& prefix) {
                           "within stalls carry zero duration"},
         {"counter_drift", "counter rate drifted from its calibrated "
                           "baseline; tick→ns conversion is approximate"},
+        {"counter_backjump", "counter word moved backwards (tampered or "
+                             "wrapped time source); affected windows were "
+                             "excluded from calibration"},
+        {"counter_failover", "replicated counter elected a new primary "
+                             "after a stall or backjump; timestamps stay "
+                             "monotonic but resolution dips at the switch"},
         {"log_saturated", "log filled up; entries past capacity were "
                           "dropped (non-ring mode)"},
         {"torn_tail", "reserved-but-unwritten entries at the log tail "

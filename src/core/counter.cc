@@ -37,15 +37,21 @@ u64 read_counter(CounterMode mode, const LogHeader* header) {
   return 0;
 }
 
-double counter_ns_per_tick(CounterMode mode, const LogHeader* header) {
-  if (mode == CounterMode::kSteadyClock) return 1.0;
+std::optional<double> counter_ns_per_tick(CounterMode mode,
+                                          const LogHeader* header) {
+  if (mode == CounterMode::kSteadyClock) return 1.0;  // ticks ARE nanoseconds
   // Measure tick rate against the monotonic clock over a short window.
   u64 c0 = read_counter(mode, header);
   u64 t0 = monotonic_ns();
   spin_for_ns(2'000'000);  // 2 ms window
   u64 c1 = read_counter(mode, header);
   u64 t1 = monotonic_ns();
-  if (c1 <= c0 || t1 <= t0) return 1.0;
+  // Degenerate window — a stalled counter or a clock that did not advance.
+  // Used to fall back to 1.0 here, which was indistinguishable from a real
+  // 1 ns/tick calibration and silently poisoned every downstream time
+  // conversion; an explicit failure lets callers retry or mark the dump
+  // uncalibrated instead.
+  if (c1 <= c0 || t1 <= t0) return std::nullopt;
   return static_cast<double>(t1 - t0) / static_cast<double>(c1 - c0);
 }
 
@@ -55,16 +61,24 @@ SoftwareCounter::SoftwareCounter(LogHeader* header, u64 yield_every)
 SoftwareCounter::~SoftwareCounter() { stop(); }
 
 void SoftwareCounter::start() {
-  if (running_.load(std::memory_order_acquire)) return;
+  // The lifecycle used to publish running_ only *after* spawning: a stop()
+  // racing that store saw running_ == false, skipped the join, and the
+  // std::thread destructor called std::terminate. Serialize on the mutex and
+  // key the decision on thread_.joinable() — the one fact that cannot race
+  // the spawn — with running_ published before the thread exists.
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (thread_.joinable()) return;  // already started; idempotent
   stop_.store(false, std::memory_order_release);
-  thread_ = std::thread([this] { run(); });
   running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
 }
 
 void SoftwareCounter::stop() {
-  if (!running_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!thread_.joinable()) return;  // never started / already stopped
   stop_.store(true, std::memory_order_release);
   thread_.join();
+  thread_ = std::thread();
   running_.store(false, std::memory_order_release);
 }
 

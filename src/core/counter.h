@@ -15,6 +15,8 @@
 #pragma once
 
 #include <atomic>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/types.h"
@@ -34,10 +36,16 @@ const char* counter_mode_name(CounterMode mode);
 // kSoftware. Marked always_inline adjacent: this is the hook hot path.
 u64 read_counter(CounterMode mode, const LogHeader* header);
 
-// Nanoseconds per counter tick for `mode`, measured empirically. Used by the
-// analyzer to convert tick deltas into human time; relative profiles do not
-// depend on it being exact.
-double counter_ns_per_tick(CounterMode mode, const LogHeader* header);
+// Nanoseconds per counter tick for `mode`, measured empirically against
+// CLOCK_MONOTONIC. Used by the analyzer to convert tick deltas into human
+// time; relative profiles do not depend on it being exact.
+//
+// Returns nullopt when the measurement window is degenerate — the counter
+// did not advance (stalled software counter) or the clock did not — instead
+// of a value indistinguishable from a real 1 ns/tick calibration. Callers
+// retry or record an uncalibrated dump (ns_per_tick = 0).
+std::optional<double> counter_ns_per_tick(CounterMode mode,
+                                          const LogHeader* header);
 
 // The software counter thread (§II-B). Increments header->counter in a tight
 // loop until stopped. `yield_every` optionally inserts sched_yield every N
@@ -51,6 +59,10 @@ class SoftwareCounter {
   SoftwareCounter(const SoftwareCounter&) = delete;
   SoftwareCounter& operator=(const SoftwareCounter&) = delete;
 
+  // Race-free and idempotent: concurrent or repeated start()/stop() pairs
+  // are serialized on an internal mutex and keyed on thread_.joinable(), so
+  // a stop() racing a start() always joins the thread it observed instead
+  // of skipping the join and letting ~thread() call std::terminate.
   void start();
   void stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -63,6 +75,7 @@ class SoftwareCounter {
 
   LogHeader* header_;
   u64 yield_every_;
+  std::mutex lifecycle_mu_;  // serializes start()/stop(); never on a hot path
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};

@@ -9,17 +9,39 @@
 // reentrancy guard for anything they call.
 #include "core/runtime.h"
 
+namespace {
+
+// Reentry latch for the hooks themselves. runtime::on_enter's own in_hook
+// guard lives inside ThreadState, so reaching it requires a handful of calls
+// (atomic<bool>::load, thread_state()) first — and in an unoptimized build
+// those are out-of-line COMDAT functions that the linker may resolve to the
+// *instrumented* copies instantiated by the application TU. Entering one of
+// them from inside the hook then recurses straight back into
+// __cyg_profile_func_enter before the guard is ever set, overflowing the
+// stack. A trivially-initialized thread_local bool compiles to a direct
+// TLS access with no function calls at any optimization level, so it can be
+// checked safely before anything else runs.
+thread_local bool tls_in_hook = false;
+
+}  // namespace
+
 extern "C" {
 
 TEEPERF_NO_INSTRUMENT void __cyg_profile_func_enter(void* fn, void* /*call_site*/);
 TEEPERF_NO_INSTRUMENT void __cyg_profile_func_exit(void* fn, void* /*call_site*/);
 
 void __cyg_profile_func_enter(void* fn, void*) {
+  if (tls_in_hook) return;
+  tls_in_hook = true;
   teeperf::runtime::on_enter(reinterpret_cast<teeperf::u64>(fn));
+  tls_in_hook = false;
 }
 
 void __cyg_profile_func_exit(void* fn, void*) {
+  if (tls_in_hook) return;
+  tls_in_hook = true;
   teeperf::runtime::on_exit(reinterpret_cast<teeperf::u64>(fn));
+  tls_in_hook = false;
 }
 
 }  // extern "C"

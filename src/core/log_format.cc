@@ -1,6 +1,7 @@
 #include "core/log_format.h"
 
 #include <csignal>
+#include <new>
 
 #include "faultsim/fault.h"
 #include "faultsim/fault_points.h"
@@ -32,9 +33,10 @@ u64 ProfileLog::spill_wait_spins() {
 }
 
 bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags,
-                      u32 shard_count) {
+                      u32 shard_count, u32 counter_replicas) {
   if (!buffer) return false;
   if (shard_count > kMaxLogShards) return false;
+  if (counter_replicas > kMaxCounterReplicas) return false;
   // Spill-drain is a v2 protocol (the cursors live in the shard directory)
   // and supersedes ring wrap: the two reclaim policies cannot coexist.
   if ((initial_flags & log_flags::kSpillDrain) &&
@@ -51,14 +53,30 @@ bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags,
   // so callers exercise their no-log degradation path.
   if (shard_count > 0 && fault::fires(fault_points::kLogShardAllocFail)) return false;
 
+  // The trailing replica block (plus its alignment pad) comes off the entry
+  // budget; shrink until the aligned layout fits (the pad depends on the
+  // entry count, so the closed form is not exact).
+  usize replica_bytes =
+      counter_replicas ? sizeof(CounterReplicaDirectory) +
+                             static_cast<usize>(counter_replicas) *
+                                 sizeof(CounterReplicaSlot)
+                       : 0;
+  if (counter_replicas && size < overhead + replica_bytes + 64) return false;
+  u64 total = (size - overhead - replica_bytes) / sizeof(LogEntry);
+  while (total > 0 &&
+         bytes_for_replicated(total, shard_count, counter_replicas) > size) {
+    --total;
+  }
+  if (shard_count) total -= total % shard_count;  // equal segments
+  if (total < (shard_count ? shard_count : 1)) return false;
+
   auto* h = new (buffer) LogHeader();
   h->magic = kLogMagic;
   h->version = shard_count ? kLogVersionSharded : kLogVersion;
   h->shard_count = shard_count;
   h->shm_base = reinterpret_cast<u64>(buffer);
   h->pid = pid;
-  u64 total = (size - overhead) / sizeof(LogEntry);
-  if (shard_count) total -= total % shard_count;  // equal segments
+  h->counter_replicas = counter_replicas;
   h->max_entries = total;
   h->tail.store(0, std::memory_order_relaxed);
   h->counter.store(0, std::memory_order_relaxed);
@@ -78,6 +96,21 @@ bool ProfileLog::init(void* buffer, usize size, u64 pid, u64 initial_flags,
     shards_ = nullptr;
   }
   entries_ = reinterpret_cast<LogEntry*>(base + overhead);
+  if (counter_replicas) {
+    usize block_off =
+        (overhead + static_cast<usize>(total) * sizeof(LogEntry) + 63) &
+        ~usize{63};
+    replica_dir_ = new (base + block_off) CounterReplicaDirectory();
+    replica_dir_->replica_count = counter_replicas;
+    replica_slots_ = reinterpret_cast<CounterReplicaSlot*>(
+        base + block_off + sizeof(CounterReplicaDirectory));
+    for (u32 r = 0; r < counter_replicas; ++r) {
+      new (&replica_slots_[r]) CounterReplicaSlot();
+    }
+  } else {
+    replica_dir_ = nullptr;
+    replica_slots_ = nullptr;
+  }
   return true;
 }
 
@@ -120,6 +153,30 @@ bool ProfileLog::adopt(void* buffer, usize size) {
   }
   header_ = h;
   entries_ = reinterpret_cast<LogEntry*>(base + overhead);
+  // Replica block: live shm regions carry it after the entry array; loaded
+  // dumps (compact or raw) never do, and a stale/hostile counter_replicas
+  // pointing past the region degrades to "no replicas" rather than a reject
+  // — every pre-replica consumer of the log proper still works.
+  replica_dir_ = nullptr;
+  replica_slots_ = nullptr;
+  if (h->counter_replicas > 0 &&
+      h->counter_replicas <= kMaxCounterReplicas) {
+    usize block_off =
+        (overhead + static_cast<usize>(h->max_entries) * sizeof(LogEntry) +
+         63) &
+        ~usize{63};
+    usize block_bytes = sizeof(CounterReplicaDirectory) +
+                        static_cast<usize>(h->counter_replicas) *
+                            sizeof(CounterReplicaSlot);
+    if (block_off <= size && block_bytes <= size - block_off) {
+      auto* dir = reinterpret_cast<CounterReplicaDirectory*>(base + block_off);
+      if (dir->replica_count == h->counter_replicas) {
+        replica_dir_ = dir;
+        replica_slots_ = reinterpret_cast<CounterReplicaSlot*>(
+            base + block_off + sizeof(CounterReplicaDirectory));
+      }
+    }
+  }
   return true;
 }
 
@@ -397,6 +454,10 @@ std::string ProfileLog::serialize_compact() const {
   header_copy.flags.store(
       flags() & ~(log_flags::kRingBuffer | log_flags::kSpillDrain),
       std::memory_order_relaxed);
+  // The replica block is shm-only: compact dumps never carry it, so the
+  // header field is zeroed for byte-deterministic output (and so loaders
+  // don't go looking for a block that is not there).
+  header_copy.counter_replicas = 0;
   if (!shards_) {
     std::vector<LogEntry> ordered;
     snapshot_ordered(&ordered);

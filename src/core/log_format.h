@@ -99,7 +99,10 @@ struct LogHeader {
   std::atomic<u64> counter{0};    // the software counter lives here so the
                                   // counter thread touches one cache line
   u32 counter_mode = 0;           // CounterMode the entries were taken with
-  u32 reserved2 = 0;
+  u32 counter_replicas = 0;       // replicated trusted time (DESIGN.md §13):
+                                  // number of CounterReplicaSlot words in the
+                                  // trailing replica block; 0 = single counter
+                                  // (the layout-compatible pre-replica value)
   double ns_per_tick = 0.0;       // measured at dump time; lets the analyzer
                                   // report human time (relative profiles do
                                   // not depend on its accuracy)
@@ -142,6 +145,35 @@ struct alignas(64) LogShard {
 };
 static_assert(sizeof(LogShard) == 64);
 
+// Replicated trusted time (DESIGN.md §13). When LogHeader::counter_replicas
+// is nonzero, a 64-byte-aligned block follows the entry array:
+//
+//   [ CounterReplicaDirectory ][ CounterReplicaSlot × counter_replicas ]
+//
+// Each replica thread increments only its own slot word, so replicas never
+// share a cache line; the elected primary additionally mirrors its value
+// into LogHeader::counter, which keeps the probe path (one relaxed load of
+// the header word) and every pre-replica reader unchanged. The block is
+// shm-only: compact dumps zero `counter_replicas` and never serialize it,
+// and adopt() of a region too small to hold it degrades to 0 replicas.
+inline constexpr u32 kMaxCounterReplicas = 8;
+
+struct alignas(64) CounterReplicaDirectory {
+  std::atomic<u32> primary{0};     // elected replica index; written by the
+                                   // detector, read by every replica thread
+  u32 replica_count = 0;           // immutable after init
+  std::atomic<u64> failovers{0};   // elections after the initial one
+  std::atomic<u64> backjumps{0};   // replica words observed moving backwards
+  u8 reserved[64 - 3 * 8] = {};    // zeroed for deterministic snapshots
+};
+static_assert(sizeof(CounterReplicaDirectory) == 64);
+
+struct alignas(64) CounterReplicaSlot {
+  std::atomic<u64> value{0};     // this replica's monotonic tick word
+  u8 reserved[64 - 8] = {};      // pad: one replica per cache line
+};
+static_assert(sizeof(CounterReplicaSlot) == 64);
+
 // A view over a header + (directory +) entry array placed in a caller-
 // provided region. Does not own the memory (the shared-memory region or
 // file buffer does).
@@ -154,8 +186,10 @@ class ProfileLog {
   // with that many equally sized shard segments (capacity rounds down to a
   // multiple of shard_count). Returns false if the buffer cannot hold the
   // header (plus directory) plus at least one entry per shard.
+  // `counter_replicas` > 0 additionally formats the trailing replica block
+  // (the buffer must be sized with bytes_for_replicated).
   bool init(void* buffer, usize size, u64 pid, u64 initial_flags,
-            u32 shard_count = 0);
+            u32 shard_count = 0, u32 counter_replicas = 0);
 
   // Adopts an already-formatted log (the analyzer side / reopened shm).
   // Returns false if the magic or version does not match, sizes disagree,
@@ -245,6 +279,33 @@ class ProfileLog {
            static_cast<usize>(max_entries) * sizeof(LogEntry);
   }
 
+  // Bytes including the trailing replica block (64-byte aligned so replica
+  // slots stay cache-line isolated regardless of the entry count).
+  static usize bytes_for_replicated(u64 max_entries, u32 shard_count,
+                                    u32 counter_replicas) {
+    usize base = bytes_for(max_entries, shard_count);
+    if (counter_replicas == 0) return base;
+    usize aligned = (base + 63) & ~usize{63};
+    return aligned + sizeof(CounterReplicaDirectory) +
+           static_cast<usize>(counter_replicas) * sizeof(CounterReplicaSlot);
+  }
+
+  // Replica-block views (null / 0 for single-counter logs and for loaded
+  // dumps, whose regions never carry the block).
+  u32 counter_replica_count() const {
+    return replica_dir_ ? replica_dir_->replica_count : 0;
+  }
+  CounterReplicaDirectory* replica_directory() { return replica_dir_; }
+  const CounterReplicaDirectory* replica_directory() const {
+    return replica_dir_;
+  }
+  CounterReplicaSlot* replica_slot(u32 i) {
+    return replica_slots_ ? &replica_slots_[i] : nullptr;
+  }
+  const CounterReplicaSlot* replica_slot(u32 i) const {
+    return replica_slots_ ? &replica_slots_[i] : nullptr;
+  }
+
   // Flag helpers (atomic; usable while the application runs).
   void set_active(bool on);
   bool active() const;
@@ -276,6 +337,8 @@ class ProfileLog {
   LogHeader* header_ = nullptr;
   LogShard* shards_ = nullptr;  // null for v1 logs
   LogEntry* entries_ = nullptr;
+  CounterReplicaDirectory* replica_dir_ = nullptr;  // null unless the region
+  CounterReplicaSlot* replica_slots_ = nullptr;     // carries a replica block
 };
 
 // Thread-local batching front-end for the hot path (§II-B stage #2, v2):

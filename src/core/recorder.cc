@@ -44,7 +44,16 @@ std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
   rec->options_ = options;
   u32 shards = pick_shard_count(options);
   if (options.spill_drain && shards == 0) return nullptr;  // spill needs v2
-  usize bytes = ProfileLog::bytes_for(options.max_entries, shards);
+  // Replicated trusted time applies only to the software counter; TSC and
+  // the steady clock are per-core hardware sources with nothing to replicate.
+  u32 replicas = options.counter_mode == CounterMode::kSoftware
+                     ? (options.counter_replicas > kMaxCounterReplicas
+                            ? kMaxCounterReplicas
+                            : options.counter_replicas)
+                     : 0;
+  rec->options_.counter_replicas = replicas;
+  usize bytes =
+      ProfileLog::bytes_for_replicated(options.max_entries, shards, replicas);
   bool ok;
   if (options.shm_name == "auto") {
     // Fresh multi-session name "/teeperf.<pid>.<nonce>.log"; the nonce
@@ -72,7 +81,7 @@ std::unique_ptr<Recorder> Recorder::create(const RecorderOptions& options) {
   if (options.record_calls) flags |= log_flags::kRecordCalls;
   if (options.record_returns) flags |= log_flags::kRecordReturns;
   if (!rec->log_.init(rec->shm_.data(), bytes, static_cast<u64>(getpid()), flags,
-                      shards)) {
+                      shards, replicas)) {
     return nullptr;
   }
   rec->log_.header()->counter_mode = static_cast<u32>(options.counter_mode);
@@ -131,9 +140,37 @@ bool Recorder::attach() {
   if (attached_) return true;
   if (!runtime::attach(&log_, options_.counter_mode, options_.filter)) return false;
   if (options_.counter_mode == CounterMode::kSoftware) {
-    counter_ = std::make_unique<SoftwareCounter>(log_.header(),
-                                                 options_.software_counter_yield);
-    counter_->start();
+    if (log_.counter_replica_count() > 0) {
+      ReplicatedCounterOptions ropts;
+      ropts.yield_every = options_.software_counter_yield;
+      replicated_ = std::make_unique<ReplicatedCounter>(
+          log_.header(), log_.replica_directory(), log_.replica_slot(0),
+          ropts);
+      if (telemetry_) {
+        // Elections and replica backjumps are journaled by the owner (the
+        // detector thread invokes these synchronously, after republishing
+        // the directory), so a scraper sees the event and the updated
+        // counter.failover gauge in the same watchdog window.
+        obs::EventJournal* journal = &telemetry_->journal();
+        replicated_->set_failover_callback(
+            [journal](u32 from, u32 to, u64 at_value) {
+              (void)at_value;
+              journal->record(obs::EventType::kCounterFailover, from, to,
+                              "replica");
+            });
+        replicated_->set_backjump_callback(
+            [journal](u32 replica, u64 from, u64 to) {
+              journal->record(obs::EventType::kCounterBackjump, to, from,
+                              "replica");
+              (void)replica;
+            });
+      }
+      replicated_->start();
+    } else {
+      counter_ = std::make_unique<SoftwareCounter>(
+          log_.header(), options_.software_counter_yield);
+      counter_->start();
+    }
   }
   if (telemetry_) {
     // Publish for the in-process hook instrumentation (runtime.cc), then
@@ -171,6 +208,23 @@ bool Recorder::attach() {
       }
       return s;
     });
+    if (replicated_) {
+      ReplicatedCounter* rc = replicated_.get();
+      watchdog_->watch_replicas([rc] {
+        ReplicatedCounter::Health h = rc->health();
+        obs::ReplicaSample s;
+        s.replicas = h.replicas;
+        s.primary = h.primary;
+        s.failovers = h.failovers;
+        s.backjumps = h.backjumps;
+        s.stalled_replicas = h.stalled_replicas;
+        s.drift_permille = h.drift_permille;
+        return s;
+      });
+      telemetry_->registry()
+          .gauge(obs::metric_names::kCounterReplicas)
+          .set(log_.counter_replica_count());
+    }
     watchdog_->start();
   }
   attached_ = true;
@@ -191,6 +245,10 @@ void Recorder::detach() {
   if (counter_) {
     counter_->stop();
     counter_.reset();
+  }
+  if (replicated_) {
+    replicated_->stop();
+    replicated_.reset();
   }
   attached_ = false;
 }
@@ -214,6 +272,12 @@ Recorder::Stats Recorder::stats() const {
   s.shards = log_.shard_count();
   s.torn_tail = log_.count_torn_tail();
   s.counter_stalled = watchdog_ && watchdog_->stalled();
+  s.counter_replicas = log_.counter_replica_count();
+  if (replicated_) {
+    ReplicatedCounter::Health h = replicated_->health();
+    s.counter_failovers = h.failovers;
+    s.counter_backjumps = h.backjumps;
+  }
   return s;
 }
 
@@ -225,8 +289,18 @@ bool Recorder::dump(const std::string& prefix) {
   }
 
   // Measure the tick rate before serialising so the analyzer can convert.
-  log_.header()->ns_per_tick =
-      counter_ns_per_tick(options_.counter_mode, log_.header());
+  // A replicated session has been calibrating continuously (every healthy
+  // detector window), so prefer that long-window estimate; otherwise take a
+  // fresh spot measurement, retrying a couple of times — a single stalled
+  // 2 ms window must not silently mark the dump as 1 ns/tick (the old bug).
+  // ns_per_tick = 0 in the header means "uncalibrated"; the analyzer then
+  // reports raw ticks instead of fabricated time.
+  std::optional<double> npt;
+  if (replicated_) npt = replicated_->calibrated_ns_per_tick();
+  for (int attempt = 0; attempt < 3 && !npt; ++attempt) {
+    npt = counter_ns_per_tick(options_.counter_mode, log_.header());
+  }
+  log_.header()->ns_per_tick = npt.value_or(0.0);
 
   // Fault point: the dump failing outright (disk full, signal mid-exit).
   if (fault::fires(fault_points::kDumpFail)) return false;

@@ -11,6 +11,7 @@
 #include "core/counter.h"
 #include "core/filter.h"
 #include "core/log_format.h"
+#include "core/replicated_counter.h"
 #include "obs/session.h"
 #include "obs/watchdog.h"
 
@@ -35,6 +36,15 @@ struct RecorderOptions {
   // When using kSoftware: sched_yield after this many increments (0 = the
   // paper's pure tight loop, appropriate when a spare core exists).
   u64 software_counter_yield = 4096;
+
+  // Replicated trusted time (DESIGN.md §13), kSoftware only: run this many
+  // counter replicas on distinct cores, each with a cache-line-isolated shm
+  // word, plus a detector that cross-checks them, fails over when the
+  // elected primary stalls or jumps backwards, and calibrates ticks→ns
+  // against CLOCK_MONOTONIC. 0 keeps the classic single counter thread;
+  // values are clamped to kMaxCounterReplicas. Ignored for kTsc /
+  // kSteadyClock (those sources have nothing to replicate).
+  u32 counter_replicas = 0;
 
   // Start with measurement active; flags can be toggled at runtime.
   bool start_active = true;
@@ -126,6 +136,9 @@ class Recorder {
     u32 shards = 0;          // shard directory size (0 = v1 single tail)
     bool counter_stalled = false;  // watchdog's live verdict (false when
                                    // telemetry is off or not attached)
+    u32 counter_replicas = 0;      // replica block size (0 = single counter)
+    u64 counter_failovers = 0;     // primary elections since attach
+    u64 counter_backjumps = 0;     // replica words seen moving backwards
   };
   Stats stats() const;
 
@@ -152,6 +165,7 @@ class Recorder {
   ProfileLog log_;
   std::function<DrainSample()> drain_sampler_;
   std::unique_ptr<SoftwareCounter> counter_;
+  std::unique_ptr<ReplicatedCounter> replicated_;
   std::unique_ptr<obs::SelfTelemetry> telemetry_;
   std::unique_ptr<obs::Watchdog> watchdog_;
   bool attached_ = false;

@@ -23,6 +23,8 @@ inline constexpr char kLogFlushDie[] = "log.flush.die";
 inline constexpr char kLogShardAllocFail[] = "log.shard.alloc.fail";
 inline constexpr char kCounterStall[] = "counter.stall";
 inline constexpr char kCounterBackjump[] = "counter.backjump";
+inline constexpr char kCounterStallPrimary[] = "counter.stall.primary";
+inline constexpr char kCounterBackjumpPrimary[] = "counter.backjump.primary";
 inline constexpr char kDumpFail[] = "dump.fail";
 inline constexpr char kRecorderDumpDie[] = "recorder.dump.die";
 inline constexpr char kDumpTorn[] = "dump.torn";
@@ -43,6 +45,7 @@ inline constexpr char kDumpPrefix[] = "dump";
 inline constexpr const char* kAll[] = {
     kShmCreateFail, kShmOpenFail,   kShmOpenTruncate, kLogAppendDie,
     kLogFlushDie,   kLogShardAllocFail, kCounterStall, kCounterBackjump,
+    kCounterStallPrimary, kCounterBackjumpPrimary,
     kDumpFail,      kRecorderDumpDie, kDumpTorn,      kDumpBitflip,
     kEpcAllocFail,  kEpcExhaust,    kWalAppendTorn,   kWalReadFlip,
     kSstableOpenFlip, kDrainDie,    kDrainChunkTorn,

@@ -120,13 +120,28 @@ void emit_frame(Layout& l, const Frame& f, double x, int depth, double px_per_ti
                              static_cast<double>(l.total)
                        : 0.0;
   std::string label = xml_escape(f.name);
-  *l.svg += str_format(
-      "<g class=\"frame\"><title>%s (%llu ticks, %.2f%%)</title>"
-      "<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" height=\"%d\" fill=\"%s\" "
-      "rx=\"1\"/>",
-      label.c_str(), static_cast<unsigned long long>(f.value), pct, x, y,
-      std::max(w - 0.5, 0.1), l.opt->frame_height - 1,
-      color_for(f.name).c_str());
+  if (l.opt->ns_per_tick > 0) {
+    // Calibrated profile: the tooltip leads with real time so "how long"
+    // never requires mental tick arithmetic; the raw count stays for
+    // cross-checking against the analyzer tables.
+    *l.svg += str_format(
+        "<g class=\"frame\"><title>%s (%.3f ms, %llu ticks, %.2f%%)</title>"
+        "<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" height=\"%d\" fill=\"%s\" "
+        "rx=\"1\"/>",
+        label.c_str(),
+        static_cast<double>(f.value) * l.opt->ns_per_tick / 1e6,
+        static_cast<unsigned long long>(f.value), pct, x, y,
+        std::max(w - 0.5, 0.1), l.opt->frame_height - 1,
+        color_for(f.name).c_str());
+  } else {
+    *l.svg += str_format(
+        "<g class=\"frame\"><title>%s (%llu ticks, %.2f%%)</title>"
+        "<rect x=\"%.2f\" y=\"%.1f\" width=\"%.2f\" height=\"%d\" fill=\"%s\" "
+        "rx=\"1\"/>",
+        label.c_str(), static_cast<unsigned long long>(f.value), pct, x, y,
+        std::max(w - 0.5, 0.1), l.opt->frame_height - 1,
+        color_for(f.name).c_str());
+  }
   // ~7 px per character at font-size 11; only label frames with room.
   usize fit = static_cast<usize>(w / 7.0);
   if (fit >= 3) {
@@ -183,7 +198,12 @@ std::string render_svg(const FoldedStacks& stacks, const SvgOptions& options) {
 
 std::string render_profile_svg(const analyzer::Profile& profile,
                                const SvgOptions& options) {
-  return render_svg(profile.folded_stacks(), options);
+  SvgOptions opt = options;
+  // Default the calibration from the profile's dump header so every caller
+  // gets real-time tooltips for free; an explicit option still wins, and an
+  // uncalibrated dump (ns_per_tick 0) keeps the ticks-only tooltip.
+  if (opt.ns_per_tick <= 0) opt.ns_per_tick = profile.ns_per_tick();
+  return render_svg(profile.folded_stacks(), opt);
 }
 
 }  // namespace teeperf::flamegraph

@@ -31,6 +31,10 @@ struct SvgOptions {
   // Frames narrower than this many pixels are dropped (standard flamegraph
   // behaviour; keeps the SVG small for deep noisy profiles).
   double min_width_px = 0.1;
+  // Calibrated tick length. When > 0, frame tooltips carry real time (ms)
+  // next to the raw tick count; render_profile_svg fills this in from the
+  // profile's dump-header calibration (0 = uncalibrated, ticks only).
+  double ns_per_tick = 0.0;
 };
 
 // Renders folded stacks to a standalone SVG document.

@@ -229,6 +229,19 @@ std::string Monitord::scrape_metrics() {
                  s->log.attempted());
         w.family(names::kLogDropped, obs::MetricType::kGauge, labels,
                  s->log.dropped());
+        // Replica health likewise lives in the shm log (the directory's
+        // election state is written by the session's detector thread), so
+        // the fleet page carries trusted-time health even for sessions
+        // whose obs region failed or was disabled.
+        if (s->log.counter_replica_count() > 0) {
+          const CounterReplicaDirectory* dir = s->log.replica_directory();
+          w.family(names::kCounterReplicas, obs::MetricType::kGauge, labels,
+                   s->log.counter_replica_count());
+          w.family(names::kCounterReplicaPrimary, obs::MetricType::kGauge,
+                   labels, dir->primary.load(std::memory_order_relaxed));
+          w.family(names::kCounterFailover, obs::MetricType::kGauge, labels,
+                   dir->failovers.load(std::memory_order_relaxed));
+        }
       }
     }
     text = w.render();

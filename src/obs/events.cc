@@ -24,6 +24,8 @@ const char* event_type_name(EventType type) {
     case EventType::kSamplerStop: return "sampler_stop";
     case EventType::kDrainStall: return "drain_stall";
     case EventType::kSessionGc: return "session_gc";
+    case EventType::kCounterBackjump: return "counter_backjump";
+    case EventType::kCounterFailover: return "counter_failover";
   }
   return "?";
 }

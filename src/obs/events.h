@@ -34,6 +34,12 @@ enum class EventType : u32 {
                        // (arg0 = lag entries, arg1 = entries drained so far)
   kSessionGc = 15,     // stale-session GC reclaimed orphans (arg0 = stale
                        // descriptors removed, arg1 = shm segments unlinked)
+  kCounterBackjump = 16,  // counter word observed moving backwards (arg0 =
+                          // new value, arg1 = previous value). Distinct from
+                          // a stall: the timeline regressed, so the window is
+                          // excluded from calibration instead of averaged in.
+  kCounterFailover = 17,  // replicated counter elected a new primary
+                          // (arg0 = old replica index, arg1 = new index)
 };
 
 const char* event_type_name(EventType type);

@@ -24,6 +24,15 @@ inline constexpr char kWatchdogDriftEvents[] = "watchdog.drift_events";
 inline constexpr char kCounterNsPerTickPico[] = "counter.ns_per_tick_pico";
 inline constexpr char kCounterStalled[] = "counter.stalled";
 inline constexpr char kCounterDrifting[] = "counter.drifting";
+inline constexpr char kWatchdogBackjumpEvents[] = "watchdog.backjump_events";
+
+// Replicated trusted time (core/replicated_counter.cc, published through
+// the watchdog's replica sample — DESIGN.md §13).
+inline constexpr char kCounterReplicas[] = "counter.replicas";
+inline constexpr char kCounterReplicaPrimary[] = "counter.replica.primary";
+inline constexpr char kCounterReplicaDrift[] = "counter.replica.drift";
+inline constexpr char kCounterReplicaStalled[] = "counter.replica.stalled";
+inline constexpr char kCounterFailover[] = "counter.failover";
 
 // Shared-memory log health (obs/watchdog.cc, core/recorder.cc).
 inline constexpr char kLogTail[] = "log.tail";
@@ -84,7 +93,10 @@ inline constexpr char kFaultArmPrefix[] = "fault.arm.";
 // name added here without exporter coverage fails the suite.
 inline constexpr const char* kAllStatic[] = {
     kWatchdogTicks,        kWatchdogStallEvents,  kWatchdogDriftEvents,
+    kWatchdogBackjumpEvents,
     kCounterNsPerTickPico, kCounterStalled,       kCounterDrifting,
+    kCounterReplicas,      kCounterReplicaPrimary, kCounterReplicaDrift,
+    kCounterReplicaStalled, kCounterFailover,
     kLogTail,              kLogCapacity,          kLogOccupancyPermille,
     kLogEntryRatePerS,     kLogEntryRatePeakPerS, kLogDropped,
     kLogRingWraps,         kLogActive,            kLogShards,

@@ -28,6 +28,7 @@ Watchdog::Watchdog(MetricsRegistry* registry, EventJournal* journal,
   wd_ticks_ = registry_->counter(metric_names::kWatchdogTicks);
   stall_events_ = registry_->counter(metric_names::kWatchdogStallEvents);
   drift_events_ = registry_->counter(metric_names::kWatchdogDriftEvents);
+  backjump_events_ = registry_->counter(metric_names::kWatchdogBackjumpEvents);
   g_ns_per_tick_ = registry_->gauge(metric_names::kCounterNsPerTickPico);
   g_stalled_ = registry_->gauge(metric_names::kCounterStalled);
   g_drifting_ = registry_->gauge(metric_names::kCounterDrifting);
@@ -45,6 +46,15 @@ void Watchdog::watch_log(std::function<LogSample()> sample_log) {
   g_dropped_ = registry_->gauge(metric_names::kLogDropped);
   g_wraps_ = registry_->gauge(metric_names::kLogRingWraps);
   g_active_ = registry_->gauge(metric_names::kLogActive);
+}
+
+void Watchdog::watch_replicas(std::function<ReplicaSample()> sample_replicas) {
+  sample_replicas_ = std::move(sample_replicas);
+  g_replicas_ = registry_->gauge(metric_names::kCounterReplicas);
+  g_replica_primary_ = registry_->gauge(metric_names::kCounterReplicaPrimary);
+  g_replica_drift_ = registry_->gauge(metric_names::kCounterReplicaDrift);
+  g_replica_stalled_ = registry_->gauge(metric_names::kCounterReplicaStalled);
+  g_failover_ = registry_->gauge(metric_names::kCounterFailover);
 }
 
 void Watchdog::start() {
@@ -76,6 +86,7 @@ void Watchdog::run() {
     u64 now = monotonic_ns();
     observe_counter(now);
     observe_log();
+    observe_replicas();
     // Pick up fault arms published through the obs region by an external
     // controller (see obs/session.cc). No-op unless a bridge is installed.
     fault::Registry::instance().poll_external();
@@ -86,6 +97,26 @@ void Watchdog::run() {
 void Watchdog::observe_counter(u64 now_ns) {
   if (!read_counter_) return;
   u64 c = read_counter_();
+  if (c < last_counter_) {
+    // Backjump: the counter word moved backwards (tampered or wrapped time
+    // source). The unsigned delta below used to wrap to ~2^64 here and feed
+    // a near-zero ns/tick into the drift baseline, poisoning every later
+    // comparison — so this window is excluded from ns/tick and baseline
+    // entirely and journaled as its own event class.
+    backjump_events_.inc();
+    journal_->record(EventType::kCounterBackjump, c, last_counter_,
+                     mode_name_);
+    if (stalled_) {
+      stalled_ = false;
+      g_stalled_.set(0);
+      journal_->record(EventType::kCounterRecover, c, now_ns - stall_start_ns_,
+                       mode_name_);
+    }
+    zero_windows_ = 0;
+    last_counter_ = c;
+    last_ns_ = now_ns;
+    return;
+  }
   u64 dc = c - last_counter_;
   u64 dt = now_ns - last_ns_;
   last_counter_ = c;
@@ -225,6 +256,16 @@ void Watchdog::observe_log() {
     saturation_reported_ = true;
     journal_->record(EventType::kLogSaturated, s.tail, s.capacity);
   }
+}
+
+void Watchdog::observe_replicas() {
+  if (!sample_replicas_) return;
+  ReplicaSample s = sample_replicas_();
+  g_replicas_.set(s.replicas);
+  g_replica_primary_.set(s.primary);
+  g_replica_drift_.set(s.drift_permille);
+  g_replica_stalled_.set(s.stalled_replicas);
+  g_failover_.set(s.failovers);
 }
 
 }  // namespace teeperf::obs

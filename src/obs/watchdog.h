@@ -60,6 +60,18 @@ struct LogSample {
   std::vector<u64> shard_tails;
 };
 
+// Replicated-counter health sample, provided by the owner from
+// ReplicatedCounter::health() (DESIGN.md §13). Published verbatim as the
+// counter.replica.* / counter.failover gauges.
+struct ReplicaSample {
+  u32 replicas = 0;
+  u32 primary = 0;
+  u64 failovers = 0;
+  u64 backjumps = 0;
+  u32 stalled_replicas = 0;
+  u64 drift_permille = 0;
+};
+
 class Watchdog {
  public:
   // `read_counter` returns the session counter's current value; `mode_name`
@@ -77,6 +89,10 @@ class Watchdog {
   // Must be called before start().
   void watch_log(std::function<LogSample()> sample_log);
 
+  // Also publish replicated-counter health gauges each tick (sessions with
+  // counter_replicas > 0). Must be called before start().
+  void watch_replicas(std::function<ReplicaSample()> sample_replicas);
+
   void start();
   void stop();
   bool running() const { return running_; }
@@ -86,11 +102,14 @@ class Watchdog {
   double ns_per_tick() const { return ns_per_tick_; }
   bool stalled() const { return stalled_; }
   u64 ticks() const { return wd_ticks_.value(); }
+  // Counter-word backjumps observed (each journaled as kCounterBackjump).
+  u64 backjumps() const { return backjump_events_.value(); }
 
  private:
   void run();
   void observe_counter(u64 now_ns);
   void observe_log();
+  void observe_replicas();
 
   MetricsRegistry* registry_;
   EventJournal* journal_;
@@ -98,6 +117,7 @@ class Watchdog {
   std::string mode_name_;
   WatchdogOptions options_;
   std::function<LogSample()> sample_log_;
+  std::function<ReplicaSample()> sample_replicas_;
 
   std::thread thread_;
   std::mutex mu_;
@@ -131,11 +151,13 @@ class Watchdog {
   bool drain_stalled_ = false;
 
   // Published metrics.
-  Counter wd_ticks_, stall_events_, drift_events_;
+  Counter wd_ticks_, stall_events_, drift_events_, backjump_events_;
   Gauge g_ns_per_tick_, g_stalled_, g_drifting_;
   Gauge g_tail_, g_occupancy_, g_rate_, g_peak_rate_, g_dropped_, g_wraps_,
       g_active_;
   Gauge g_drain_lag_, g_drain_spilled_, g_drain_stall_;
+  Gauge g_replicas_, g_replica_primary_, g_replica_drift_, g_replica_stalled_,
+      g_failover_;
   Histogram h_ns_per_tick_;
 };
 

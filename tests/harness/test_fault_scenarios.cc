@@ -13,9 +13,13 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <cmath>
+
 #include "analyzer/profile.h"
 #include "common/fileutil.h"
 #include "common/shm.h"
+#include "common/spin.h"
 #include "core/profiler.h"
 #include "faultsim/fault.h"
 #include "obs/metric_names.h"
@@ -558,6 +562,175 @@ TEST_F(FaultScenarioTest, ValidateFlagsBackwardsCounter) {
   }
   EXPECT_TRUE(found);
 }
+
+// --- watchdog backjump handling ---------------------------------------------
+
+// Regression for the unsigned-delta wrap: `dc = c - last_counter_` on a
+// backwards-moving counter used to wrap to ~2^64, making the window look
+// like an absurdly fast (≈1e-13 ns/tick) healthy window that fed the drift
+// baseline and poisoned every later comparison. The watchdog must instead
+// classify the window as a backjump — its own journal event class and
+// counter — and exclude it from ns/tick and the baseline entirely.
+class WatchdogBackjumpTest : public FaultScenarioTest,
+                             public ::testing::WithParamInterface<u64> {};
+
+TEST_P(WatchdogBackjumpTest, BackjumpIsJournaledAndExcludedFromBaseline) {
+  const u64 seed = GetParam();
+  obs::TelemetryOptions topts;  // anonymous region
+  auto t = obs::SelfTelemetry::create(topts);
+  ASSERT_NE(t, nullptr);
+  obs::WatchdogOptions wopts;
+  wopts.interval_ms = 1;
+  // Keep the orthogonal detectors out of the way: the scripted counter's
+  // rate jitters with scheduling (drift must not trip on that — pre-fix the
+  // wrapped window deviated by ~1e12×, which still trips 10.0), and pauses
+  // between the scripted advances must not read as stalls.
+  wopts.drift_threshold = 10.0;
+  wopts.stall_windows = 1'000'000;
+  std::atomic<u64> val{1'000'000};
+  obs::Watchdog wd(&t->registry(), &t->journal(),
+                   [&val] { return val.load(std::memory_order_relaxed); },
+                   "scripted", wopts);
+  wd.start();
+  auto advance = [&](int windows) {
+    for (int i = 0; i < windows; ++i) {
+      val.fetch_add(10'000, std::memory_order_relaxed);
+      usleep(2'000);
+    }
+  };
+  advance(8);  // healthy windows; arms the calibrated baseline
+  val.fetch_sub(100'000 * seed, std::memory_order_relaxed);  // the backjump
+  u64 deadline = monotonic_ns() + 5'000'000'000ull;
+  while (wd.backjumps() == 0 && monotonic_ns() < deadline) usleep(1000);
+  advance(8);  // recovery: forward progress from the lower value
+  wd.stop();
+
+  EXPECT_GE(wd.backjumps(), 1u);
+  EXPECT_FALSE(wd.stalled());
+  // The wrapped window never reached the drift detector.
+  EXPECT_EQ(t->registry().counter(obs::metric_names::kWatchdogDriftEvents)
+                .value(),
+            0u);
+  EXPECT_EQ(t->registry().gauge(obs::metric_names::kCounterDrifting).value(),
+            0u);
+  // Distinct journal event class, with the regressed value in arg0.
+  bool journaled = false;
+  for (const obs::Event& ev : t->journal().snapshot()) {
+    if (ev.type == obs::EventType::kCounterBackjump) {
+      journaled = true;
+      EXPECT_LT(ev.arg0, ev.arg1);  // new value < previous value
+    }
+  }
+  EXPECT_TRUE(journaled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WatchdogBackjumpTest, ::testing::Values(1, 2, 3));
+
+// --- replicated counter fail-over -------------------------------------------
+
+// End-to-end (DESIGN.md §13): a session with three counter replicas whose
+// elected primary is stalled by fault injection must fail over (gauge +
+// journal event), keep the probe-visible timeline monotonic, and still
+// produce a dump whose calibrated time agrees with the wall clock.
+class ReplicatedCounterFailoverTest : public FaultScenarioTest,
+                                      public ::testing::WithParamInterface<u64> {
+};
+
+TEST_P(ReplicatedCounterFailoverTest, PrimaryStallFailsOverCalibrated) {
+  const u64 seed = GetParam();
+  fault::Registry::instance().set_seed(seed);
+  // nth varies the stall point across seeds: the Nth primary batch check.
+  fault::Registry::instance().arm_from_spec("counter.stall.primary:nth=" +
+                                            std::to_string(seed));
+  RecorderOptions opts;
+  opts.counter_mode = CounterMode::kSoftware;
+  opts.counter_replicas = 3;
+  opts.software_counter_yield = 1024;
+  opts.watchdog_interval_ms = 10;
+  auto rec = Recorder::create(opts);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->log().counter_replica_count(), 3u);
+  ASSERT_TRUE(rec->attach());
+
+  // The workload starts immediately, so the stall and the fail-over happen
+  // mid-profile and the calibration span coincides with the measured wall
+  // window (a separate wait phase would let the counter rate differ between
+  // calibration and measurement and skew the estimate on a loaded machine).
+  // The probe-visible header word must never move backwards across the
+  // switch.
+  u64 wall0 = monotonic_ns();
+  u64 prev = 0;
+  bool monotonic = true;
+  for (int i = 0; i < 40; ++i) {
+    TEEPERF_SCOPE("replicated::spin");
+    spin_for_ns(5'000'000);
+    u64 now = rec->log().header()->counter.load(std::memory_order_relaxed);
+    if (now < prev) monotonic = false;
+    prev = now;
+  }
+  double wall = static_cast<double>(monotonic_ns() - wall0);
+  EXPECT_TRUE(monotonic);
+
+  // The fail-over completed somewhere inside the workload (the primary's
+  // stall fires within its first few tick batches).
+  u64 deadline = monotonic_ns() + 10'000'000'000ull;
+  while (rec->stats().counter_failovers == 0 && monotonic_ns() < deadline) {
+    spin_for_ns(1'000'000);
+  }
+  Recorder::Stats stats = rec->stats();
+  ASSERT_GE(stats.counter_failovers, 1u);
+  EXPECT_EQ(stats.counter_replicas, 3u);
+
+  // The watchdog publishes the fail-over; the journal carries the event.
+  ASSERT_NE(rec->telemetry(), nullptr);
+  deadline = monotonic_ns() + 5'000'000'000ull;
+  while (rec->telemetry()
+                 ->registry()
+                 .gauge(obs::metric_names::kCounterFailover)
+                 .value() == 0 &&
+         monotonic_ns() < deadline) {
+    spin_for_ns(1'000'000);
+  }
+  EXPECT_GE(rec->telemetry()
+                ->registry()
+                .gauge(obs::metric_names::kCounterFailover)
+                .value(),
+            1u);
+  bool journaled = false;
+  for (const obs::Event& ev : rec->telemetry()->journal().snapshot()) {
+    if (ev.type == obs::EventType::kCounterFailover) journaled = true;
+  }
+  EXPECT_TRUE(journaled);
+
+  // Dump while the replicated counter (and its running calibration) is
+  // still alive, then check the calibrated report end to end.
+  std::string dir = make_temp_dir("teeperf_replicated_");
+  ASSERT_TRUE(rec->dump(dir + "/run"));
+  rec->detach();
+
+  auto profile = analyzer::Profile::load(dir + "/run");
+  ASSERT_TRUE(profile.has_value());
+  ASSERT_GT(profile->ns_per_tick(), 0.0);
+  // Monotonic timestamps survive reconstruction: no backwards counters.
+  for (const auto& issue : analyzer::Profile::validate(rec->log())) {
+    EXPECT_NE(issue.kind,
+              analyzer::ValidationIssue::Kind::kNonMonotonicCounter);
+  }
+  double est = 0.0;
+  for (const auto& m : profile->method_stats()) {
+    if (profile->name(m.method) == "replicated::spin") {
+      est = profile->ticks_to_ns(m.inclusive_total);
+    }
+  }
+  ASSERT_GT(est, 0.0);
+  // Calibrated time within 20% of the wall clock around the same loop.
+  EXPECT_LE(std::fabs(est - wall) / wall, 0.20)
+      << "calibrated " << est / 1e6 << " ms vs wall " << wall / 1e6 << " ms";
+  remove_tree(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicatedCounterFailoverTest,
+                         ::testing::Values(1, 2, 3));
 
 // --- shared-memory faults ---------------------------------------------------
 

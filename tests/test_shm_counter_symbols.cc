@@ -95,10 +95,23 @@ TEST(Counter, SteadyClockAdvances) {
 
 TEST(Counter, NsPerTickSane) {
   LogHeader h;
-  double tsc = counter_ns_per_tick(CounterMode::kTsc, &h);
-  EXPECT_GT(tsc, 0.0);
-  EXPECT_LT(tsc, 1000.0);  // >1 MHz
-  EXPECT_DOUBLE_EQ(counter_ns_per_tick(CounterMode::kSteadyClock, &h), 1.0);
+  std::optional<double> tsc = counter_ns_per_tick(CounterMode::kTsc, &h);
+  ASSERT_TRUE(tsc.has_value());
+  EXPECT_GT(*tsc, 0.0);
+  EXPECT_LT(*tsc, 1000.0);  // >1 MHz
+  std::optional<double> steady =
+      counter_ns_per_tick(CounterMode::kSteadyClock, &h);
+  ASSERT_TRUE(steady.has_value());
+  EXPECT_DOUBLE_EQ(*steady, 1.0);
+}
+
+TEST(Counter, NsPerTickFailsOnDegenerateWindow) {
+  // A software counter with no thread behind it never advances: the 2 ms
+  // measurement window sees zero ticks. The old code mapped that to 1.0 —
+  // indistinguishable from a real 1 ns/tick calibration — which poisoned
+  // every downstream time conversion; it must be an explicit failure.
+  LogHeader h;
+  EXPECT_FALSE(counter_ns_per_tick(CounterMode::kSoftware, &h).has_value());
 }
 
 TEST(Counter, SoftwareCounterIncrementsHeaderWord) {

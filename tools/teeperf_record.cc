@@ -14,6 +14,13 @@
 //   -o <prefix>    output prefix                (default: teeperf)
 //   -n <entries>   log capacity                 (default: 1048576)
 //   -c <counter>   tsc | software | steady_clock (default: tsc)
+//   --counter-replicas N   replicated trusted time (DESIGN.md §13, software
+//                  counter only): run N counter replicas on distinct cores,
+//                  each with a cache-line-isolated shm word; a detector
+//                  cross-checks them, fails over when the elected primary
+//                  stalls or jumps backwards, and continuously calibrates
+//                  ticks→ns so the dump carries wall-clock-accurate time.
+//                  0 (default) keeps the classic single counter thread
 //   --shards N     log format v2 shard count: per-thread shard segments
 //                  with cache-line-private tails (see DESIGN.md "Log format
 //                  v2"). 0 = classic v1 single tail; default auto-sizes to
@@ -82,6 +89,7 @@
 #include "common/stringutil.h"
 #include "core/counter.h"
 #include "core/log_format.h"
+#include "core/replicated_counter.h"
 #include "drain/drainer.h"
 #include "obs/export.h"
 #include "obs/metric_names.h"
@@ -95,7 +103,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: teeperf_record [-o prefix] [-n entries] [-c tsc|software|"
-               "steady_clock] [--inactive] [--calls-only|--returns-only] "
+               "steady_clock] [--counter-replicas n] [--inactive] "
+               "[--calls-only|--returns-only] "
                "[--faults spec] [--fault-seed n] -- <command> [args...]\n");
 }
 
@@ -115,6 +124,7 @@ int main(int argc, char** argv) {
   u64 spill_chunk_entries = 1u << 15;
   bool telemetry = true;
   long hold_ms = 0, freeze_counter_after_ms = -1;
+  long counter_replicas = 0;
   std::string fault_spec;
   u64 fault_seed = 1;
 
@@ -149,6 +159,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--spill-chunk-entries" && i + 1 < argc) {
       spill_chunk_entries = static_cast<u64>(std::atoll(argv[++i]));
       if (spill_chunk_entries == 0) {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--counter-replicas" && i + 1 < argc) {
+      counter_replicas = std::atol(argv[++i]);
+      if (counter_replicas < 0 ||
+          counter_replicas > static_cast<long>(kMaxCounterReplicas)) {
         usage();
         return 2;
       }
@@ -242,10 +259,21 @@ int main(int argc, char** argv) {
   // Shared-memory log, owned by this wrapper. The session base
   // "/teeperf.<pid>.<nonce>" is collision-free across concurrent sessions
   // (and pid reuse); creation is O_EXCL so a nonce collision just retries.
+  // Replication only applies to the software counter (hardware sources have
+  // nothing to replicate); silently dropping the request would hide a typo'd
+  // command line, so reject it.
+  if (counter_replicas > 0 && mode != CounterMode::kSoftware) {
+    std::fprintf(stderr, "teeperf_record: --counter-replicas requires "
+                         "-c software\n");
+    return 2;
+  }
+  u32 replica_count = static_cast<u32>(counter_replicas);
+
   std::string shm_base;
   std::string shm_name;
   SharedMemoryRegion shm;
-  usize bytes = ProfileLog::bytes_for(max_entries, shard_count);
+  usize bytes =
+      ProfileLog::bytes_for_replicated(max_entries, shard_count, replica_count);
   for (int attempt = 0; attempt < 4 && !shm.valid(); ++attempt) {
     shm_base = session_registry::shm_base(static_cast<u64>(getpid()),
                                           session_registry::make_nonce());
@@ -264,7 +292,7 @@ int main(int argc, char** argv) {
   if (active) flags |= log_flags::kActive;
   if (calls) flags |= log_flags::kRecordCalls;
   if (returns) flags |= log_flags::kRecordReturns;
-  if (!log.init(shm.data(), bytes, 0, flags, shard_count)) {
+  if (!log.init(shm.data(), bytes, 0, flags, shard_count, replica_count)) {
     std::fprintf(stderr, "teeperf_record: log init failed\n");
     return 1;
   }
@@ -327,11 +355,33 @@ int main(int argc, char** argv) {
   }
 
   // The software counter runs here, on the host — the measured application
-  // only ever reads the header word.
+  // only ever reads the header word. With --counter-replicas the replicated
+  // subsystem replaces the single thread: the elected primary mirrors into
+  // the same header word, so the child's probe path is identical.
   std::unique_ptr<SoftwareCounter> sw;
+  std::unique_ptr<ReplicatedCounter> replicated;
   if (mode == CounterMode::kSoftware) {
-    sw = std::make_unique<SoftwareCounter>(log.header(), /*yield_every=*/4096);
-    sw->start();
+    if (log.counter_replica_count() > 0) {
+      replicated = std::make_unique<ReplicatedCounter>(
+          log.header(), log.replica_directory(), log.replica_slot(0));
+      if (telem) {
+        obs::EventJournal* journal = &telem->journal();
+        replicated->set_failover_callback(
+            [journal](u32 from, u32 to, u64) {
+              journal->record(obs::EventType::kCounterFailover, from, to,
+                              "replica");
+            });
+        replicated->set_backjump_callback(
+            [journal](u32, u64 from, u64 to) {
+              journal->record(obs::EventType::kCounterBackjump, to, from,
+                              "replica");
+            });
+      }
+      replicated->start();
+    } else {
+      sw = std::make_unique<SoftwareCounter>(log.header(), /*yield_every=*/4096);
+      sw->start();
+    }
   }
 
   std::unique_ptr<obs::Watchdog> watchdog;
@@ -365,6 +415,23 @@ int main(int argc, char** argv) {
       }
       return s;
     });
+    if (replicated) {
+      ReplicatedCounter* rc = replicated.get();
+      watchdog->watch_replicas([rc] {
+        ReplicatedCounter::Health h = rc->health();
+        obs::ReplicaSample s;
+        s.replicas = h.replicas;
+        s.primary = h.primary;
+        s.failovers = h.failovers;
+        s.backjumps = h.backjumps;
+        s.stalled_replicas = h.stalled_replicas;
+        s.drift_permille = h.drift_permille;
+        return s;
+      });
+      telem->registry()
+          .gauge(obs::metric_names::kCounterReplicas)
+          .set(log.counter_replica_count());
+    }
     watchdog->start();
   }
 
@@ -452,9 +519,19 @@ int main(int argc, char** argv) {
   if (freezer.joinable()) freezer.join();
   log.header()->pid = static_cast<u64>(child);
 
-  // Measure tick rate before the counter stops, then persist.
-  log.header()->ns_per_tick = counter_ns_per_tick(mode, log.header());
+  // Measure tick rate before the counter stops, then persist. A replicated
+  // session has been calibrating continuously across the whole run; a plain
+  // session takes a fresh spot measurement, retried because one stalled 2 ms
+  // window must not mark the dump uncalibrated (and must never silently
+  // pretend 1 ns/tick, the old failure mode). 0 = "uncalibrated" downstream.
+  std::optional<double> npt;
+  if (replicated) npt = replicated->calibrated_ns_per_tick();
+  for (int attempt = 0; attempt < 3 && !npt; ++attempt) {
+    npt = counter_ns_per_tick(mode, log.header());
+  }
+  log.header()->ns_per_tick = npt.value_or(0.0);
   if (sw) sw->stop();
+  if (replicated) replicated->stop();
   log.set_active(false);
   if (drainer) {
     // Writers are gone: drain every remaining published window to chunks.

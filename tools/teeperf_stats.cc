@@ -30,6 +30,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analyzer/mprof.h"
@@ -119,6 +120,16 @@ int list_sessions_main() {
   return 0;
 }
 
+// Read-only metric lookup: gauge()/counter() are find-or-create, and a
+// scraper must never grow the scraped session's registry just to peek.
+u64 scalar_value(const obs::MetricsRegistry& reg, std::string_view name) {
+  u64 v = 0;
+  reg.visit_scalars([&](const obs::MetricSlot& s) {
+    if (name == s.name) v = s.value.load(std::memory_order_relaxed);
+  });
+  return v;
+}
+
 void print_snapshot(obs::SelfTelemetry& t, bool json, bool events, usize limit) {
   if (json) {
     std::fputs(obs::metrics_jsonl(t.registry()).c_str(), stdout);
@@ -130,6 +141,23 @@ void print_snapshot(obs::SelfTelemetry& t, bool json, bool events, usize limit) 
                     t.registry().layout().header->pid),
                 t.registry().scalar_count() + t.registry().histogram_count(),
                 static_cast<unsigned long long>(t.journal().total()));
+    // Replicated-counter sessions get a one-line health digest above the raw
+    // metric dump — the first thing an operator wants from trusted time.
+    if (u64 replicas = scalar_value(t.registry(),
+                                    obs::metric_names::kCounterReplicas)) {
+      std::printf(
+          "replicated counter: %llu replicas, primary=%llu, failovers=%llu, "
+          "stalled=%llu, drift=%llu permille\n",
+          static_cast<unsigned long long>(replicas),
+          static_cast<unsigned long long>(scalar_value(
+              t.registry(), obs::metric_names::kCounterReplicaPrimary)),
+          static_cast<unsigned long long>(scalar_value(
+              t.registry(), obs::metric_names::kCounterFailover)),
+          static_cast<unsigned long long>(scalar_value(
+              t.registry(), obs::metric_names::kCounterReplicaStalled)),
+          static_cast<unsigned long long>(scalar_value(
+              t.registry(), obs::metric_names::kCounterReplicaDrift)));
+    }
     std::fputs(obs::metrics_text(t.registry()).c_str(), stdout);
     if (events) {
       std::printf("events:\n");
